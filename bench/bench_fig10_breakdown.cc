@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Figure 10: breakdown of DistMSM's two optimization
+ * families. Starting from NO-OPT (single-GPU-design Pippenger with
+ * the unoptimized PADD kernel), it reports the speedup of adopting
+ * (a) only the multi-GPU Pippenger algorithm, (b) only the PADD
+ * kernel optimizations, the product of the two ("calculated") and
+ * the measured speedup with both ("overall") — exhibiting the
+ * paper's synergy: overall exceeds the product because the multi-GPU
+ * algorithm turns most EC work into PACC-type accumulation.
+ */
+
+#include "bench/common.h"
+
+#include "src/msm/planner.h"
+
+int
+main()
+{
+    using namespace distmsm;
+    using gpusim::Cluster;
+    using gpusim::DeviceSpec;
+    using gpusim::EcKernelVariant;
+    bench::banner(
+        "Figure 10", "breakdown of DistMSM's optimizations",
+        "simulated BLS12-381, N = 2^26; NO-OPT = single-GPU "
+        "Pippenger design + unoptimized kernel, scaled by N-dim "
+        "splitting");
+
+    const auto curve = gpusim::CurveProfile::bls381();
+    constexpr std::uint64_t kN = 1ull << 26;
+
+    TextTable t;
+    t.header({"GPUs", "multi-GPU alg", "PADD opts", "calculated",
+              "overall"});
+    for (int gpus : {2, 4, 8, 16, 32}) {
+        const Cluster cluster(DeviceSpec::a100(), gpus);
+
+        // NO-OPT: the rigid single-GPU design with baseline kernel.
+        const double no_opt =
+            msm::estimateNdimBaseline(curve, kN, cluster,
+                                      EcKernelVariant::baseline(), 0,
+                                      /*rigid=*/true)
+                .totalMs();
+        // Multi-GPU Pippenger only (baseline kernel).
+        msm::MsmOptions alg_only;
+        alg_only.kernel = EcKernelVariant::baseline();
+        const double alg =
+            msm::estimateDistMsm(curve, kN, cluster, alg_only)
+                .totalMs();
+        // Kernel optimizations only (single-GPU design).
+        const double kernel_only =
+            msm::estimateNdimBaseline(curve, kN, cluster,
+                                      EcKernelVariant::full(), 0,
+                                      /*rigid=*/true)
+                .totalMs();
+        // Both (DistMSM).
+        const double overall =
+            msm::estimateDistMsm(curve, kN, cluster, {}).totalMs();
+
+        const double s_alg = no_opt / alg;
+        const double s_kernel = no_opt / kernel_only;
+        const double s_overall = no_opt / overall;
+        t.row({std::to_string(gpus),
+               TextTable::num(s_alg, 2) + "x",
+               TextTable::num(s_kernel, 2) + "x",
+               TextTable::num(s_alg * s_kernel, 2) + "x",
+               TextTable::num(s_overall, 2) + "x"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper: the multi-GPU algorithm's gains grow with "
+                "GPU count; the PADD-optimization gain shrinks for "
+                "NO-OPT (bucket-reduce, which is not PACC, "
+                "dominates), and the overall speedup exceeds the "
+                "calculated product — the synergy of Section "
+                "5.3.1.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regenerates Figure 12: performance breakdown of the PADD kernel
+ * optimizations (Section 4) on the A100 model, per curve. Each
+ * optimization is added incrementally and the cumulative speedup
+ * over the unoptimized kernel is reported, exactly as in the paper:
+ * PADD->PACC, optimal execution order, explicit spilling, Montgomery
+ * multiplication on tensor cores, and on-the-fly compaction.
+ */
+
+#include "bench/common.h"
+
+#include "src/gpusim/cost_model.h"
+
+int
+main()
+{
+    using namespace distmsm;
+    using gpusim::CostModel;
+    using gpusim::DeviceSpec;
+    using gpusim::EcKernelVariant;
+    using gpusim::EcOp;
+    bench::banner(
+        "Figure 12", "performance breakdown of PADD optimizations",
+        "A100 kernel model (registers from src/sched schedules, "
+        "occupancy from the device model), cumulative speedups over "
+        "the unoptimized accumulation kernel");
+
+    const CostModel model(DeviceSpec::a100());
+    constexpr std::uint64_t kOps = 1 << 22;
+
+    struct Step
+    {
+        const char *name;
+        EcKernelVariant variant;
+    };
+    const std::vector<Step> steps = {
+        {"PADD->PACC", {true, false, false, false, false}},
+        {"Optimal Exec Order", {true, true, false, false, false}},
+        {"Explicit Spill", {true, true, true, false, false}},
+        {"MontMul with TC", {true, true, true, true, false}},
+        {"On-the-fly Compact", {true, true, true, true, true}},
+    };
+
+    TextTable t;
+    {
+        std::vector<std::string> header = {"Curve"};
+        for (const auto &s : steps)
+            header.push_back(s.name);
+        t.header(header);
+    }
+    for (const auto &curve : bench::paperCurves()) {
+        const double base = model.ecThroughputNs(
+            curve, EcKernelVariant::baseline(), EcOp::Pacc, kOps);
+        std::vector<std::string> row = {curve.name};
+        for (const auto &step : steps) {
+            const double ns = model.ecThroughputNs(
+                curve, step.variant, EcOp::Pacc, kOps);
+            row.push_back(TextTable::num(base / ns, 2) + "x");
+        }
+        t.row(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Register-pressure view behind the speedups.
+    TextTable regs;
+    regs.header({"Curve", "baseline regs", "optimal regs",
+                 "spilled regs", "occupancy gain"});
+    for (const auto &curve : bench::paperCurves()) {
+        const EcKernelVariant base = EcKernelVariant::baseline();
+        const EcKernelVariant opt{true, true, false, false, false};
+        const EcKernelVariant spill{true, true, true, false, false};
+        regs.row({curve.name,
+                  std::to_string(model.regsPerThread(curve, base,
+                                                     EcOp::Pacc)),
+                  std::to_string(model.regsPerThread(curve, opt,
+                                                     EcOp::Pacc)),
+                  std::to_string(model.regsPerThread(curve, spill,
+                                                     EcOp::Pacc)),
+                  TextTable::num(
+                      model.kernelOccupancy(curve, spill,
+                                            EcOp::Pacc) /
+                          model.kernelOccupancy(curve, base,
+                                                EcOp::Pacc),
+                      2) + "x"});
+    }
+    std::printf("%s\n", regs.render().c_str());
+    std::printf("paper: cumulative speedup 1.94x on MNT4753 and "
+                "~1.61x on the other curves; direct TC deployment "
+                "alone is a 6.8%% slowdown, compaction recovers "
+                "+5.2%% on the 25x-bit curves but leaves MNT4753 "
+                "8.2%% behind its no-TC configuration.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microbenchmarks of elliptic-curve arithmetic on this host: PADD,
+ * the dedicated PACC kernel (Algorithm 4), PDBL and scalar
+ * multiplication, per curve. The PACC/PADD ratio should track the
+ * 10/14 modular-multiplication counts of Section 4.1.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/ec/bn254_g2.h"
+#include "src/ec/curves.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+template <typename Curve>
+XYZZPoint<Curve>
+somePoint(std::uint64_t k)
+{
+    return pmul(XYZZPoint<Curve>::fromAffine(Curve::generator()),
+                BigInt<1>::fromU64(k));
+}
+
+template <typename Curve>
+void
+BM_Padd(benchmark::State &state)
+{
+    auto p = somePoint<Curve>(12345);
+    const auto q = somePoint<Curve>(67890);
+    for (auto _ : state) {
+        p = padd(p, q);
+        benchmark::DoNotOptimize(p);
+    }
+}
+
+template <typename Curve>
+void
+BM_Pacc(benchmark::State &state)
+{
+    auto acc = somePoint<Curve>(12345);
+    const auto p = somePoint<Curve>(67890).toAffine();
+    for (auto _ : state) {
+        acc = pacc(acc, p);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+
+template <typename Curve>
+void
+BM_Pdbl(benchmark::State &state)
+{
+    auto p = somePoint<Curve>(12345);
+    for (auto _ : state) {
+        p = pdbl(p);
+        benchmark::DoNotOptimize(p);
+    }
+}
+
+template <typename Curve>
+void
+BM_Pmul(benchmark::State &state)
+{
+    Prng prng(0x31);
+    const auto p = somePoint<Curve>(7);
+    auto k = BigInt<Curve::Fr::kLimbs>::random(prng);
+    k.truncateToBits(Curve::kScalarBits);
+    for (auto _ : state) {
+        auto r = pmul(p, k);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+#define DISTMSM_EC_BENCH(Curve)                                      \
+    BENCHMARK(BM_Padd<Curve>);                                       \
+    BENCHMARK(BM_Pacc<Curve>);                                       \
+    BENCHMARK(BM_Pdbl<Curve>);                                       \
+    BENCHMARK(BM_Pmul<Curve>)
+
+DISTMSM_EC_BENCH(Bn254);
+DISTMSM_EC_BENCH(Bls377);
+DISTMSM_EC_BENCH(Bls381);
+DISTMSM_EC_BENCH(Mnt4753);
+DISTMSM_EC_BENCH(Bn254G2);
+
+} // namespace
+} // namespace distmsm
+
+BENCHMARK_MAIN();

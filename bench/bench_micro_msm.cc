@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Microbenchmarks of the MSM implementations on this host: serial
+ * Pippenger across window sizes and input sizes (BN254), and the
+ * functional DistMSM execution (simulator overhead included).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "src/ec/curves.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/workload.h"
+
+namespace distmsm::msm {
+namespace {
+
+struct Inputs
+{
+    std::vector<AffinePoint<Bn254>> points;
+    std::vector<BigInt<4>> scalars;
+};
+
+const Inputs &
+inputs(std::size_t n)
+{
+    static std::map<std::size_t, Inputs> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        Prng prng(0xB127 + n);
+        Inputs in;
+        in.points = generatePoints<Bn254>(n, prng);
+        in.scalars = generateScalars<Bn254>(n, prng);
+        it = cache.emplace(n, std::move(in)).first;
+    }
+    return it->second;
+}
+
+void
+BM_SerialPippenger(benchmark::State &state)
+{
+    const auto &in = inputs(static_cast<std::size_t>(state.range(0)));
+    const unsigned s = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        auto r = msmSerialPippenger<Bn254>(in.points, in.scalars, s);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerialPippenger)
+    ->Args({1 << 10, 4})
+    ->Args({1 << 10, 8})
+    ->Args({1 << 10, 12})
+    ->Args({1 << 12, 8})
+    ->Args({1 << 14, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalDistMsm(benchmark::State &state)
+{
+    const auto &in = inputs(static_cast<std::size_t>(state.range(0)));
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(),
+                                  static_cast<int>(state.range(1)));
+    MsmOptions options;
+    options.windowBitsOverride = 8;
+    options.scatter.blockDim = 256;
+    options.scatter.gridDim = 8;
+    for (auto _ : state) {
+        auto r = computeDistMsm<Bn254>(in.points, in.scalars,
+                                       cluster, options);
+        benchmark::DoNotOptimize(r.value);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FunctionalDistMsm)
+    ->Args({1 << 10, 1})
+    ->Args({1 << 10, 8})
+    ->Args({1 << 12, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_NaiveMsm(benchmark::State &state)
+{
+    const auto &in = inputs(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto r = msmNaive<Bn254>(in.points, in.scalars);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_NaiveMsm)->Arg(1 << 8)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace distmsm::msm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Microbenchmarks of the NTT over BN254's scalar field: forward
+ * transform across sizes, and the Groth16 quotient computation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/field/field_params.h"
+#include "src/ntt/ntt.h"
+#include "src/support/prng.h"
+#include "src/zksnark/qap.h"
+#include "src/zksnark/workloads.h"
+
+namespace distmsm {
+namespace {
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const ntt::EvaluationDomain<Bn254Fr> domain(n);
+    Prng prng(0x177);
+    std::vector<Bn254Fr> v(n);
+    for (auto &x : v)
+        x = Bn254Fr::random(prng);
+    for (auto _ : state) {
+        domain.forward(v);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)
+    ->Arg(1 << 8)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_QuotientH(benchmark::State &state)
+{
+    Prng prng(0x9A9);
+    const auto built = zksnark::buildMulChainCircuit<Bn254Fr>(
+        static_cast<std::size_t>(state.range(0)), 4, prng);
+    for (auto _ : state) {
+        auto h = zksnark::computeQuotientH(built.r1cs, built.wires);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+BENCHMARK(BM_QuotientH)
+    ->Arg(1 << 8)
+    ->Arg(1 << 10)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace distmsm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Microbenchmarks of the tensor-core Montgomery model: the
+ * digit-matrix wide product against the limb schoolbook product, and
+ * the full TC Montgomery multiply against CIOS. On a CPU the TC path
+ * is of course slower — it is a functional model of the data path —
+ * but the numbers document the modelled arithmetic blow-up
+ * (64 byte-MACs per 64-bit MAC) that the 8x tensor throughput and
+ * the compaction have to beat on a real GPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/field/field_params.h"
+#include "src/support/prng.h"
+#include "src/tcmul/mont_tc.h"
+
+namespace distmsm::tcmul {
+namespace {
+
+template <typename P>
+void
+BM_WideProductSchoolbook(benchmark::State &state)
+{
+    Prng prng(0x73);
+    const auto mod = BigInt<P::kLimbs>::fromLimbs(P::kModulus);
+    auto m = BigInt<P::kLimbs>::randomBelow(prng, mod);
+    for (auto _ : state) {
+        auto wide = mulFull(m, mod);
+        benchmark::DoNotOptimize(wide);
+    }
+}
+
+template <typename P>
+void
+BM_WideProductTensorPath(benchmark::State &state)
+{
+    Prng prng(0x74);
+    const auto mod = BigInt<P::kLimbs>::fromLimbs(P::kModulus);
+    const TcMontgomeryContext<P::kLimbs> ctx(mod, P::kInv64);
+    auto m = BigInt<P::kLimbs>::randomBelow(prng, mod);
+    for (auto _ : state) {
+        auto wide = ctx.wideProduct(m);
+        benchmark::DoNotOptimize(wide);
+    }
+}
+
+template <typename P>
+void
+BM_MontMulTC(benchmark::State &state)
+{
+    Prng prng(0x75);
+    const auto mod = BigInt<P::kLimbs>::fromLimbs(P::kModulus);
+    const TcMontgomeryContext<P::kLimbs> ctx(mod, P::kInv64);
+    auto a = BigInt<P::kLimbs>::randomBelow(prng, mod);
+    const auto b = BigInt<P::kLimbs>::randomBelow(prng, mod);
+    for (auto _ : state) {
+        a = montMulTC(a, b, ctx);
+        benchmark::DoNotOptimize(a);
+    }
+}
+
+template <typename P>
+void
+BM_MontMulCIOSRef(benchmark::State &state)
+{
+    Prng prng(0x76);
+    const auto mod = BigInt<P::kLimbs>::fromLimbs(P::kModulus);
+    auto a = BigInt<P::kLimbs>::randomBelow(prng, mod);
+    const auto b = BigInt<P::kLimbs>::randomBelow(prng, mod);
+    for (auto _ : state) {
+        a = montMulCIOS(a, b, mod, P::kInv64);
+        benchmark::DoNotOptimize(a);
+    }
+}
+
+BENCHMARK(BM_WideProductSchoolbook<Bn254FqParams>);
+BENCHMARK(BM_WideProductTensorPath<Bn254FqParams>);
+BENCHMARK(BM_MontMulTC<Bn254FqParams>);
+BENCHMARK(BM_MontMulCIOSRef<Bn254FqParams>);
+BENCHMARK(BM_WideProductSchoolbook<Mnt4753FqParams>);
+BENCHMARK(BM_WideProductTensorPath<Mnt4753FqParams>);
+BENCHMARK(BM_MontMulTC<Mnt4753FqParams>);
+BENCHMARK(BM_MontMulCIOSRef<Mnt4753FqParams>);
+
+} // namespace
+} // namespace distmsm::tcmul
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates Table 1: scalar and point bit widths of the supported
+ * elliptic curves, read back from the built field/curve parameters.
+ */
+
+#include "bench/common.h"
+
+#include "src/ec/curves.h"
+
+namespace distmsm {
+namespace {
+
+template <typename Curve>
+void
+row(TextTable &t)
+{
+    t.row({Curve::kName,
+           std::to_string(Curve::Fr::modulus().bitLength()) + " bits",
+           std::to_string(Curve::Fq::modulus().bitLength()) +
+               " bits"});
+}
+
+} // namespace
+} // namespace distmsm
+
+int
+main()
+{
+    using namespace distmsm;
+    bench::banner("Table 1", "number of bits for some elliptic curves",
+                  "read from the generated curve constants; paper "
+                  "values: BN254 254/254, BLS12-377 253/377, "
+                  "BLS12-381 255/381, MNT4753 753/753");
+    TextTable t;
+    t.header({"EC", "k_i (scalar)", "P_i (point)"});
+    row<Bn254>(t);
+    row<Bls377>(t);
+    row<Bls381>(t);
+    row<Mnt4753>(t);
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * Absolute times come from the calibrated simulator (see DESIGN.md);
+ * the binaries print a methodology banner so logs are
+ * self-describing.
+ */
+
+#ifndef DISTMSM_BENCH_COMMON_H
+#define DISTMSM_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/cluster.h"
+#include "src/gpusim/cost_model.h"
+#include "src/support/table.h"
+
+namespace distmsm::bench {
+
+/** The four curves of Table 1, in paper order. */
+inline std::vector<gpusim::CurveProfile>
+paperCurves()
+{
+    return {gpusim::CurveProfile::bn254(),
+            gpusim::CurveProfile::bls377(),
+            gpusim::CurveProfile::bls381(),
+            gpusim::CurveProfile::mnt4753()};
+}
+
+/** Print the experiment banner. */
+inline void
+banner(const char *experiment, const char *what, const char *method)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", experiment, what);
+    std::printf("methodology: %s\n", method);
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+} // namespace distmsm::bench
+
+#endif // DISTMSM_BENCH_COMMON_H

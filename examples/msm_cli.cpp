@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Command-line MSM driver.
+ *
+ * Usage:
+ *   msm_cli [curve] [log2_N] [num_gpus] [flags...]
+ *
+ *   curve:   bn254 | bls377 | bls381 | mnt4753   (default bn254)
+ *   log2_N:  input size exponent                  (default 24)
+ *   gpus:    simulated A100 count                 (default 8)
+ *   flags:   --naive-scatter --gpu-reduce --signed --no-tc
+ *            --window=<s> --functional=<log2 n>
+ *
+ * Prints the plan, the simulated timeline breakdown at the requested
+ * scale and, with --functional, runs the algorithm functionally at a
+ * reduced size and checks the result against the serial reference.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/ec/curves.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/workload.h"
+#include "src/support/table.h"
+
+namespace {
+
+using namespace distmsm;
+
+gpusim::CurveProfile
+curveByName(const std::string &name)
+{
+    if (name == "bls377")
+        return gpusim::CurveProfile::bls377();
+    if (name == "bls381")
+        return gpusim::CurveProfile::bls381();
+    if (name == "mnt4753")
+        return gpusim::CurveProfile::mnt4753();
+    return gpusim::CurveProfile::bn254();
+}
+
+template <typename Curve>
+int
+functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
+                msm::MsmOptions options)
+{
+    Prng prng(0xC11);
+    const std::size_t n = std::size_t{1} << log_n;
+    std::printf("\nfunctional check at N = 2^%u (%zu points)...\n",
+                log_n, n);
+    const auto points = msm::generatePoints<Curve>(n, prng);
+    const auto scalars = msm::generateScalars<Curve>(n, prng);
+    if (options.windowBitsOverride == 0)
+        options.windowBitsOverride = 8;
+    const auto result = msm::computeDistMsm<Curve>(points, scalars,
+                                                   cluster, options);
+    const auto expect =
+        msm::msmSerialPippenger<Curve>(points, scalars, 8);
+    if (!(result.value == expect)) {
+        std::printf("FUNCTIONAL MISMATCH\n");
+        return 1;
+    }
+    std::printf("matches the serial Pippenger reference; "
+                "%llu PACC, %llu global atomics, %llu host ops.\n",
+                static_cast<unsigned long long>(result.stats.paccOps),
+                static_cast<unsigned long long>(
+                    result.stats.globalAtomics),
+                static_cast<unsigned long long>(result.hostOps));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string curve_name = "bn254";
+    unsigned log_n = 24;
+    int gpus = 8;
+    unsigned functional = 0;
+    msm::MsmOptions options;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--naive-scatter") {
+            options.hierarchicalScatter = false;
+        } else if (arg == "--gpu-reduce") {
+            options.cpuBucketReduce = false;
+        } else if (arg == "--signed") {
+            options.signedDigits = true;
+        } else if (arg == "--no-tc") {
+            options.kernel.tensorCoreMont = false;
+            options.kernel.onTheFlyCompact = false;
+        } else if (arg.rfind("--window=", 0) == 0) {
+            options.windowBitsOverride =
+                static_cast<unsigned>(std::atoi(arg.c_str() + 9));
+        } else if (arg.rfind("--functional=", 0) == 0) {
+            functional =
+                static_cast<unsigned>(std::atoi(arg.c_str() + 13));
+        } else if (positional == 0) {
+            curve_name = arg;
+            ++positional;
+        } else if (positional == 1) {
+            log_n = static_cast<unsigned>(std::atoi(arg.c_str()));
+            ++positional;
+        } else {
+            gpus = std::atoi(arg.c_str());
+        }
+    }
+
+    const auto curve = curveByName(curve_name);
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), gpus);
+    std::printf("DistMSM: %s, N = 2^%u, %d simulated A100(s)\n\n",
+                curve.name, log_n, gpus);
+
+    const auto plan =
+        msm::planMsm(curve, 1ull << log_n, cluster, options);
+    std::printf("plan: s = %u, %u windows (%llu buckets%s), %u "
+                "window(s)/GPU%s, %d thread(s)/bucket\n",
+                plan.windowBits, plan.numWindows,
+                static_cast<unsigned long long>(plan.numBuckets),
+                plan.signedDigits ? ", signed" : "",
+                plan.windowsPerGpu,
+                plan.bucketsSplitAcrossGpus ? ", buckets split" : "",
+                plan.threadsPerBucket);
+
+    const auto t =
+        msm::estimateDistMsm(curve, 1ull << log_n, cluster, options);
+    TextTable table;
+    table.header({"stage", "simulated ms"});
+    table.row({"bucket scatter", TextTable::num(t.scatterNs / 1e6, 3)});
+    table.row({"bucket sum", TextTable::num(t.bucketSumNs / 1e6, 3)});
+    table.row({t.cpuReduce ? "bucket reduce (CPU)"
+                           : "bucket reduce (GPU)",
+               TextTable::num(t.bucketReduceNs / 1e6, 3)});
+    table.row({"window reduce", TextTable::num(t.windowReduceNs / 1e6,
+                                               3)});
+    table.row({"transfers", TextTable::num(t.transferNs / 1e6, 3)});
+    table.row({"total (with overlap)", TextTable::num(t.totalMs(), 3)});
+    std::printf("\n%s", table.render().c_str());
+
+    if (functional != 0) {
+        if (curve_name == "bls377") {
+            return functionalCheck<distmsm::Bls377>(functional,
+                                                    cluster, options);
+        }
+        if (curve_name == "bls381") {
+            return functionalCheck<distmsm::Bls381>(functional,
+                                                    cluster, options);
+        }
+        if (curve_name == "mnt4753") {
+            return functionalCheck<distmsm::Mnt4753>(functional,
+                                                     cluster, options);
+        }
+        return functionalCheck<distmsm::Bn254>(functional, cluster,
+                                               options);
+    }
+    return 0;
+}

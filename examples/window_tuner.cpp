@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Window-size tuner: explore the Section 3.1 per-thread workload
+ * model for your own (N, curve, cluster) configuration and see which
+ * window size the planner would choose, how the kernels would be
+ * configured, and where the hierarchical scatter stops fitting in
+ * shared memory.
+ *
+ * Usage: window_tuner [log2_N] [num_gpus]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/msm/planner.h"
+#include "src/msm/scatter.h"
+#include "src/support/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace distmsm;
+    const unsigned log_n =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 26;
+    const int gpus = argc > 2 ? std::atoi(argv[2]) : 8;
+    const auto curve = gpusim::CurveProfile::bls381();
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), gpus);
+
+    std::printf("window tuner: %s, N = 2^%u, %d x %s\n\n", curve.name,
+                log_n, gpus, cluster.device().name.c_str());
+
+    msm::WorkloadConfig wc;
+    wc.numPoints = 1ull << log_n;
+    wc.scalarBits = curve.scalarBits;
+    wc.numGpus = gpus;
+    wc.threadsPerGpu = cluster.device().maxConcurrentThreads();
+
+    msm::ScatterConfig scatter;
+    TextTable t;
+    t.header({"s", "windows", "per-thread EC ops",
+              "hierarchical scatter", "simulated ms"});
+    for (unsigned s = 6; s <= 22; ++s) {
+        msm::MsmOptions options;
+        options.windowBitsOverride = s;
+        const bool hier_ok =
+            msm::hierarchicalSharedBytes(s, scatter, 1) <=
+            scatter.sharedBytesPerBlock;
+        const auto est = msm::estimateDistMsm(curve, wc.numPoints,
+                                              cluster, options);
+        t.row({std::to_string(s),
+               std::to_string(msm::windowCount(curve.scalarBits, s)),
+               TextTable::num(msm::perThreadWorkload(wc, s), 0),
+               hier_ok ? "fits" : "falls back to naive",
+               TextTable::num(est.totalMs(), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    const unsigned best = msm::optimalWindowSize(wc);
+    msm::MsmOptions options;
+    const auto plan =
+        msm::planMsm(curve, wc.numPoints, cluster, options);
+    std::printf("workload-model optimum: s = %u\n", best);
+    std::printf("planner choice: s = %u, %u window(s)/GPU, %s, %d "
+                "thread(s)/bucket\n",
+                plan.windowBits, plan.windowsPerGpu,
+                plan.bucketsSplitAcrossGpus
+                    ? "buckets split across GPUs"
+                    : "whole windows per GPU",
+                plan.threadsPerBucket);
+    return 0;
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Montgomery modular multiplication.
+ *
+ * Implements the three operand-scanning strategies analysed by
+ * Koc, Acar and Kaliski ("Analyzing and Comparing Montgomery
+ * Multiplication Algorithms"), which the paper cites as the standard
+ * implementation space (Section 2.2):
+ *
+ *  - SOS  (Separated Operand Scanning): full 2N-limb product first,
+ *    then N reduction sweeps. This is Algorithm 2 in the paper and the
+ *    variant whose second wide multiplication (m * n) DistMSM deploys
+ *    to tensor cores (src/tcmul).
+ *  - CIOS (Coarsely Integrated Operand Scanning): multiplication and
+ *    reduction interleaved per outer limb; the default fast path.
+ *  - FIOS (Finely Integrated Operand Scanning): both inner loops fused.
+ *
+ * All variants assume inputs < modulus and R = 2^(64N), and return a
+ * value < modulus. n0' ("inv64") is -modulus^-1 mod 2^64, the
+ * substitution the paper highlights for reducing C * n' work.
+ */
+
+#ifndef DISTMSM_BIGINT_MONTGOMERY_H
+#define DISTMSM_BIGINT_MONTGOMERY_H
+
+#include <array>
+#include <cstdint>
+
+#include "src/bigint/bigint.h"
+#include "src/support/check.h"
+
+namespace distmsm {
+
+/**
+ * Montgomery context: the modulus together with its precomputed
+ * reduction constants. One static instance exists per field.
+ */
+template <std::size_t N>
+struct MontgomeryParams
+{
+    BigInt<N> modulus;
+    /** -modulus^-1 mod 2^64. */
+    std::uint64_t inv64;
+    /** R mod modulus (the Montgomery form of 1). */
+    BigInt<N> r;
+    /** R^2 mod modulus (for conversion into Montgomery form). */
+    BigInt<N> r2;
+};
+
+/** Final conditional subtraction shared by all reduction variants. */
+template <std::size_t N>
+constexpr BigInt<N>
+montFinalSub(BigInt<N> t, std::uint64_t extra_bit, const BigInt<N> &mod)
+{
+    if (extra_bit != 0 || t >= mod)
+        t.subInPlace(mod);
+    return t;
+}
+
+/**
+ * Montgomery reduction of a 2N-limb value: returns t * R^-1 mod m.
+ * @p t must be < m * R (always true for products of reduced inputs).
+ */
+template <std::size_t N>
+constexpr BigInt<N>
+montReduce(std::array<std::uint64_t, 2 * N> t,
+           const BigInt<N> &mod, std::uint64_t inv64)
+{
+    std::uint64_t overflow = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+        const std::uint64_t m = t[i] * inv64;
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            t[i + j] = mac(m, mod.limb[j], t[i + j], carry, carry);
+        }
+        // Propagate the sweep's carry through the upper limbs.
+        for (std::size_t j = i + N; carry != 0; ++j) {
+            if (j == 2 * N) {
+                overflow += carry;
+                break;
+            }
+            std::uint64_t c = carry;
+            carry = 0;
+            t[j] = addc(t[j], c, carry);
+            c = 0;
+        }
+    }
+    BigInt<N> r{};
+    for (std::size_t i = 0; i < N; ++i)
+        r.limb[i] = t[N + i];
+    return montFinalSub(r, overflow, mod);
+}
+
+/** SOS Montgomery multiplication (paper Algorithm 2). */
+template <std::size_t N>
+constexpr BigInt<N>
+montMulSOS(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &mod,
+           std::uint64_t inv64)
+{
+    return montReduce<N>(mulFull(a, b), mod, inv64);
+}
+
+/** CIOS Montgomery multiplication; the default fast path. */
+template <std::size_t N>
+constexpr BigInt<N>
+montMulCIOS(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &mod,
+            std::uint64_t inv64)
+{
+    std::uint64_t t[N + 2] = {};
+    for (std::size_t i = 0; i < N; ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < N; ++j)
+            t[j] = mac(a.limb[j], b.limb[i], t[j], carry, carry);
+        std::uint64_t c2 = 0;
+        t[N] = addc(t[N], carry, c2);
+        t[N + 1] = c2;
+
+        const std::uint64_t m = t[0] * inv64;
+        carry = 0;
+        mac(m, mod.limb[0], t[0], carry, carry);
+        for (std::size_t j = 1; j < N; ++j)
+            t[j - 1] = mac(m, mod.limb[j], t[j], carry, carry);
+        c2 = 0;
+        t[N - 1] = addc(t[N], carry, c2);
+        t[N] = t[N + 1] + c2;
+    }
+    BigInt<N> r{};
+    for (std::size_t i = 0; i < N; ++i)
+        r.limb[i] = t[i];
+    return montFinalSub(r, t[N], mod);
+}
+
+/** FIOS Montgomery multiplication; fused inner loops. */
+template <std::size_t N>
+constexpr BigInt<N>
+montMulFIOS(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &mod,
+            std::uint64_t inv64)
+{
+    using U128 = unsigned __int128;
+    std::uint64_t t[N + 1] = {};
+    for (std::size_t i = 0; i < N; ++i) {
+        U128 sum = static_cast<U128>(a.limb[0]) * b.limb[i] + t[0];
+        const std::uint64_t m = static_cast<std::uint64_t>(sum) * inv64;
+        U128 red = static_cast<U128>(m) * mod.limb[0] +
+                   static_cast<std::uint64_t>(sum);
+        std::uint64_t c1 = static_cast<std::uint64_t>(sum >> 64);
+        std::uint64_t c2 = static_cast<std::uint64_t>(red >> 64);
+        for (std::size_t j = 1; j < N; ++j) {
+            sum = static_cast<U128>(a.limb[j]) * b.limb[i] + t[j] + c1;
+            c1 = static_cast<std::uint64_t>(sum >> 64);
+            red = static_cast<U128>(m) * mod.limb[j] +
+                  static_cast<std::uint64_t>(sum) + c2;
+            c2 = static_cast<std::uint64_t>(red >> 64);
+            t[j - 1] = static_cast<std::uint64_t>(red);
+        }
+        const U128 tail = static_cast<U128>(t[N]) + c1 + c2;
+        t[N - 1] = static_cast<std::uint64_t>(tail);
+        t[N] = static_cast<std::uint64_t>(tail >> 64);
+    }
+    BigInt<N> r{};
+    for (std::size_t i = 0; i < N; ++i)
+        r.limb[i] = t[i];
+    return montFinalSub(r, t[N], mod);
+}
+
+/** Montgomery squaring (currently via CIOS multiply). */
+template <std::size_t N>
+constexpr BigInt<N>
+montSqr(const BigInt<N> &a, const BigInt<N> &mod, std::uint64_t inv64)
+{
+    return montMulCIOS(a, a, mod, inv64);
+}
+
+/**
+ * Montgomery exponentiation: base (Montgomery form) raised to the raw
+ * integer exponent @p e; returns Montgomery form.
+ */
+template <std::size_t N, std::size_t M>
+constexpr BigInt<N>
+montPow(const BigInt<N> &base, const BigInt<M> &e,
+        const MontgomeryParams<N> &p)
+{
+    BigInt<N> acc = p.r; // Montgomery 1
+    const std::size_t top = e.bitLength();
+    for (std::size_t i = top; i-- > 0;) {
+        acc = montSqr(acc, p.modulus, p.inv64);
+        if (e.bit(i))
+            acc = montMulCIOS(acc, base, p.modulus, p.inv64);
+    }
+    return acc;
+}
+
+/**
+ * Modular inverse of @p a (raw form) modulo the odd prime @p mod via
+ * the binary extended Euclidean algorithm. @p a must be non-zero.
+ * Returns the raw-form inverse.
+ */
+template <std::size_t N>
+BigInt<N>
+modInverse(const BigInt<N> &a, const BigInt<N> &mod)
+{
+    DISTMSM_REQUIRE(!a.isZero(), "modInverse of zero");
+    BigInt<N> u = a, v = mod;
+    BigInt<N> x1 = BigInt<N>::fromU64(1), x2 = BigInt<N>::zero();
+
+    auto halve_mod = [&](BigInt<N> &x) {
+        // x = x/2 mod `mod` (mod odd): if x even shift, else (x+mod)/2
+        // where the addition's carry becomes the result's top bit.
+        std::uint64_t carry = 0;
+        if (x.bit(0))
+            carry = x.addInPlace(mod);
+        x = x.shr(1);
+        if (carry)
+            x.limb[N - 1] |= std::uint64_t{1} << 63;
+    };
+
+    while (!u.isU64(1) && !v.isU64(1)) {
+        while (!u.bit(0)) {
+            u = u.shr(1);
+            halve_mod(x1);
+        }
+        while (!v.bit(0)) {
+            v = v.shr(1);
+            halve_mod(x2);
+        }
+        if (u >= v) {
+            u.subInPlace(v);
+            x1 = subMod(x1, x2, mod);
+        } else {
+            v.subInPlace(u);
+            x2 = subMod(x2, x1, mod);
+        }
+    }
+    return u.isU64(1) ? x1 : x2;
+}
+
+} // namespace distmsm
+
+#endif // DISTMSM_BIGINT_MONTGOMERY_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dedicated big-integer squaring.
+ *
+ * Squaring computes each cross product a_i * a_j (i < j) once and
+ * doubles it, cutting the multiplication count nearly in half
+ * relative to a general product — one of the standard optimizations
+ * the paper's baseline kernels ship ("integrating most best
+ * practices"). The EC formulas use squarings in PP, R*R and the
+ * doubling path, so Fp::sqr routes through here.
+ */
+
+#ifndef DISTMSM_BIGINT_SQUARING_H
+#define DISTMSM_BIGINT_SQUARING_H
+
+#include <array>
+
+#include "src/bigint/bigint.h"
+#include "src/bigint/montgomery.h"
+
+namespace distmsm {
+
+/** Full 2N-limb square of an N-limb integer (cross products once). */
+template <std::size_t N>
+constexpr std::array<std::uint64_t, 2 * N>
+sqrFull(const BigInt<N> &a)
+{
+    std::array<std::uint64_t, 2 * N> t{};
+
+    // Cross products a_i * a_j for i < j.
+    for (std::size_t i = 0; i < N; ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = i + 1; j < N; ++j)
+            t[i + j] = mac(a.limb[i], a.limb[j], t[i + j], carry,
+                           carry);
+        t[i + N] = carry;
+    }
+
+    // Double the cross products (shift left by one bit).
+    std::uint64_t msb = 0;
+    for (std::size_t i = 0; i < 2 * N; ++i) {
+        const std::uint64_t next_msb = t[i] >> 63;
+        t[i] = (t[i] << 1) | msb;
+        msb = next_msb;
+    }
+
+    // Add the diagonal squares a_i^2.
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+        const unsigned __int128 sq =
+            static_cast<unsigned __int128>(a.limb[i]) * a.limb[i];
+        unsigned __int128 lo =
+            static_cast<unsigned __int128>(t[2 * i]) +
+            static_cast<std::uint64_t>(sq) + carry;
+        t[2 * i] = static_cast<std::uint64_t>(lo);
+        unsigned __int128 hi =
+            static_cast<unsigned __int128>(t[2 * i + 1]) +
+            static_cast<std::uint64_t>(sq >> 64) +
+            static_cast<std::uint64_t>(lo >> 64);
+        t[2 * i + 1] = static_cast<std::uint64_t>(hi);
+        carry = static_cast<std::uint64_t>(hi >> 64);
+    }
+    return t;
+}
+
+/** Montgomery squaring via the dedicated square + reduction. */
+template <std::size_t N>
+constexpr BigInt<N>
+montSqrDedicated(const BigInt<N> &a, const BigInt<N> &mod,
+                 std::uint64_t inv64)
+{
+    return montReduce<N>(sqrFull(a), mod, inv64);
+}
+
+} // namespace distmsm
+
+#endif // DISTMSM_BIGINT_SQUARING_H

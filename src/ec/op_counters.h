@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Field-operation counters for EC arithmetic.
+ *
+ * The paper's analysis is in units of modular multiplications (14 per
+ * PADD, 10 per PACC); these counters let tests assert the formula
+ * costs and let the simulator's cost model calibrate from real runs.
+ */
+
+#ifndef DISTMSM_EC_OP_COUNTERS_H
+#define DISTMSM_EC_OP_COUNTERS_H
+
+#include <cstdint>
+
+namespace distmsm::ec {
+
+/** Global tallies of field operations executed by the EC layer. */
+struct OpCounters
+{
+    std::uint64_t mul = 0;
+    std::uint64_t add = 0; ///< additions and subtractions
+
+    void
+    reset()
+    {
+        mul = 0;
+        add = 0;
+    }
+};
+
+/** The single global counter instance (the library is single-threaded). */
+inline OpCounters &
+opCounters()
+{
+    static OpCounters counters;
+    return counters;
+}
+
+} // namespace distmsm::ec
+
+#endif // DISTMSM_EC_OP_COUNTERS_H

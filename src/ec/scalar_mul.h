@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Optimized scalar multiplication.
+ *
+ * Two standard techniques from the ZPrize lineage the paper builds
+ * on, used by the library outside the MSM hot path (setup, host-side
+ * reductions, tests):
+ *
+ *  - pmulWnaf: width-w non-adjacent form. Recodes the scalar into
+ *    signed odd digits so only 2^(w-2) odd multiples are tabled and
+ *    the number of additions drops to ~bits/(w+1).
+ *  - FixedBaseTable: for a base point used with many scalars (the
+ *    generator during trusted setup), precompute all multiples of
+ *    every s-bit window so each scalar costs only ceil(bits/s)
+ *    additions and no doublings.
+ */
+
+#ifndef DISTMSM_EC_SCALAR_MUL_H
+#define DISTMSM_EC_SCALAR_MUL_H
+
+#include <vector>
+
+#include "src/bigint/bigint.h"
+#include "src/ec/point.h"
+#include "src/support/check.h"
+
+namespace distmsm {
+
+/**
+ * Width-w NAF digits of @p k, least significant first: each entry is
+ * zero or an odd integer in [-(2^(w-1) - 1), 2^(w-1) - 1], and no
+ * two adjacent non-zero digits occur within w positions.
+ */
+template <std::size_t N>
+std::vector<std::int32_t>
+wnafDigits(BigInt<N> k, unsigned w)
+{
+    DISTMSM_REQUIRE(w >= 2 && w <= 16, "wNAF width out of range");
+    std::vector<std::int32_t> digits;
+    const std::uint64_t window = std::uint64_t{1} << w;
+    while (!k.isZero()) {
+        if (k.bit(0)) {
+            // Odd: take the centered remainder mod 2^w.
+            std::int64_t d = static_cast<std::int64_t>(
+                k.bits(0, w));
+            if (d >= static_cast<std::int64_t>(window / 2))
+                d -= static_cast<std::int64_t>(window);
+            digits.push_back(static_cast<std::int32_t>(d));
+            if (d > 0) {
+                k.subInPlace(
+                    BigInt<N>::fromU64(static_cast<std::uint64_t>(d)));
+            } else {
+                k.addInPlace(BigInt<N>::fromU64(
+                    static_cast<std::uint64_t>(-d)));
+            }
+        } else {
+            digits.push_back(0);
+        }
+        k = k.shr(1);
+    }
+    return digits;
+}
+
+/** Scalar multiplication via width-w NAF. */
+template <typename Curve, std::size_t N>
+XYZZPoint<Curve>
+pmulWnaf(const XYZZPoint<Curve> &p, const BigInt<N> &k,
+         unsigned w = 4)
+{
+    using Xyzz = XYZZPoint<Curve>;
+    if (k.isZero() || p.isIdentity())
+        return Xyzz::identity();
+
+    // Odd multiples P, 3P, ..., (2^(w-1) - 1) P.
+    std::vector<Xyzz> odd;
+    odd.reserve(std::size_t{1} << (w - 2));
+    odd.push_back(p);
+    const Xyzz two_p = pdbl(p);
+    for (std::size_t i = 1; i < (std::size_t{1} << (w - 2)); ++i)
+        odd.push_back(padd(odd.back(), two_p));
+
+    const auto digits = wnafDigits(k, w);
+    Xyzz acc = Xyzz::identity();
+    for (std::size_t i = digits.size(); i-- > 0;) {
+        acc = pdbl(acc);
+        const std::int32_t d = digits[i];
+        if (d > 0) {
+            acc = padd(acc, odd[(d - 1) / 2]);
+        } else if (d < 0) {
+            acc = padd(acc, odd[(-d - 1) / 2].negated());
+        }
+    }
+    return acc;
+}
+
+/**
+ * Fixed-base window table: multiples m * 2^(js) * B for every window
+ * j and every m in [1, 2^s). One scalar multiplication then costs
+ * one PADD per window and no doublings — the right trade when
+ * thousands of scalars share one base (the trusted setup's
+ * generator).
+ */
+template <typename Curve>
+class FixedBaseTable
+{
+  public:
+    using Xyzz = XYZZPoint<Curve>;
+
+    /**
+     * @param base the shared base point.
+     * @param scalar_bits widest scalar that will be used.
+     * @param window_bits table window size (memory is
+     *        ceil(bits/s) * 2^s points).
+     */
+    FixedBaseTable(const Xyzz &base, unsigned scalar_bits,
+                   unsigned window_bits = 8)
+        : window_bits_(window_bits)
+    {
+        DISTMSM_REQUIRE(window_bits >= 1 && window_bits <= 16,
+                        "window size out of range");
+        const unsigned windows =
+            (scalar_bits + window_bits - 1) / window_bits + 1;
+        const std::size_t per_window = std::size_t{1}
+                                       << window_bits;
+        table_.reserve(windows);
+        Xyzz window_base = base;
+        for (unsigned j = 0; j < windows; ++j) {
+            std::vector<Xyzz> row;
+            row.reserve(per_window);
+            row.push_back(Xyzz::identity());
+            for (std::size_t m = 1; m < per_window; ++m)
+                row.push_back(padd(row.back(), window_base));
+            table_.push_back(std::move(row));
+            for (unsigned b = 0; b < window_bits; ++b)
+                window_base = pdbl(window_base);
+        }
+    }
+
+    /** k * base with one PADD per window. */
+    template <std::size_t N>
+    Xyzz
+    mul(const BigInt<N> &k) const
+    {
+        Xyzz acc = Xyzz::identity();
+        const std::size_t top = k.bitLength();
+        for (std::size_t j = 0;
+             j * window_bits_ < std::max<std::size_t>(top, 1); ++j) {
+            DISTMSM_REQUIRE(j < table_.size(),
+                            "scalar wider than the table");
+            const std::uint64_t m =
+                k.bits(j * window_bits_, window_bits_);
+            if (m != 0)
+                acc = padd(acc, table_[j][m]);
+        }
+        return acc;
+    }
+
+    std::size_t
+    pointCount() const
+    {
+        return table_.size() * table_.front().size();
+    }
+
+  private:
+    unsigned window_bits_;
+    std::vector<std::vector<Xyzz>> table_;
+};
+
+} // namespace distmsm
+
+#endif // DISTMSM_EC_SCALAR_MUL_H

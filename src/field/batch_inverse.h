@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Batch field inversion (Montgomery's trick).
+ *
+ * Inverts n field elements with one modular inversion and 3(n-1)
+ * multiplications; used to normalize large point arrays to affine
+ * form when generating MSM workloads.
+ */
+
+#ifndef DISTMSM_FIELD_BATCH_INVERSE_H
+#define DISTMSM_FIELD_BATCH_INVERSE_H
+
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace distmsm {
+
+/**
+ * Replace every element of @p values with its inverse. All elements
+ * must be non-zero.
+ */
+template <typename Fq>
+void
+batchInverse(std::vector<Fq> &values)
+{
+    if (values.empty())
+        return;
+    // prefix[i] = values[0] * ... * values[i]
+    std::vector<Fq> prefix(values.size());
+    Fq acc = Fq::one();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        DISTMSM_REQUIRE(!values[i].isZero(),
+                        "batchInverse of zero element");
+        acc *= values[i];
+        prefix[i] = acc;
+    }
+    Fq inv = acc.inverse();
+    for (std::size_t i = values.size(); i-- > 1;) {
+        const Fq this_inv = inv * prefix[i - 1];
+        inv *= values[i];
+        values[i] = this_inv;
+    }
+    values[0] = inv;
+}
+
+} // namespace distmsm
+
+#endif // DISTMSM_FIELD_BATCH_INVERSE_H

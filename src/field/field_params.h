@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parameter traits binding the generated constants to Fp.
+ *
+ * Eight fields: the base field (Fq, coordinates) and scalar field
+ * (Fr, exponents) of each supported curve. Table 1 of the paper lists
+ * the bit widths these provide.
+ */
+
+#ifndef DISTMSM_FIELD_FIELD_PARAMS_H
+#define DISTMSM_FIELD_FIELD_PARAMS_H
+
+#include "src/field/curve_constants.h"
+#include "src/field/field.h"
+
+namespace distmsm {
+
+/** Expands one generated constants namespace into a traits struct. */
+#define DISTMSM_FIELD_PARAMS(Name, ns)                                  \
+    struct Name                                                         \
+    {                                                                   \
+        static constexpr std::size_t kLimbs = constants::ns::kLimbs;    \
+        static constexpr unsigned kBits = constants::ns::kBits;         \
+        static constexpr unsigned kTwoAdicity =                         \
+            constants::ns::kTwoAdicity;                                 \
+        static constexpr std::uint64_t kInv64 = constants::ns::kInv64;  \
+        static constexpr std::uint64_t kQnrSmall =                      \
+            constants::ns::kQnrSmall;                                   \
+        static constexpr const std::uint64_t *kModulus =                \
+            constants::ns::kModulus;                                    \
+        static constexpr const std::uint64_t *kR = constants::ns::kR;   \
+        static constexpr const std::uint64_t *kR2 = constants::ns::kR2; \
+        static constexpr const std::uint64_t *kRootOfUnity =            \
+            constants::ns::kRootOfUnity;                                \
+        static constexpr const char *kName = #Name;                     \
+    }
+
+DISTMSM_FIELD_PARAMS(Bn254FqParams, bn254_fq);
+DISTMSM_FIELD_PARAMS(Bn254FrParams, bn254_fr);
+DISTMSM_FIELD_PARAMS(Bls377FqParams, bls377_fq);
+DISTMSM_FIELD_PARAMS(Bls377FrParams, bls377_fr);
+DISTMSM_FIELD_PARAMS(Bls381FqParams, bls381_fq);
+DISTMSM_FIELD_PARAMS(Bls381FrParams, bls381_fr);
+DISTMSM_FIELD_PARAMS(Mnt4753FqParams, mnt4753_fq);
+DISTMSM_FIELD_PARAMS(Mnt4753FrParams, mnt4753_fr);
+
+#undef DISTMSM_FIELD_PARAMS
+
+using Bn254Fq = Fp<Bn254FqParams>;
+using Bn254Fr = Fp<Bn254FrParams>;
+using Bls377Fq = Fp<Bls377FqParams>;
+using Bls377Fr = Fp<Bls377FrParams>;
+using Bls381Fq = Fp<Bls381FqParams>;
+using Bls381Fr = Fp<Bls381FrParams>;
+using Mnt4753Fq = Fp<Mnt4753FqParams>;
+using Mnt4753Fr = Fp<Mnt4753FrParams>;
+
+} // namespace distmsm
+
+#endif // DISTMSM_FIELD_FIELD_PARAMS_H

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Quadratic extension fields Fp2 = Fp[u] / (u^2 - beta).
+ *
+ * Pairing-based zkSNARKs place half of every proof in G2, the curve
+ * over Fp2 (the paper's 127-byte BN254 proofs are two G1 points plus
+ * one G2 point), and real provers run one of their MSMs over G2.
+ * Because this library's EC and MSM layers are generic in the
+ * coordinate field, providing Fp2 with the same interface as Fp is
+ * all it takes to light up G2 points, G2 MSM and G2 proof elements.
+ *
+ * beta is a quadratic non-residue of the base field (u^2 = beta).
+ * For BN254, beta = -1.
+ */
+
+#ifndef DISTMSM_FIELD_FP2_H
+#define DISTMSM_FIELD_FP2_H
+
+#include <string>
+
+#include "src/support/check.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+
+/**
+ * An element a0 + a1*u of Fp2 over @p F, with u^2 = -Beta... see
+ * BetaTag: u^2 equals the tag's value() in F.
+ */
+template <typename F, typename BetaTag>
+class Fp2
+{
+  public:
+    using Base = F;
+    static constexpr std::size_t kLimbs = F::kLimbs;
+
+    /** Width descriptor used by the simulator layers. */
+    struct Params
+    {
+        static constexpr unsigned kBits = 2 * F::Params::kBits;
+    };
+
+    constexpr Fp2() = default;
+    constexpr Fp2(const F &c0, const F &c1) : c0_(c0), c1_(c1) {}
+
+    static constexpr Fp2 zero() { return Fp2{}; }
+    static constexpr Fp2 one() { return Fp2{F::one(), F::zero()}; }
+
+    static constexpr Fp2
+    fromU64(std::uint64_t v)
+    {
+        return Fp2{F::fromU64(v), F::zero()};
+    }
+
+    static Fp2
+    random(Prng &prng)
+    {
+        return Fp2{F::random(prng), F::random(prng)};
+    }
+
+    /** u^2 as an element of F. */
+    static constexpr F beta() { return BetaTag::value(); }
+
+    const F &c0() const { return c0_; }
+    const F &c1() const { return c1_; }
+
+    constexpr bool
+    isZero() const
+    {
+        return c0_.isZero() && c1_.isZero();
+    }
+
+    constexpr bool
+    operator==(const Fp2 &o) const
+    {
+        return c0_ == o.c0_ && c1_ == o.c1_;
+    }
+
+    constexpr Fp2
+    operator+(const Fp2 &o) const
+    {
+        return Fp2{c0_ + o.c0_, c1_ + o.c1_};
+    }
+
+    constexpr Fp2
+    operator-(const Fp2 &o) const
+    {
+        return Fp2{c0_ - o.c0_, c1_ - o.c1_};
+    }
+
+    constexpr Fp2 operator-() const { return Fp2{-c0_, -c1_}; }
+
+    /** Karatsuba-style product: 3 base-field multiplications. */
+    constexpr Fp2
+    operator*(const Fp2 &o) const
+    {
+        const F v0 = c0_ * o.c0_;
+        const F v1 = c1_ * o.c1_;
+        const F mixed = (c0_ + c1_) * (o.c0_ + o.c1_) - v0 - v1;
+        return Fp2{v0 + beta() * v1, mixed};
+    }
+
+    constexpr Fp2 &operator+=(const Fp2 &o) { return *this = *this + o; }
+    constexpr Fp2 &operator-=(const Fp2 &o) { return *this = *this - o; }
+    constexpr Fp2 &operator*=(const Fp2 &o) { return *this = *this * o; }
+
+    constexpr Fp2
+    sqr() const
+    {
+        // (a + bu)^2 = a^2 + beta b^2 + 2ab u.
+        const F a2 = c0_.sqr();
+        const F b2 = c1_.sqr();
+        return Fp2{a2 + beta() * b2, (c0_ * c1_).dbl()};
+    }
+
+    constexpr Fp2 dbl() const { return *this + *this; }
+
+    /** Conjugate a - bu. */
+    constexpr Fp2 conjugate() const { return Fp2{c0_, -c1_}; }
+
+    /** Norm a^2 - beta b^2 (an element of F). */
+    constexpr F
+    norm() const
+    {
+        return c0_.sqr() - beta() * c1_.sqr();
+    }
+
+    Fp2
+    inverse() const
+    {
+        DISTMSM_REQUIRE(!isZero(), "inverse of zero Fp2 element");
+        // (a + bu)^-1 = conj / norm.
+        const F n_inv = norm().inverse();
+        return Fp2{c0_ * n_inv, -(c1_ * n_inv)};
+    }
+
+    template <std::size_t M>
+    Fp2
+    pow(const BigInt<M> &e) const
+    {
+        Fp2 acc = one();
+        for (std::size_t i = e.bitLength(); i-- > 0;) {
+            acc = acc.sqr();
+            if (e.bit(i))
+                acc *= *this;
+        }
+        return acc;
+    }
+
+    /** Whether this element is a square in Fp2. */
+    bool
+    isSquare() const
+    {
+        // c is a square in Fp2 iff norm(c) is a square in Fp.
+        return isZero() || norm().legendre() != -1;
+    }
+
+    /**
+     * Square root via the complex method: with alpha = sqrt(norm),
+     * delta = (a + alpha)/2 (or (a - alpha)/2 if that is not a
+     * square), x0 = sqrt(delta), x1 = b / (2 x0). Requires
+     * isSquare().
+     */
+    Fp2
+    sqrt() const
+    {
+        if (isZero())
+            return zero();
+        DISTMSM_REQUIRE(isSquare(), "sqrt of an Fp2 non-square");
+        if (c1_.isZero()) {
+            // Purely real: sqrt(a) in F, or sqrt(a/beta) * u.
+            if (c0_.legendre() != -1)
+                return Fp2{c0_.sqrt(), F::zero()};
+            const F t = c0_ * beta().inverse();
+            return Fp2{F::zero(), t.sqrt()};
+        }
+        const F alpha = norm().sqrt();
+        const F half = F::fromU64(2).inverse();
+        F delta = (c0_ + alpha) * half;
+        if (delta.legendre() == -1)
+            delta = (c0_ - alpha) * half;
+        const F x0 = delta.sqrt();
+        const F x1 = c1_ * (x0.dbl()).inverse();
+        const Fp2 root{x0, x1};
+        DISTMSM_ASSERT(root.sqr() == *this);
+        return root;
+    }
+
+    std::string
+    toHex() const
+    {
+        return c0_.toHex() + " + " + c1_.toHex() + "*u";
+    }
+
+  private:
+    F c0_;
+    F c1_;
+};
+
+} // namespace distmsm
+
+#endif // DISTMSM_FIELD_FP2_H

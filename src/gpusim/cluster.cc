@@ -1,0 +1,52 @@
+#include "src/gpusim/cluster.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace distmsm::gpusim {
+
+Cluster::Cluster(DeviceSpec device, int num_gpus, HostSpec host,
+                 CostParams params)
+    : device_(std::move(device)), num_gpus_(num_gpus),
+      host_(std::move(host)), model_(device_, params)
+{
+    DISTMSM_REQUIRE(num_gpus >= 1, "cluster needs at least one GPU");
+}
+
+double
+Cluster::makespanNs(const std::vector<double> &per_gpu_ns)
+{
+    double makespan = 0.0;
+    for (double t : per_gpu_ns)
+        makespan = std::max(makespan, t);
+    return makespan;
+}
+
+int
+Cluster::numNodes() const
+{
+    return (num_gpus_ + gpusPerNode() - 1) / gpusPerNode();
+}
+
+double
+Cluster::gatherNs(std::uint64_t bytes_per_gpu) const
+{
+    // Local node: its GPUs share the NVLink/PCIe complex serially.
+    const int local_gpus = std::min(num_gpus_, gpusPerNode());
+    const double local_ns =
+        local_gpus * bytes_per_gpu /
+        (device_.transferBandwidthGBs * 1e9) * 1e9;
+
+    // Remote nodes: each aggregates its GPUs' shares and all remote
+    // nodes contend for the host's inter-node NIC.
+    const int remote_gpus = num_gpus_ - local_gpus;
+    const double remote_ns =
+        remote_gpus * bytes_per_gpu /
+        (kInterNodeBandwidthGBs * 1e9) * 1e9;
+
+    return device_.transferLatencyUs * 1e3 +
+           std::max(local_ns, remote_ns);
+}
+
+} // namespace distmsm::gpusim

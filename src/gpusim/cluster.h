@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-GPU cluster description.
+ *
+ * The paper's testbed is an NVIDIA DGX (8x A100 + dual AMD Rome
+ * CPUs); configurations beyond 8 GPUs chain several DGX systems
+ * (Section 5.1). A Cluster bundles the device specification, the GPU
+ * count and the host model, and provides the simple cross-device
+ * timing helpers the MSM planner composes.
+ */
+
+#ifndef DISTMSM_GPUSIM_CLUSTER_H
+#define DISTMSM_GPUSIM_CLUSTER_H
+
+#include <vector>
+
+#include "src/gpusim/cost_model.h"
+#include "src/gpusim/device.h"
+
+namespace distmsm::gpusim {
+
+/** A homogeneous multi-GPU system with one host. */
+class Cluster
+{
+  public:
+    Cluster(DeviceSpec device, int num_gpus,
+            HostSpec host = HostSpec{},
+            CostParams params = CostParams{});
+
+    /** Inter-node link bandwidth (InfiniBand HDR), GB/s per node. */
+    static constexpr double kInterNodeBandwidthGBs = 25.0;
+
+    int numGpus() const { return num_gpus_; }
+    const DeviceSpec &device() const { return device_; }
+    const HostSpec &host() const { return host_; }
+    const CostModel &model() const { return model_; }
+
+    /** GPUs per DGX node (transfers within a node use NVLink). */
+    int gpusPerNode() const { return 8; }
+
+    /**
+     * Makespan (ns) of per-GPU work items executed concurrently:
+     * simply the maximum, since the GPUs are independent.
+     */
+    static double makespanNs(const std::vector<double> &per_gpu_ns);
+
+    /**
+     * Time (ns) to gather @p bytes_per_gpu from every GPU to the
+     * host. Two-level topology: GPUs of the host's node share its
+     * NVLink/PCIe complex; remote DGX nodes forward their aggregated
+     * share over the inter-node fabric, all remote nodes contending
+     * for the host's NIC (Section 5.1's multi-DGX configurations).
+     */
+    double gatherNs(std::uint64_t bytes_per_gpu) const;
+
+    /** Number of DGX nodes covering the GPUs. */
+    int numNodes() const;
+
+  private:
+    DeviceSpec device_;
+    int num_gpus_;
+    HostSpec host_;
+    CostModel model_;
+};
+
+} // namespace distmsm::gpusim
+
+#endif // DISTMSM_GPUSIM_CLUSTER_H

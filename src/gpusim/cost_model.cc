@@ -1,0 +1,333 @@
+#include "src/gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sched/dag.h"
+#include "src/sched/schedule_search.h"
+#include "src/sched/spill.h"
+#include "src/support/check.h"
+
+namespace distmsm::gpusim {
+namespace {
+
+/** Block size assumed for the EC kernels. */
+constexpr int kEcBlockThreads = 256;
+
+/** Cached schedule results so the model agrees with src/sched. */
+struct SchedNumbers
+{
+    int paccReference;
+    int paccOptimal;
+    int paccSpilled;
+    int paddReference;
+    int paddOptimal;
+    int paddSpilled;
+    int pdblReference;
+    int pdblOptimal;
+    int pdblSpilled;
+    int spillTransfers;
+    int spillShared;
+};
+
+const SchedNumbers &
+schedNumbers()
+{
+    static const SchedNumbers numbers = [] {
+        SchedNumbers n{};
+        const sched::OpDag pacc = sched::makePaccDag();
+        const sched::OpDag padd = sched::makePaddDag();
+        n.paccReference = pacc.peakLiveReferenceOrder();
+        n.paddReference = padd.peakLiveReferenceOrder();
+        const auto pacc_opt = sched::findOptimalOrder(pacc);
+        const auto padd_opt = sched::findOptimalOrder(padd);
+        n.paccOptimal = pacc_opt.peak;
+        n.paddOptimal = padd_opt.peak;
+        const auto pacc_spill =
+            sched::planSpills(pacc, pacc_opt.order, pacc_opt.peak - 2);
+        const auto padd_spill =
+            sched::planSpills(padd, padd_opt.order, padd_opt.peak - 2);
+        DISTMSM_ASSERT(pacc_spill.feasible && padd_spill.feasible);
+        n.paccSpilled = pacc_spill.regTarget;
+        n.paddSpilled = padd_spill.regTarget;
+        n.spillTransfers = pacc_spill.transfers;
+        n.spillShared = pacc_spill.peakShared;
+        const sched::OpDag pdbl = sched::makePdblDag(true);
+        n.pdblReference = pdbl.peakLiveReferenceOrder();
+        const auto pdbl_opt = sched::findOptimalOrder(pdbl);
+        n.pdblOptimal = pdbl_opt.peak;
+        const auto pdbl_spill = sched::planSpills(
+            pdbl, pdbl_opt.order,
+            std::max(3, pdbl_opt.peak - 2));
+        DISTMSM_ASSERT(pdbl_spill.feasible);
+        n.pdblSpilled = pdbl_spill.regTarget;
+        return n;
+    }();
+    return numbers;
+}
+
+} // namespace
+
+CurveProfile
+CurveProfile::bn254()
+{
+    return CurveProfile{"BN254", 254, 254, true};
+}
+
+CurveProfile
+CurveProfile::bls377()
+{
+    return CurveProfile{"BLS12-377", 377, 253, true};
+}
+
+CurveProfile
+CurveProfile::bls381()
+{
+    return CurveProfile{"BLS12-381", 381, 255, true};
+}
+
+CurveProfile
+CurveProfile::mnt4753()
+{
+    return CurveProfile{"MNT4753", 753, 753, false};
+}
+
+CostModel::CostModel(const DeviceSpec &spec, const CostParams &params)
+    : spec_(spec), params_(params)
+{
+}
+
+int
+CostModel::peakLiveBigints(const EcKernelVariant &v, EcOp op) const
+{
+    const SchedNumbers &n = schedNumbers();
+    if (op == EcOp::Pdbl) {
+        if (v.explicitSpill && v.optimalOrder)
+            return n.pdblSpilled;
+        return v.optimalOrder ? n.pdblOptimal : n.pdblReference;
+    }
+    const bool pacc_like = op == EcOp::Pacc;
+    if (v.explicitSpill && v.optimalOrder)
+        return pacc_like ? n.paccSpilled : n.paddSpilled;
+    if (v.optimalOrder)
+        return pacc_like ? n.paccOptimal : n.paddOptimal;
+    return pacc_like ? n.paccReference : n.paddReference;
+}
+
+int
+CostModel::regsPerThread(const CurveProfile &curve,
+                         const EcKernelVariant &v, EcOp op) const
+{
+    const double bigints = peakLiveBigints(v, op);
+    return static_cast<int>(
+               std::lround(bigints * curve.regsPerBigint())) +
+           params_.auxRegisters;
+}
+
+double
+CostModel::kernelOccupancy(const CurveProfile &curve,
+                           const EcKernelVariant &v, EcOp op) const
+{
+    const int regs = regsPerThread(curve, v, op);
+    std::size_t shared_bytes = 0;
+    if (v.explicitSpill && v.optimalOrder) {
+        shared_bytes = static_cast<std::size_t>(
+            schedNumbers().spillShared) *
+            curve.limbs64() * 8 * kEcBlockThreads;
+    }
+    return spec_.occupancy(regs, shared_bytes, kEcBlockThreads);
+}
+
+double
+CostModel::effectiveIssue(double occupancy) const
+{
+    const double threads = occupancy * spec_.maxThreadsPerSm;
+    return std::min(1.0, threads / params_.saturationThreadsPerSm);
+}
+
+double
+CostModel::ecOpCudaOps(const CurveProfile &curve,
+                       const EcKernelVariant &v, EcOp op) const
+{
+    const double L = curve.limbs64();
+    int modmuls;
+    int modadds;
+    switch (op) {
+      case EcOp::Pacc:
+        modmuls = v.dedicatedPacc ? 10 : 14;
+        modadds = 7;
+        break;
+      case EcOp::Padd:
+        modmuls = 14;
+        modadds = 7;
+        break;
+      case EcOp::Pdbl:
+        modmuls = curve.aIsZero ? 9 : 11;
+        modadds = 6;
+        break;
+    }
+    // CIOS: 2L^2 + L 64-bit MACs per modular multiplication.
+    double macs = modmuls * (2 * L * L + L);
+    double marshal_ops = 0.0;
+    if (v.tensorCoreMont) {
+        // The constant-operand half (m * n, L^2 MACs per modmul)
+        // leaves the CUDA cores, but packing fragments and folding
+        // the column sums back costs int32 work; slightly less when
+        // the raw lanes go straight to memory (the traffic penalty
+        // is charged separately).
+        macs -= modmuls * L * L;
+        double per_mac = params_.tcMarshalOpsPerOffloadedMac;
+        if (v.onTheFlyCompact) {
+            // Wider operands drag more zero lanes through the
+            // in-register compaction (Section 5.3.3).
+            per_mac *= 1.0 + params_.compactWideMarshalFactor *
+                                 std::max(0.0,
+                                          curve.fieldBits / 384.0 -
+                                              1.0);
+        } else {
+            per_mac *= 0.75;
+        }
+        marshal_ops = modmuls * L * L * per_mac;
+        if (!v.onTheFlyCompact) {
+            // Conventional path: every raw uint32 lane is stored to
+            // memory and reloaded before compaction.
+            marshal_ops += modmuls * L * params_.tcRawStoreOpsPerLimb;
+        }
+    }
+    const double add_ops = modadds * 2 * L * params_.opsPerAdd;
+    return macs * params_.opsPerMac + marshal_ops + add_ops;
+}
+
+double
+CostModel::ecThroughputNs(const CurveProfile &curve,
+                          const EcKernelVariant &v, EcOp op,
+                          std::uint64_t total_ops) const
+{
+    if (total_ops == 0)
+        return 0.0;
+    const double occ = kernelOccupancy(curve, v, op);
+    const double issue = effectiveIssue(occ);
+    DISTMSM_REQUIRE(issue > 0, "kernel cannot be resident");
+    const double cuda_rate = spec_.int32Tops * 1e12 * issue;
+    const double cuda_ns =
+        total_ops * ecOpCudaOps(curve, v, op) / cuda_rate * 1e9;
+
+    double tc_ns = 0.0;
+    double traffic_ns = 0.0;
+    if (v.tensorCoreMont) {
+        if (spec_.tensorInt8Tops > 0) {
+            const double L = curve.limbs64();
+            const int modmuls = op == EcOp::Padd
+                                    ? 14
+                                    : (v.dedicatedPacc ? 10 : 14);
+            // Digit-matrix product: (8L)^2 byte MACs per modmul.
+            const double tc_ops = total_ops * modmuls * 64 * L * L *
+                                  params_.tcOpsPerByteMac;
+            tc_ns = tc_ops / (spec_.tensorInt8Tops * 1e12) * 1e9;
+        } else {
+            // No tensor unit (RX 6900XT): the work stays on the
+            // vector ALUs; fold it back.
+            const double L = curve.limbs64();
+            const int modmuls = op == EcOp::Padd
+                                    ? 14
+                                    : (v.dedicatedPacc ? 10 : 14);
+            const double macs = total_ops * modmuls * L * L;
+            tc_ns = macs * params_.opsPerMac / cuda_rate * 1e9;
+        }
+    }
+
+    double spill_ns = 0.0;
+    if (v.explicitSpill && v.optimalOrder) {
+        const double bytes = static_cast<double>(total_ops) *
+                             schedNumbers().spillTransfers *
+                             curve.limbs64() * 8;
+        const double shared_bw =
+            spec_.memBandwidthGBs * spec_.sharedBandwidthRatio * 1e9;
+        spill_ns = bytes / shared_bw * 1e9;
+    }
+
+    // Tensor cores run concurrently with CUDA cores; memory and
+    // shared-memory traffic do not overlap in this model.
+    return std::max(cuda_ns, tc_ns) + traffic_ns + spill_ns;
+}
+
+double
+CostModel::ecSerialNs(const CurveProfile &curve,
+                      const EcKernelVariant &v, EcOp op,
+                      std::uint64_t chain_ops) const
+{
+    // A lone dependent chain is issue-latency bound: roughly one
+    // int32 op per cycle with no latency hiding.
+    const double single_thread_rate = spec_.clockGhz * 1e9 * 0.5;
+    return chain_ops * ecOpCudaOps(curve, v, op) /
+           single_thread_rate * 1e9;
+}
+
+double
+CostModel::atomicNs(const KernelStats &stats, int active_threads) const
+{
+    DISTMSM_REQUIRE(active_threads > 0, "no active threads");
+    double total = 0.0;
+    if (stats.globalAtomics > 0) {
+        const double mean_conflict =
+            static_cast<double>(stats.globalConflictWeight) /
+            stats.globalAtomics;
+        const double per_op = spec_.globalAtomicNs +
+                              (mean_conflict - 1.0) *
+                                  spec_.globalAtomicConflictNs;
+        total += stats.globalAtomics * per_op /
+                 std::min<double>(active_threads,
+                                  spec_.maxConcurrentThreads());
+    }
+    if (stats.sharedAtomics > 0) {
+        const double mean_conflict =
+            static_cast<double>(stats.sharedConflictWeight) /
+            stats.sharedAtomics;
+        const double per_op = spec_.sharedAtomicNs +
+                              (mean_conflict - 1.0) *
+                                  spec_.sharedAtomicConflictNs;
+        total += stats.sharedAtomics * per_op /
+                 std::min<double>(active_threads,
+                                  spec_.maxConcurrentThreads());
+    }
+    return total;
+}
+
+double
+CostModel::scatterComputeNs(std::uint64_t elements,
+                            int active_threads) const
+{
+    const double occ =
+        std::min(1.0, static_cast<double>(active_threads) /
+                          spec_.maxConcurrentThreads());
+    const double rate =
+        spec_.int32Tops * 1e12 * effectiveIssue(occ);
+    return elements * params_.scatterOpsPerElement / rate * 1e9;
+}
+
+double
+CostModel::gmemNs(std::uint64_t bytes) const
+{
+    return bytes / (spec_.memBandwidthGBs * 1e9) * 1e9;
+}
+
+double
+CostModel::transferNs(std::uint64_t bytes) const
+{
+    return spec_.transferLatencyUs * 1e3 +
+           bytes / (spec_.transferBandwidthGBs * 1e9) * 1e9;
+}
+
+double
+CostModel::hostEcNs(const CurveProfile &curve, std::uint64_t ops,
+                    const HostSpec &host) const
+{
+    // "a GPU could be up to 128x faster than a high-end CPU": the
+    // CPU retires EC additions at 1/128 of the full device rate.
+    const EcKernelVariant v = EcKernelVariant::full();
+    const double gpu_ns_per_op =
+        ecThroughputNs(curve, v, EcOp::Pacc, 1 << 20) / (1 << 20);
+    return ops * gpu_ns_per_op * host.gpuToCpuEcRatio;
+}
+
+} // namespace distmsm::gpusim

@@ -1,0 +1,100 @@
+#include "src/gpusim/device.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace distmsm::gpusim {
+
+double
+DeviceSpec::occupancy(int regs_per_thread,
+                      std::size_t shared_bytes_per_block,
+                      int threads_per_block) const
+{
+    DISTMSM_REQUIRE(regs_per_thread > 0 && threads_per_block > 0,
+                    "invalid occupancy query");
+    if (regs_per_thread > maxRegistersPerThread) {
+        // The compiler would spill to local memory instead; model the
+        // clamp and let the caller account for spill traffic.
+        regs_per_thread = maxRegistersPerThread;
+    }
+
+    // Register-limited threads per SM.
+    int by_regs = registersPerSm / regs_per_thread;
+    // Shared-memory-limited blocks per SM.
+    int by_shared = maxThreadsPerSm / threads_per_block;
+    if (shared_bytes_per_block > 0) {
+        by_shared = std::min(
+            by_shared, static_cast<int>(sharedMemPerSm /
+                                        shared_bytes_per_block));
+    }
+    int threads = std::min({maxThreadsPerSm, by_regs,
+                             by_shared * threads_per_block});
+    // Production kernels tune their block size; resident threads
+    // effectively quantize at warp-pair granularity.
+    threads = (threads / 64) * 64;
+    if (threads <= 0)
+        return 0.0;
+    return static_cast<double>(threads) / maxThreadsPerSm;
+}
+
+DeviceSpec
+DeviceSpec::a100()
+{
+    DeviceSpec d;
+    d.name = "NVIDIA A100 80GB";
+    d.smCount = 108;
+    d.maxThreadsPerSm = 2048;
+    d.registersPerSm = 65536;
+    d.sharedMemPerSm = 164 * 1024;
+    d.clockGhz = 1.41;
+    d.int32Tops = 19.5;
+    d.tensorInt8Tops = 624.0;
+    d.fp32Tflops = 19.5;
+    d.memBandwidthGBs = 2039.0;
+    d.transferBandwidthGBs = 600.0; // NVLink
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::rtx4090()
+{
+    DeviceSpec d;
+    d.name = "NVIDIA RTX 4090";
+    d.smCount = 128;
+    d.maxThreadsPerSm = 1536;
+    d.registersPerSm = 65536;
+    d.sharedMemPerSm = 100 * 1024;
+    d.clockGhz = 2.52;
+    // Section 5.2: 2.12x the int32 capability of the A100.
+    d.int32Tops = 41.3;
+    d.tensorInt8Tops = 660.6;
+    d.fp32Tflops = 82.6;
+    d.memBandwidthGBs = 1008.0;
+    d.transferBandwidthGBs = 25.0; // PCIe 4.0
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::rx6900xt()
+{
+    DeviceSpec d;
+    d.name = "AMD RX 6900XT";
+    d.smCount = 80; // compute units
+    d.maxThreadsPerSm = 2048;
+    d.registersPerSm = 65536;
+    d.sharedMemPerSm = 64 * 1024;
+    d.clockGhz = 2.25;
+    // Section 5.2: "similar register capabilities and memory
+    // bandwidth ... its integer arithmetic throughput is notably
+    // lower"; no int8 tensor unit.
+    d.int32Tops = 11.5;
+    d.tensorInt8Tops = 0.0;
+    d.fp32Tflops = 23.0;
+    d.memBandwidthGBs = 512.0;
+    d.sharedBandwidthRatio = 8.0;
+    d.transferBandwidthGBs = 25.0;
+    return d;
+}
+
+} // namespace distmsm::gpusim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Device descriptions for the simulated GPUs.
+ *
+ * The paper evaluates on NVIDIA A100 (the DGX systems of Section 5.1),
+ * NVIDIA RTX 4090 and AMD RX 6900XT (Section 5.2 / Figure 9). This
+ * environment has no GPU, so the evaluation runs against a
+ * functional-plus-analytic simulator; DeviceSpec carries the hardware
+ * parameters the paper's analysis depends on: thread capacity,
+ * register file, shared memory, integer/tensor/fp32 throughput,
+ * memory bandwidth and atomic costs.
+ */
+
+#ifndef DISTMSM_GPUSIM_DEVICE_H
+#define DISTMSM_GPUSIM_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+namespace distmsm::gpusim {
+
+/** Static hardware description of one GPU. */
+struct DeviceSpec
+{
+    std::string name;
+
+    int smCount = 0;
+    int maxThreadsPerSm = 0;
+    /** 32-bit registers per SM. */
+    int registersPerSm = 0;
+    /** Per-thread register ceiling imposed by the ISA. */
+    int maxRegistersPerThread = 255;
+    /** Shared memory per SM in bytes. */
+    std::size_t sharedMemPerSm = 0;
+
+    double clockGhz = 0.0;
+    /** CUDA-core int32 throughput, tera-ops/s. */
+    double int32Tops = 0.0;
+    /** Tensor-core int8 throughput, tera-ops/s (0 = no tensor cores). */
+    double tensorInt8Tops = 0.0;
+    /** fp32 throughput, tera-flops/s. */
+    double fp32Tflops = 0.0;
+    /** Device memory bandwidth, GB/s. */
+    double memBandwidthGBs = 0.0;
+    /** Shared-memory aggregate bandwidth relative to device memory. */
+    double sharedBandwidthRatio = 10.0;
+
+    /** Latency of an uncontended global atomic, ns. */
+    double globalAtomicNs = 20.0;
+    /** Extra serialization per additional concurrent writer, ns
+     *  (same-address atomics serialize in the L2 atomic units). */
+    double globalAtomicConflictNs = 32.0;
+    /** Latency of an uncontended shared-memory atomic, ns. */
+    double sharedAtomicNs = 2.0;
+    /** Extra serialization per concurrent writer (same bank), ns. */
+    double sharedAtomicConflictNs = 1.0;
+
+    /** Host<->device transfer bandwidth, GB/s (PCIe / NVLink). */
+    double transferBandwidthGBs = 25.0;
+    /** Per-transfer latency, us. */
+    double transferLatencyUs = 10.0;
+
+    /** Maximum concurrently resident threads on the device. */
+    int
+    maxConcurrentThreads() const
+    {
+        return smCount * maxThreadsPerSm;
+    }
+
+    /**
+     * Occupancy (0..1]: fraction of maxThreadsPerSm that can be
+     * resident given per-thread register demand and per-block shared
+     * memory demand.
+     *
+     * @param regs_per_thread registers each thread needs.
+     * @param shared_bytes_per_block shared memory per thread block.
+     * @param threads_per_block block size.
+     */
+    double occupancy(int regs_per_thread,
+                     std::size_t shared_bytes_per_block,
+                     int threads_per_block) const;
+
+    /** NVIDIA A100 80GB (SXM). */
+    static DeviceSpec a100();
+    /** NVIDIA GeForce RTX 4090. */
+    static DeviceSpec rtx4090();
+    /** AMD Radeon RX 6900XT. */
+    static DeviceSpec rx6900xt();
+};
+
+/** Host CPU description for the offloaded bucket-reduce and staging. */
+struct HostSpec
+{
+    std::string name = "AMD Rome 7742 x2";
+    int cores = 128;
+    /**
+     * Serial EC point-addition rate relative to one full GPU; the
+     * paper's extrapolation is "a GPU could be up to 128x faster
+     * than a high-end CPU".
+     */
+    double gpuToCpuEcRatio = 128.0;
+};
+
+} // namespace distmsm::gpusim
+
+#endif // DISTMSM_GPUSIM_DEVICE_H

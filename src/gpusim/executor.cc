@@ -1,0 +1,87 @@
+#include "src/gpusim/executor.h"
+
+#include <algorithm>
+
+namespace distmsm::gpusim {
+
+KernelLaunch::KernelLaunch(int grid_dim, int block_dim,
+                           std::size_t shared_words)
+    : grid_dim_(grid_dim), block_dim_(block_dim)
+{
+    DISTMSM_REQUIRE(grid_dim > 0 && block_dim > 0,
+                    "empty kernel launch");
+    shared_.reserve(grid_dim);
+    for (int b = 0; b < grid_dim; ++b)
+        shared_.emplace_back(shared_words, WordArray::Space::Shared);
+}
+
+WordArray &
+KernelLaunch::shared(int bid)
+{
+    DISTMSM_ASSERT(bid >= 0 && bid < grid_dim_);
+    return shared_[bid];
+}
+
+void
+KernelLaunch::phase(const std::function<void(ThreadCtx &)> &fn)
+{
+    ++stats_.phases;
+    for (int bid = 0; bid < grid_dim_; ++bid) {
+        for (int tid = 0; tid < block_dim_; ++tid) {
+            ThreadCtx ctx{tid, bid, block_dim_, grid_dim_};
+            fn(ctx);
+        }
+    }
+    // Fold this phase's per-address writer counts into the stats.
+    for (WordArray *arr : touched_)
+        foldPhaseContention(*arr);
+    touched_.clear();
+}
+
+std::uint64_t
+KernelLaunch::atomicAdd(WordArray &arr, std::size_t i, std::uint64_t v,
+                        const ThreadCtx &ctx)
+{
+    DISTMSM_ASSERT(i < arr.words_.size());
+    const std::uint64_t old = arr.words_[i];
+    arr.words_[i] += v;
+
+    // Shared-memory conflicts only arise within a block; salt the
+    // key so different blocks' writes to the same index of their own
+    // copies do not alias.
+    const std::uint64_t key =
+        arr.space_ == WordArray::Space::Shared
+            ? (static_cast<std::uint64_t>(ctx.bid) << 40) | i
+            : i;
+    if (arr.phase_writers_.empty())
+        touched_.push_back(&arr);
+    ++arr.phase_writers_[key];
+
+    if (arr.space_ == WordArray::Space::Shared) {
+        ++stats_.sharedAtomics;
+    } else {
+        ++stats_.globalAtomics;
+    }
+    return old;
+}
+
+void
+KernelLaunch::foldPhaseContention(WordArray &arr)
+{
+    const bool shared = arr.space_ == WordArray::Space::Shared;
+    for (const auto &[key, count] : arr.phase_writers_) {
+        const std::uint64_t c = count;
+        if (shared) {
+            stats_.sharedConflictWeight += c * c;
+            stats_.sharedMaxConflict =
+                std::max<std::uint64_t>(stats_.sharedMaxConflict, c);
+        } else {
+            stats_.globalConflictWeight += c * c;
+            stats_.globalMaxConflict =
+                std::max<std::uint64_t>(stats_.globalMaxConflict, c);
+        }
+    }
+    arr.phase_writers_.clear();
+}
+
+} // namespace distmsm::gpusim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Functional SIMT executor.
+ *
+ * Kernels are executed under a bulk-synchronous model: a launch is a
+ * sequence of *phases*, each running a callback for every thread of
+ * the grid, with an implicit barrier between phases. This matches how
+ * the paper's kernels are structured (e.g. the three levels of the
+ * hierarchical bucket scatter, Algorithm 3, are phases separated by
+ * block barriers) and makes atomicity trivial while still letting the
+ * simulator measure *concurrency*: all writes to one address within a
+ * phase would contend on real hardware, which is exactly the
+ * contention statistic the cost model consumes.
+ *
+ * Per-thread "registers" live in caller-managed arrays indexed by
+ * global thread id; per-block shared memory is allocated by the
+ * launch and persists across its phases.
+ */
+
+#ifndef DISTMSM_GPUSIM_EXECUTOR_H
+#define DISTMSM_GPUSIM_EXECUTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gpusim/stats.h"
+#include "src/support/check.h"
+
+namespace distmsm::gpusim {
+
+class KernelLaunch;
+
+/** Thread coordinates handed to every phase callback. */
+struct ThreadCtx
+{
+    int tid;      ///< thread index within the block
+    int bid;      ///< block index
+    int blockDim; ///< threads per block
+    int gridDim;  ///< blocks in the grid
+
+    /** Global thread id. */
+    int gid() const { return bid * blockDim + tid; }
+    /** Total threads in the grid. */
+    int gridThreads() const { return blockDim * gridDim; }
+};
+
+/**
+ * A 64-bit word array in simulated memory with atomic counters.
+ * Used for both global arrays (one instance for the grid) and
+ * per-block shared arrays (owned by KernelLaunch).
+ */
+class WordArray
+{
+  public:
+    enum class Space { Global, Shared };
+
+    WordArray(std::size_t size, Space space)
+        : words_(size, 0), space_(space)
+    {
+    }
+
+    std::size_t size() const { return words_.size(); }
+
+    std::uint64_t
+    read(std::size_t i) const
+    {
+        DISTMSM_ASSERT(i < words_.size());
+        return words_[i];
+    }
+
+    void
+    write(std::size_t i, std::uint64_t v)
+    {
+        DISTMSM_ASSERT(i < words_.size());
+        words_[i] = v;
+    }
+
+    void fill(std::uint64_t v) { words_.assign(words_.size(), v); }
+
+  private:
+    friend class KernelLaunch;
+    std::vector<std::uint64_t> words_;
+    Space space_;
+    // Per-phase contention accounting, keyed by word index with a
+    // block-id salt for shared arrays (conflicts are per block).
+    std::unordered_map<std::uint64_t, std::uint32_t> phase_writers_;
+};
+
+/**
+ * One kernel launch: grid geometry, shared memory, phases and stats.
+ */
+class KernelLaunch
+{
+  public:
+    /**
+     * @param grid_dim blocks in the grid.
+     * @param block_dim threads per block.
+     * @param shared_words 64-bit words of shared memory per block.
+     */
+    KernelLaunch(int grid_dim, int block_dim,
+                 std::size_t shared_words);
+
+    int gridDim() const { return grid_dim_; }
+    int blockDim() const { return block_dim_; }
+    int gridThreads() const { return grid_dim_ * block_dim_; }
+
+    /** Per-block shared memory (valid for the whole launch). */
+    WordArray &shared(int bid);
+
+    /**
+     * Execute one bulk-synchronous phase: @p fn runs for every
+     * thread; an implicit barrier follows. Atomic contention is
+     * accounted per phase.
+     */
+    void phase(const std::function<void(ThreadCtx &)> &fn);
+
+    /**
+     * Atomic fetch-add on a word array from thread context; records
+     * contention in this launch's stats.
+     */
+    std::uint64_t atomicAdd(WordArray &arr, std::size_t i,
+                            std::uint64_t v, const ThreadCtx &ctx);
+
+    /** Plain (non-atomic) shared/global access accounting. */
+    void
+    countSharedAccess(std::uint64_t n = 1)
+    {
+        stats_.sharedAccesses += n;
+    }
+
+    void
+    countGmemBytes(std::uint64_t bytes)
+    {
+        stats_.gmemBytes += bytes;
+    }
+
+    const KernelStats &stats() const { return stats_; }
+    KernelStats &stats() { return stats_; }
+
+  private:
+    void foldPhaseContention(WordArray &arr);
+
+    int grid_dim_;
+    int block_dim_;
+    std::vector<WordArray> shared_;
+    std::vector<WordArray *> touched_;
+    KernelStats stats_;
+};
+
+} // namespace distmsm::gpusim
+
+#endif // DISTMSM_GPUSIM_EXECUTOR_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Execution statistics gathered by the functional SIMT executor.
+ *
+ * The paper's multi-GPU analysis is driven by counts — atomic
+ * operations and their contention, EC arithmetic per thread, bytes
+ * moved. The executor measures them exactly during functional runs;
+ * the cost model (cost_model.h) converts them to simulated time.
+ */
+
+#ifndef DISTMSM_GPUSIM_STATS_H
+#define DISTMSM_GPUSIM_STATS_H
+
+#include <cstdint>
+
+namespace distmsm::gpusim {
+
+/** Tallies for one kernel launch (or one accumulation scope). */
+struct KernelStats
+{
+    /** Bulk-synchronous phases executed. */
+    std::uint64_t phases = 0;
+
+    /** Global-memory atomic operations issued. */
+    std::uint64_t globalAtomics = 0;
+    /**
+     * Serialization weight: for every phase and address, c writers
+     * contribute c*c (each of the c atomics waits on average for c
+     * predecessors). The hotter an address, the superlinearly larger
+     * this term — the effect Section 3.2 attributes the scatter
+     * bottleneck to.
+     */
+    std::uint64_t globalConflictWeight = 0;
+    /** Largest per-address writer count seen in any phase. */
+    std::uint64_t globalMaxConflict = 0;
+
+    /** Shared-memory atomic operations issued. */
+    std::uint64_t sharedAtomics = 0;
+    std::uint64_t sharedConflictWeight = 0;
+    std::uint64_t sharedMaxConflict = 0;
+
+    /** Plain shared-memory word accesses. */
+    std::uint64_t sharedAccesses = 0;
+    /** Device-memory bytes read/written by explicit transfers. */
+    std::uint64_t gmemBytes = 0;
+
+    /** Elliptic-curve operations executed (filled by MSM kernels). */
+    std::uint64_t paddOps = 0;
+    std::uint64_t paccOps = 0;
+    std::uint64_t pdblOps = 0;
+
+    void
+    merge(const KernelStats &o)
+    {
+        phases += o.phases;
+        globalAtomics += o.globalAtomics;
+        globalConflictWeight += o.globalConflictWeight;
+        globalMaxConflict =
+            globalMaxConflict > o.globalMaxConflict
+                ? globalMaxConflict
+                : o.globalMaxConflict;
+        sharedAtomics += o.sharedAtomics;
+        sharedConflictWeight += o.sharedConflictWeight;
+        sharedMaxConflict =
+            sharedMaxConflict > o.sharedMaxConflict
+                ? sharedMaxConflict
+                : o.sharedMaxConflict;
+        sharedAccesses += o.sharedAccesses;
+        gmemBytes += o.gmemBytes;
+        paddOps += o.paddOps;
+        paccOps += o.paccOps;
+        pdblOps += o.pdblOps;
+    }
+};
+
+} // namespace distmsm::gpusim
+
+#endif // DISTMSM_GPUSIM_STATS_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Models of the baseline GPU MSM implementations (paper Table 2).
+ *
+ * The binaries themselves are proprietary or CUDA-only; what Table 3
+ * compares against is their *designs*: which kernel optimizations
+ * they ship, how they scale to multiple GPUs (most were "augmented by
+ * parallelizing along the N-dim"), and the window sizes they choose.
+ * Each profile re-creates one design on the simulator; a per-profile
+ * efficiency factor absorbs implementation maturity and is calibrated
+ * once against the paper's single-GPU column (see EXPERIMENTS.md).
+ * Everything else — scaling curves, crossovers — is predicted by the
+ * model, not fitted.
+ */
+
+#ifndef DISTMSM_MSM_BASELINE_PROFILES_H
+#define DISTMSM_MSM_BASELINE_PROFILES_H
+
+#include <string>
+#include <vector>
+
+#include "src/msm/planner.h"
+
+namespace distmsm::msm {
+
+/** How a baseline was extended to multiple GPUs. */
+enum class MultiGpuStrategy
+{
+    /** Points split N/N_gpu per GPU; windows/design unchanged. */
+    NdimSplit,
+    /** Windows distributed across GPUs (cuZK-style). */
+    WindowSplit,
+};
+
+/** One baseline implementation model. */
+struct BaselineProfile
+{
+    int id;           ///< Table 2 numbering (1..6)
+    const char *name; ///< Table 2 name
+    MultiGpuStrategy strategy;
+    gpusim::EcKernelVariant kernel;
+    /** Supported curves (Table 2), by CurveProfile::name. */
+    std::vector<std::string> curves;
+    /**
+     * Implementation-maturity multiplier on simulated time
+     * (< 1: faster than our modelled kernel would suggest, e.g.
+     * Yrrid's assembly-level tuning; > 1: slower).
+     */
+    double efficiency = 1.0;
+    /** Fixed window size the implementation hard-codes; 0 = auto. */
+    unsigned fixedWindowBits = 0;
+    /**
+     * Amdahl serial fraction: share of the single-GPU time (driver
+     * staging, pinned pipelines, host post-processing) that does not
+     * parallelize when the implementation is spread across GPUs.
+     * Yrrid's pipeline is the least scalable (Figure 8).
+     */
+    double serialFraction = 0.0;
+    /**
+     * Extra slowdown on MNT4753 (753-bit arithmetic blows up some
+     * designs far more than others; the paper's Table 3 shows Mina
+     * beating cuZK on MNT despite losing everywhere else).
+     */
+    double mnt4753Penalty = 1.0;
+    /** Largest input the implementation handles (0 = unlimited);
+     *  Yrrid's precomputation tables exceed device memory at 2^28. */
+    std::uint64_t maxPoints = 0;
+
+    bool supports(const gpusim::CurveProfile &curve) const;
+
+    /** Simulated timeline on @p cluster. */
+    MsmTimeline estimate(const gpusim::CurveProfile &curve,
+                         std::uint64_t n,
+                         const gpusim::Cluster &cluster) const;
+};
+
+/** All six baselines of Table 2. */
+const std::vector<BaselineProfile> &allBaselines();
+
+/** The best baseline for a configuration (the BG column). */
+struct BestBaseline
+{
+    const BaselineProfile *profile = nullptr;
+    MsmTimeline timeline;
+};
+
+BestBaseline bestBaseline(const gpusim::CurveProfile &curve,
+                          std::uint64_t n,
+                          const gpusim::Cluster &cluster);
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_BASELINE_PROFILES_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * One-shot functional execution of the DistMSM plan.
+ *
+ * Thin wrapper over MsmEngine (engine.h): plans, stages the points,
+ * runs one MSM and returns the curve point together with the
+ * measured simulator statistics. Provers that reuse a fixed point
+ * vector should construct an MsmEngine directly so the plan and the
+ * precomputation tables are built once.
+ */
+
+#ifndef DISTMSM_MSM_DISTMSM_H
+#define DISTMSM_MSM_DISTMSM_H
+
+#include "src/msm/engine.h"
+#include "src/msm/reference.h"
+
+namespace distmsm::msm {
+
+/** Execute the full DistMSM algorithm functionally, once. */
+template <typename Curve>
+MsmResult<Curve>
+computeDistMsm(const std::vector<AffinePoint<Curve>> &points,
+               const std::vector<BigInt<Curve::Fr::kLimbs>> &scalars,
+               const gpusim::Cluster &cluster,
+               const MsmOptions &options = MsmOptions{})
+{
+    const MsmEngine<Curve> engine(points, cluster, options);
+    return engine.compute(scalars);
+}
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_DISTMSM_H

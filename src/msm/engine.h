@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Stateful MSM engine.
+ *
+ * In zkSNARK proving the point vector is fixed by the trusted setup
+ * while the scalars change per proof (paper Section 2.2). MsmEngine
+ * captures that usage: construct it once with the points, the
+ * cluster and the options — it plans the execution and builds the
+ * precomputation tables — then call compute() per scalar vector.
+ * computeDistMsm() in distmsm.h is the one-shot convenience wrapper.
+ */
+
+#ifndef DISTMSM_MSM_ENGINE_H
+#define DISTMSM_MSM_ENGINE_H
+
+#include <vector>
+
+#include "src/ec/point.h"
+#include "src/field/batch_inverse.h"
+#include "src/msm/bucket_reduce.h"
+#include "src/msm/planner.h"
+#include "src/msm/scatter.h"
+#include "src/msm/signed_digits.h"
+#include "src/support/check.h"
+
+namespace distmsm::msm {
+
+/** Output of a functional DistMSM run. */
+template <typename Curve>
+struct MsmResult
+{
+    XYZZPoint<Curve> value;
+    MsmPlan plan;
+    /** Aggregated simulator statistics across all GPUs/windows. */
+    gpusim::KernelStats stats;
+    /** EC additions executed by the host (reduce steps). */
+    std::uint64_t hostOps = 0;
+};
+
+/**
+ * Sum one bucket with @p threads_per_bucket cooperating threads:
+ * independent partial chains followed by a pairwise tree reduction
+ * (Section 3.2.2). @p point_of maps a scattered id to the (possibly
+ * negated or precomputed) affine point it contributes.
+ */
+template <typename Curve, typename PointOf>
+XYZZPoint<Curve>
+bucketSumTree(const std::vector<std::uint32_t> &ids,
+              PointOf &&point_of, int threads_per_bucket,
+              gpusim::KernelStats &stats)
+{
+    using Xyzz = XYZZPoint<Curve>;
+    const std::size_t m = ids.size();
+    const int t = threads_per_bucket;
+    std::vector<Xyzz> partials;
+    partials.reserve(t);
+    for (int lane = 0; lane < t; ++lane) {
+        Xyzz acc = Xyzz::identity();
+        for (std::size_t i = lane; i < m;
+             i += static_cast<std::size_t>(t)) {
+            acc = pacc(acc, point_of(ids[i]));
+            ++stats.paccOps;
+        }
+        partials.push_back(acc);
+    }
+    // Pairwise tree reduction: log2(t) SIMD steps.
+    while (partials.size() > 1) {
+        std::vector<Xyzz> next;
+        for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
+            next.push_back(padd(partials[i], partials[i + 1]));
+            ++stats.paddOps;
+        }
+        if (partials.size() % 2 == 1)
+            next.push_back(partials.back());
+        partials = std::move(next);
+    }
+    return partials.front();
+}
+
+namespace detail {
+
+/** Batch-normalize XYZZ points to affine form. */
+template <typename Curve>
+std::vector<AffinePoint<Curve>>
+toAffineBatch(const std::vector<XYZZPoint<Curve>> &points)
+{
+    using Fq = typename Curve::Fq;
+    std::vector<Fq> denoms;
+    denoms.reserve(2 * points.size());
+    for (const auto &p : points) {
+        denoms.push_back(p.isIdentity() ? Fq::one() : p.zz);
+        denoms.push_back(p.isIdentity() ? Fq::one() : p.zzz);
+    }
+    batchInverse(denoms);
+    std::vector<AffinePoint<Curve>> out(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].isIdentity()) {
+            out[i] = AffinePoint<Curve>::fromXY(
+                points[i].x * denoms[2 * i],
+                points[i].y * denoms[2 * i + 1]);
+        }
+    }
+    return out;
+}
+
+/**
+ * Precomputation table (Section 2.3.1): row j holds 2^(j*s) P_i for
+ * every input point, so points of different windows sum directly.
+ */
+template <typename Curve>
+std::vector<std::vector<AffinePoint<Curve>>>
+precomputeWindowMultiples(
+    const std::vector<AffinePoint<Curve>> &points, unsigned windows,
+    unsigned window_bits)
+{
+    using Xyzz = XYZZPoint<Curve>;
+    std::vector<std::vector<AffinePoint<Curve>>> table;
+    table.reserve(windows);
+    table.push_back(points);
+    std::vector<Xyzz> current;
+    current.reserve(points.size());
+    for (const auto &p : points)
+        current.push_back(Xyzz::fromAffine(p));
+    for (unsigned j = 1; j < windows; ++j) {
+        for (auto &p : current) {
+            for (unsigned b = 0; b < window_bits; ++b)
+                p = pdbl(p);
+        }
+        table.push_back(toAffineBatch<Curve>(current));
+    }
+    return table;
+}
+
+} // namespace detail
+
+/** Reusable MSM executor over a fixed point vector. */
+template <typename Curve>
+class MsmEngine
+{
+  public:
+    using Scalar = BigInt<Curve::Fr::kLimbs>;
+
+    MsmEngine(std::vector<AffinePoint<Curve>> points,
+              const gpusim::Cluster &cluster,
+              const MsmOptions &options = MsmOptions{})
+        : points_(std::move(points)), cluster_(cluster),
+          options_(options)
+    {
+        const auto curve_profile = gpusim::CurveProfile{
+            Curve::kName, Curve::Fq::Params::kBits,
+            Curve::kScalarBits, Curve::kAIsZero};
+        plan_ = planMsm(curve_profile, points_.size(), cluster_,
+                        options_);
+        if (options_.precompute) {
+            table_ = detail::precomputeWindowMultiples<Curve>(
+                points_, plan_.numWindows, plan_.windowBits);
+        }
+    }
+
+    const MsmPlan &plan() const { return plan_; }
+    std::size_t numPoints() const { return points_.size(); }
+
+    /** Run one MSM against the staged points. */
+    MsmResult<Curve>
+    compute(const std::vector<Scalar> &scalars) const
+    {
+        DISTMSM_REQUIRE(scalars.size() == points_.size(),
+                        "points/scalars size mismatch");
+        using Xyzz = XYZZPoint<Curve>;
+        MsmResult<Curve> result;
+        result.plan = plan_;
+        const unsigned s = plan_.windowBits;
+        const std::size_t n_buckets =
+            options_.signedDigits
+                ? (std::size_t{1} << (s - 1)) + 1
+                : std::size_t{1} << s;
+
+        // Signed-digit decomposition up front.
+        std::vector<std::vector<std::int32_t>> digits;
+        if (options_.signedDigits) {
+            digits.reserve(scalars.size());
+            for (const auto &k : scalars) {
+                digits.push_back(signedWindowDigits(
+                    k, Curve::kScalarBits, s));
+            }
+        }
+
+        auto window_ids = [&](unsigned w,
+                              std::vector<std::uint32_t> &ids,
+                              std::vector<std::uint8_t> &negs) {
+            ids.resize(scalars.size());
+            negs.assign(scalars.size(), 0);
+            for (std::size_t i = 0; i < scalars.size(); ++i) {
+                if (options_.signedDigits) {
+                    const std::int32_t d = digits[i][w];
+                    ids[i] =
+                        static_cast<std::uint32_t>(d < 0 ? -d : d);
+                    negs[i] = d < 0;
+                } else {
+                    ids[i] = static_cast<std::uint32_t>(
+                        scalars[i].bits(
+                            static_cast<std::size_t>(w) * s, s));
+                }
+            }
+        };
+
+        std::vector<Xyzz> merged(
+            options_.precompute ? n_buckets : 0, Xyzz::identity());
+
+        Xyzz total = Xyzz::identity();
+        std::vector<std::uint32_t> ids;
+        std::vector<std::uint8_t> negs;
+        for (unsigned w = plan_.numWindows; w-- > 0;) {
+            window_ids(w, ids, negs);
+
+            ScatterResult scattered =
+                options_.hierarchicalScatter
+                    ? hierarchicalScatter(ids, s, options_.scatter)
+                    : naiveScatter(ids, s, options_.scatter);
+            DISTMSM_REQUIRE(scattered.ok,
+                            "scatter kernel cannot run at this "
+                            "window size; use naive scatter");
+            result.stats.merge(scattered.stats);
+
+            auto point_of = [&](std::uint32_t idx) {
+                const auto &base = options_.precompute
+                                       ? table_[w][idx]
+                                       : points_[idx];
+                return options_.signedDigits && negs[idx]
+                           ? base.negated()
+                           : base;
+            };
+
+            std::vector<Xyzz> bucket_sums(n_buckets,
+                                          Xyzz::identity());
+            const int groups = plan_.bucketsSplitAcrossGpus
+                                   ? plan_.gpusPerWindow
+                                   : 1;
+            for (int g = 0; g < groups; ++g) {
+                const std::size_t lo =
+                    1 + (n_buckets - 1) * g / groups;
+                const std::size_t hi =
+                    1 + (n_buckets - 1) * (g + 1) / groups;
+                for (std::size_t b = lo;
+                     b < hi && b < scattered.buckets.size(); ++b) {
+                    if (scattered.buckets[b].empty())
+                        continue;
+                    bucket_sums[b] = bucketSumTree<Curve>(
+                        scattered.buckets[b], point_of,
+                        plan_.threadsPerBucket, result.stats);
+                }
+            }
+
+            if (options_.precompute) {
+                for (std::size_t b = 1; b < n_buckets; ++b) {
+                    if (bucket_sums[b].isIdentity())
+                        continue;
+                    merged[b] = padd(merged[b], bucket_sums[b]);
+                    ++result.stats.paddOps;
+                }
+                continue;
+            }
+
+            if (!total.isIdentity()) {
+                for (unsigned b = 0; b < s; ++b) {
+                    total = pdbl(total);
+                    ++result.hostOps;
+                }
+            }
+            ReduceStats reduce_stats;
+            total = padd(total, bucketReduceSerial<Curve>(
+                                    bucket_sums, &reduce_stats));
+            result.hostOps += reduce_stats.padds + 1;
+        }
+
+        if (options_.precompute) {
+            ReduceStats reduce_stats;
+            total = bucketReduceSerial<Curve>(merged, &reduce_stats);
+            result.hostOps += reduce_stats.padds;
+        }
+        result.value = total;
+        return result;
+    }
+
+  private:
+    std::vector<AffinePoint<Curve>> points_;
+    gpusim::Cluster cluster_;
+    MsmOptions options_;
+    MsmPlan plan_;
+    std::vector<std::vector<AffinePoint<Curve>>> table_;
+};
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_ENGINE_H

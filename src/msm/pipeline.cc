@@ -1,0 +1,53 @@
+#include "src/msm/pipeline.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace distmsm::msm {
+
+double
+pipelineMakespanNs(const std::vector<PipelineTask> &tasks)
+{
+    double gpu_done = 0.0;
+    double host_done = 0.0;
+    for (const auto &task : tasks) {
+        gpu_done += task.gpuNs;
+        host_done = std::max(host_done, gpu_done) + task.hostNs;
+    }
+    return host_done;
+}
+
+double
+serialMakespanNs(const std::vector<PipelineTask> &tasks)
+{
+    double total = 0.0;
+    for (const auto &task : tasks)
+        total += task.gpuNs + task.hostNs;
+    return total;
+}
+
+ProvingPipelineEstimate
+estimateProvingPipeline(const gpusim::CurveProfile &curve,
+                        std::uint64_t n,
+                        const gpusim::Cluster &cluster,
+                        const MsmOptions &options, int num_msms)
+{
+    DISTMSM_REQUIRE(num_msms >= 1, "need at least one MSM");
+    MsmOptions opts = options;
+    opts.overlapReduce = false; // overlap handled here, per task
+    const MsmTimeline t = estimateDistMsm(curve, n, cluster, opts);
+
+    PipelineTask task;
+    task.gpuNs = t.gpuNs() + t.transferNs;
+    task.hostNs =
+        (t.cpuReduce ? t.bucketReduceNs : 0.0) + t.windowReduceNs;
+
+    ProvingPipelineEstimate estimate;
+    estimate.tasks.assign(num_msms, task);
+    estimate.pipelinedNs = pipelineMakespanNs(estimate.tasks);
+    estimate.serialNs = serialMakespanNs(estimate.tasks);
+    return estimate;
+}
+
+} // namespace distmsm::msm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * MSM pipelining across a proof (paper Section 3.2.3).
+ *
+ * "Proof generation involves several MSM calculations and other GPU
+ * tasks, which means that bucket-reduce can be efficiently
+ * pipelined": while the GPUs run MSM k+1's scatter and bucket sums,
+ * the host CPU reduces MSM k's buckets. This module models that
+ * two-stage pipeline (GPU stage, host stage) and exposes the
+ * makespan computation the Table 4 composition relies on.
+ */
+
+#ifndef DISTMSM_MSM_PIPELINE_H
+#define DISTMSM_MSM_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/msm/planner.h"
+
+namespace distmsm::msm {
+
+/** One pipelined task: GPU work followed by dependent host work. */
+struct PipelineTask
+{
+    double gpuNs = 0.0;
+    double hostNs = 0.0;
+};
+
+/**
+ * Makespan of a two-stage pipeline: the GPU processes tasks back to
+ * back; each task's host stage starts when both its GPU stage and
+ * the previous host stage are done (the classic two-machine flow
+ * shop recurrence).
+ */
+double pipelineMakespanNs(const std::vector<PipelineTask> &tasks);
+
+/** Total time with no overlap, for comparison. */
+double serialMakespanNs(const std::vector<PipelineTask> &tasks);
+
+/** Simulated timing of a pipelined proof generation. */
+struct ProvingPipelineEstimate
+{
+    std::vector<PipelineTask> tasks;
+    double pipelinedNs = 0.0;
+    double serialNs = 0.0;
+
+    double hiddenFraction() const
+    {
+        return serialNs > 0 ? 1.0 - pipelinedNs / serialNs : 0.0;
+    }
+};
+
+/**
+ * Estimate the @p num_msms MSMs of one proof (Groth16 runs four) on
+ * @p cluster with the host bucket-reduce pipelined behind the GPU
+ * stages of subsequent MSMs.
+ */
+ProvingPipelineEstimate
+estimateProvingPipeline(const gpusim::CurveProfile &curve,
+                        std::uint64_t n,
+                        const gpusim::Cluster &cluster,
+                        const MsmOptions &options, int num_msms);
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_PIPELINE_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The DistMSM execution planner and analytic time estimator.
+ *
+ * Given a curve, an input size and a cluster, the planner decides the
+ * window size (per-thread workload model, Section 3.1), the work
+ * distribution (whole windows per GPU, or buckets of a window split
+ * across GPUs, Section 3.2.2), the scatter kernel and where
+ * bucket-reduce runs (Section 3.2.3). The same plan drives both the
+ * functional execution (distmsm.h) and the analytic timeline used at
+ * paper-scale N, so the two cannot drift apart.
+ */
+
+#ifndef DISTMSM_MSM_PLANNER_H
+#define DISTMSM_MSM_PLANNER_H
+
+#include <cstdint>
+
+#include "src/gpusim/cluster.h"
+#include "src/gpusim/cost_model.h"
+#include "src/msm/scatter.h"
+#include "src/msm/timeline.h"
+#include "src/msm/workload_model.h"
+
+namespace distmsm::msm {
+
+/** User-facing knobs of a DistMSM run. */
+struct MsmOptions
+{
+    /** 0 = choose s from the workload model. */
+    unsigned windowBitsOverride = 0;
+    /** Hierarchical (Algorithm 3) vs naive scatter. */
+    bool hierarchicalScatter = true;
+    /** Offload bucket-reduce to the host CPU (Section 3.2.3). */
+    bool cpuBucketReduce = true;
+    /** Overlap the host reduce with GPU work (pipelined proving). */
+    bool overlapReduce = true;
+    /** Minimum threads cooperating on one bucket; the planner grows
+     *  this toward a warp multiple while the device has idle
+     *  capacity (Section 3.2.2). */
+    int threadsPerBucket = 1;
+    /** Signed-digit windows: buckets halve to 2^(s-1) (Section 6's
+     *  ZPrize technique, adopted by DistMSM). */
+    bool signedDigits = false;
+    /** Precompute 2^(js) P_i so windows merge before bucket-reduce
+     *  (Section 2.3.1). */
+    bool precompute = false;
+    /** EC kernel optimization set (Section 4). */
+    gpusim::EcKernelVariant kernel = gpusim::EcKernelVariant::full();
+    /** Scatter launch geometry. */
+    ScatterConfig scatter;
+};
+
+/** A concrete execution plan. */
+struct MsmPlan
+{
+    unsigned windowBits = 0;
+    unsigned numWindows = 0;
+    /** Buckets per window excluding bucket 0 (halved when signed). */
+    std::uint64_t numBuckets = 0;
+    bool signedDigits = false;
+    /** GPUs cooperating on each window (1 = whole windows per GPU). */
+    int gpusPerWindow = 1;
+    /** Windows handled by the busiest GPU. */
+    unsigned windowsPerGpu = 0;
+    /** Threads summing each bucket. */
+    int threadsPerBucket = 32;
+    bool bucketsSplitAcrossGpus = false;
+};
+
+/** Build the plan for @p n points on @p cluster. */
+MsmPlan planMsm(const gpusim::CurveProfile &curve, std::uint64_t n,
+                const gpusim::Cluster &cluster,
+                const MsmOptions &options);
+
+/**
+ * Analytically synthesized scatter statistics for @p elements
+ * uniformly random bucket ids into 2^s buckets, matching what the
+ * functional kernels measure (validated by tests).
+ */
+gpusim::KernelStats
+synthesizeScatterStats(bool hierarchical, std::uint64_t elements,
+                       unsigned window_bits,
+                       const ScatterConfig &config);
+
+/**
+ * Analytic end-to-end timeline of DistMSM under @p options
+ * (paper-scale N allowed; nothing is executed).
+ */
+MsmTimeline estimateDistMsm(const gpusim::CurveProfile &curve,
+                            std::uint64_t n,
+                            const gpusim::Cluster &cluster,
+                            const MsmOptions &options);
+
+/**
+ * Analytic timeline of a single-GPU-design Pippenger scaled to
+ * multiple GPUs by splitting the points (N-dim), the way the paper
+ * augments baselines without native multi-GPU support. The kernel
+ * variant models the baseline's arithmetic maturity.
+ */
+MsmTimeline
+estimateNdimBaseline(const gpusim::CurveProfile &curve,
+                     std::uint64_t n, const gpusim::Cluster &cluster,
+                     const gpusim::EcKernelVariant &kernel,
+                     unsigned window_bits_override = 0,
+                     bool rigid_single_gpu_design = false);
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_PLANNER_H

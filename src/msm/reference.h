@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Reference MSM implementations.
+ *
+ * Two obviously-correct baselines used to validate every optimized
+ * path and to stand in for the CPU provers of Table 4:
+ *
+ *  - msmNaive: sum of independent double-and-add scalar multiplies,
+ *    O(N * lambda) point operations; the ground truth for tests.
+ *  - msmSerialPippenger: the textbook serial Pippenger of Section
+ *    2.3 (scatter, per-bucket sums, running-sum bucket reduce,
+ *    window shift-and-add), the libsnark-style CPU algorithm.
+ */
+
+#ifndef DISTMSM_MSM_REFERENCE_H
+#define DISTMSM_MSM_REFERENCE_H
+
+#include <vector>
+
+#include "src/ec/point.h"
+#include "src/msm/signed_digits.h"
+#include "src/support/check.h"
+
+namespace distmsm::msm {
+
+/** Ground-truth MSM: sum k_i * P_i by double-and-add. */
+template <typename Curve, typename Scalar>
+XYZZPoint<Curve>
+msmNaive(const std::vector<AffinePoint<Curve>> &points,
+         const std::vector<Scalar> &scalars)
+{
+    DISTMSM_REQUIRE(points.size() == scalars.size(),
+                    "points/scalars size mismatch");
+    using Xyzz = XYZZPoint<Curve>;
+    Xyzz acc = Xyzz::identity();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        acc = padd(acc,
+                   pmul(Xyzz::fromAffine(points[i]), scalars[i]));
+    }
+    return acc;
+}
+
+/**
+ * Serial Pippenger (Section 2.3). @p window_bits = s; the scalars
+ * are split into ceil(lambda / s) windows of s bits.
+ */
+template <typename Curve, typename Scalar>
+XYZZPoint<Curve>
+msmSerialPippenger(const std::vector<AffinePoint<Curve>> &points,
+                   const std::vector<Scalar> &scalars,
+                   unsigned window_bits)
+{
+    DISTMSM_REQUIRE(points.size() == scalars.size(),
+                    "points/scalars size mismatch");
+    DISTMSM_REQUIRE(window_bits >= 1 && window_bits <= 24,
+                    "window size out of range");
+    using Xyzz = XYZZPoint<Curve>;
+    const unsigned lambda = Curve::kScalarBits;
+    const unsigned n_windows = (lambda + window_bits - 1) / window_bits;
+    const std::size_t n_buckets = std::size_t{1} << window_bits;
+
+    Xyzz result = Xyzz::identity();
+    for (unsigned w = n_windows; w-- > 0;) {
+        // Shift the running result by s doublings (window-reduce by
+        // Horner's rule, high window first).
+        if (!(result.isIdentity())) {
+            for (unsigned b = 0; b < window_bits; ++b)
+                result = pdbl(result);
+        }
+
+        // Bucket scatter + sum for this window.
+        std::vector<Xyzz> buckets(n_buckets, Xyzz::identity());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::uint64_t m =
+                scalars[i].bits(std::size_t{w} * window_bits,
+                                window_bits);
+            if (m != 0)
+                buckets[m] = pacc(buckets[m], points[i]);
+        }
+
+        // Bucket reduce: sum_i i * B_i with two running sums.
+        Xyzz running = Xyzz::identity();
+        Xyzz window_sum = Xyzz::identity();
+        for (std::size_t b = n_buckets - 1; b >= 1; --b) {
+            running = padd(running, buckets[b]);
+            window_sum = padd(window_sum, running);
+        }
+        result = padd(result, window_sum);
+    }
+    return result;
+}
+
+/**
+ * Serial Pippenger over signed window digits: 2^(s-1) buckets per
+ * window, negative digits contribute -P.
+ */
+template <typename Curve, typename Scalar>
+XYZZPoint<Curve>
+msmSerialPippengerSigned(const std::vector<AffinePoint<Curve>> &points,
+                         const std::vector<Scalar> &scalars,
+                         unsigned window_bits)
+{
+    DISTMSM_REQUIRE(points.size() == scalars.size(),
+                    "points/scalars size mismatch");
+    using Xyzz = XYZZPoint<Curve>;
+    const unsigned lambda = Curve::kScalarBits;
+    const unsigned n_windows =
+        (lambda + window_bits - 1) / window_bits + 1;
+    const std::size_t n_buckets =
+        (std::size_t{1} << (window_bits - 1)) + 1;
+
+    std::vector<std::vector<std::int32_t>> digits;
+    digits.reserve(scalars.size());
+    for (const auto &k : scalars)
+        digits.push_back(signedWindowDigits(k, lambda, window_bits));
+
+    Xyzz result = Xyzz::identity();
+    for (unsigned w = n_windows; w-- > 0;) {
+        if (!result.isIdentity()) {
+            for (unsigned b = 0; b < window_bits; ++b)
+                result = pdbl(result);
+        }
+        std::vector<Xyzz> buckets(n_buckets, Xyzz::identity());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::int32_t d = digits[i][w];
+            if (d == 0)
+                continue;
+            const std::size_t m =
+                static_cast<std::size_t>(d < 0 ? -d : d);
+            buckets[m] = pacc(buckets[m],
+                              d < 0 ? points[i].negated()
+                                    : points[i]);
+        }
+        Xyzz running = Xyzz::identity();
+        Xyzz window_sum = Xyzz::identity();
+        for (std::size_t b = n_buckets - 1; b >= 1; --b) {
+            running = padd(running, buckets[b]);
+            window_sum = padd(window_sum, running);
+        }
+        result = padd(result, window_sum);
+    }
+    return result;
+}
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_REFERENCE_H

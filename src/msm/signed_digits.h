@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Signed-digit window decomposition.
+ *
+ * The ZPrize-winning implementations the paper builds on (Section 6:
+ * "techniques such as precomputation, signed digits, ... many of
+ * which are also adopted by DistMSM") re-code each s-bit window into
+ * a signed digit d in [-2^(s-1), 2^(s-1)]: a window m > 2^(s-1)
+ * becomes m - 2^s with a carry into the next window. Because
+ * negating a curve point is free (flip y), bucket |d| receives
+ * either P or -P — halving the bucket count from 2^s - 1 to 2^(s-1)
+ * and with it the bucket-sum tail and the reduce work.
+ */
+
+#ifndef DISTMSM_MSM_SIGNED_DIGITS_H
+#define DISTMSM_MSM_SIGNED_DIGITS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bigint/bigint.h"
+#include "src/support/check.h"
+
+namespace distmsm::msm {
+
+/**
+ * Signed s-bit window digits of @p k, least-significant window
+ * first. Returns ceil(bits/s) + 1 digits (the last absorbs a final
+ * carry); every digit lies in [-2^(s-1), 2^(s-1)].
+ */
+template <std::size_t N>
+std::vector<std::int32_t>
+signedWindowDigits(const BigInt<N> &k, unsigned scalar_bits,
+                   unsigned window_bits)
+{
+    DISTMSM_REQUIRE(window_bits >= 2 && window_bits <= 30,
+                    "window size out of range for signed digits");
+    const unsigned n_windows =
+        (scalar_bits + window_bits - 1) / window_bits;
+    const std::int64_t half = std::int64_t{1} << (window_bits - 1);
+    const std::int64_t full = std::int64_t{1} << window_bits;
+
+    std::vector<std::int32_t> digits;
+    digits.reserve(n_windows + 1);
+    std::int64_t carry = 0;
+    for (unsigned w = 0; w < n_windows; ++w) {
+        std::int64_t m =
+            static_cast<std::int64_t>(
+                k.bits(std::size_t{w} * window_bits, window_bits)) +
+            carry;
+        if (m > half) {
+            m -= full;
+            carry = 1;
+        } else {
+            carry = 0;
+        }
+        digits.push_back(static_cast<std::int32_t>(m));
+    }
+    digits.push_back(static_cast<std::int32_t>(carry));
+    return digits;
+}
+
+/**
+ * Reassemble a signed-digit decomposition (for tests):
+ * sum_j digits[j] * 2^(j*s) == k, computed in a wide accumulator.
+ */
+template <std::size_t N>
+bool
+signedDigitsReassemble(const std::vector<std::int32_t> &digits,
+                       const BigInt<N> &k, unsigned window_bits)
+{
+    // Accumulate positive and negative parts separately, one extra
+    // limb wide to absorb the top carry digit.
+    BigInt<N + 1> pos{}, neg{};
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        const std::int64_t d = digits[j];
+        if (d == 0)
+            continue;
+        BigInt<N + 1> term{};
+        term.limb[0] =
+            static_cast<std::uint64_t>(d < 0 ? -d : d);
+        term = term.shl(j * window_bits);
+        if (d < 0) {
+            neg.addInPlace(term);
+        } else {
+            pos.addInPlace(term);
+        }
+    }
+    if (pos.subInPlace(neg) != 0)
+        return false; // went negative: not a decomposition of k
+    BigInt<N + 1> wide{};
+    for (std::size_t i = 0; i < N; ++i)
+        wide.limb[i] = k.limb[i];
+    return pos == wide;
+}
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_SIGNED_DIGITS_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulated time breakdown of one MSM execution.
+ */
+
+#ifndef DISTMSM_MSM_TIMELINE_H
+#define DISTMSM_MSM_TIMELINE_H
+
+namespace distmsm::msm {
+
+/** Per-step simulated times (ns) for one MSM. */
+struct MsmTimeline
+{
+    double scatterNs = 0.0;
+    double bucketSumNs = 0.0;
+    /** Bucket-reduce on its executor (GPU or host, see cpuReduce). */
+    double bucketReduceNs = 0.0;
+    double windowReduceNs = 0.0;
+    double transferNs = 0.0;
+    /** True when bucket-reduce runs on the host CPU. */
+    bool cpuReduce = false;
+    /**
+     * True when the CPU reduce overlaps GPU work (Section 3.2.3:
+     * proof generation pipelines several MSMs, so the host reduce of
+     * one window hides behind the GPU work of the next).
+     */
+    bool reduceOverlapped = false;
+
+    /** GPU-side time. */
+    double
+    gpuNs() const
+    {
+        return scatterNs + bucketSumNs +
+               (cpuReduce ? 0.0 : bucketReduceNs);
+    }
+
+    /** End-to-end simulated time with the overlap rules applied. */
+    double
+    totalNs() const
+    {
+        double host = windowReduceNs;
+        if (cpuReduce) {
+            if (reduceOverlapped) {
+                // The host reduce hides behind GPU work except for
+                // its non-overlappable tail after the last window.
+                host += bucketReduceNs > gpuNs()
+                            ? bucketReduceNs - gpuNs()
+                            : 0.0;
+            } else {
+                host += bucketReduceNs;
+            }
+        }
+        return gpuNs() + host + transferNs;
+    }
+
+    double totalMs() const { return totalNs() / 1e6; }
+};
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_TIMELINE_H

@@ -1,0 +1,70 @@
+#include "src/msm/workload_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace distmsm::msm {
+namespace {
+
+double
+ceilDiv(double a, double b)
+{
+    return std::ceil(a / b);
+}
+
+} // namespace
+
+unsigned
+windowCount(unsigned scalar_bits, unsigned window_bits)
+{
+    DISTMSM_REQUIRE(window_bits >= 1, "window size must be positive");
+    return (scalar_bits + window_bits - 1) / window_bits;
+}
+
+double
+perThreadWorkload(const WorkloadConfig &config, unsigned s)
+{
+    const double n = static_cast<double>(config.numPoints);
+    const double nt = static_cast<double>(config.threadsPerGpu);
+    const double buckets = std::pow(2.0, s);
+    const unsigned n_win = windowCount(config.scalarBits, s);
+    const double log_nt = std::log2(nt);
+
+    if (config.numGpus <= static_cast<int>(n_win)) {
+        // Whole windows per GPU.
+        const double scatter_sum =
+            ceilDiv(n_win, config.numGpus) *
+            ceilDiv(n + buckets, nt);
+        const double reduce = ceilDiv(buckets, nt) * 2.0 * s;
+        const double tail =
+            std::min(ceilDiv(buckets, nt) + log_nt,
+                     static_cast<double>(s));
+        return scatter_sum + reduce + tail;
+    }
+    // Buckets of each window split across floor(N_gpu / N_win) GPUs.
+    const double g = std::floor(static_cast<double>(config.numGpus) /
+                                n_win);
+    return (n + buckets * 2.0 * s) / (g * nt) +
+           std::log2(buckets / g);
+}
+
+unsigned
+optimalWindowSize(const WorkloadConfig &config, unsigned min_s,
+                  unsigned max_s)
+{
+    DISTMSM_REQUIRE(min_s >= 1 && min_s <= max_s, "bad s range");
+    unsigned best = min_s;
+    double best_cost = perThreadWorkload(config, min_s);
+    for (unsigned s = min_s + 1; s <= max_s; ++s) {
+        const double cost = perThreadWorkload(config, s);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace distmsm::msm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-thread workload model of paper Section 3.1.
+ *
+ * The paper's key analytical device: parallel execution time is set
+ * by the workload of each *thread*, not the total workload. For an
+ * MSM with N points and lambda-bit scalars on N_gpu GPUs with N_T
+ * threads each, using s-bit windows, the per-thread cost in EC
+ * operations is (with N_win = ceil(lambda / s)):
+ *
+ *   ceil(N_win/N_gpu) * ceil((N + 2^s)/N_T)
+ *     + ceil(2^s/N_T) * 2s
+ *     + min(ceil(2^s/N_T) + log2(N_T), s)
+ *
+ * when every GPU owns whole windows, and
+ *
+ *   (N + 2^s * 2s) / (floor(N_gpu/N_win) * N_T)
+ *     + log2(2^s / floor(N_gpu/N_win))
+ *
+ * when windows are split across GPUs (Section 3.2.2). Figure 3 plots
+ * these curves; the window-size autotuner minimizes them.
+ */
+
+#ifndef DISTMSM_MSM_WORKLOAD_MODEL_H
+#define DISTMSM_MSM_WORKLOAD_MODEL_H
+
+#include <cstdint>
+
+namespace distmsm::msm {
+
+/** Inputs of the per-thread workload formulas. */
+struct WorkloadConfig
+{
+    std::uint64_t numPoints;     ///< N
+    unsigned scalarBits;         ///< lambda
+    int numGpus = 1;             ///< N_gpu
+    std::uint64_t threadsPerGpu = 1ull << 16; ///< N_T
+};
+
+/** Number of windows for scalar width lambda and window size s. */
+unsigned windowCount(unsigned scalar_bits, unsigned window_bits);
+
+/**
+ * Per-thread EC-operation estimate for window size @p s under
+ * @p config (Section 3.1 summary formula; picks the whole-window or
+ * split-window variant automatically).
+ */
+double perThreadWorkload(const WorkloadConfig &config, unsigned s);
+
+/** The s in [min_s, max_s] minimizing perThreadWorkload. */
+unsigned optimalWindowSize(const WorkloadConfig &config,
+                           unsigned min_s = 4, unsigned max_s = 24);
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_WORKLOAD_MODEL_H

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Number-theoretic transform over NTT-friendly scalar fields.
+ *
+ * NTT is the second pillar of zkSNARK proving (17.9% of proof time in
+ * the paper's Table 4 analysis; DistMSM pairs its MSM with Sppark's
+ * NTT). This is an iterative radix-2 Cooley-Tukey transform over an
+ * evaluation domain H = {w^0 .. w^(n-1)} of power-of-two size, plus
+ * the coset machinery Groth16's h(x) computation needs: dividing
+ * A(x)B(x) - C(x) by the vanishing polynomial Z_H(x) = x^n - 1 is
+ * exact only away from H, so the quotient is computed on the coset
+ * g*H where Z_H(g x) = g^n x^n - 1 is a non-zero constant... times
+ * x^n; see divideByVanishingOnCoset.
+ */
+
+#ifndef DISTMSM_NTT_NTT_H
+#define DISTMSM_NTT_NTT_H
+
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace distmsm::ntt {
+
+/**
+ * A power-of-two multiplicative subgroup of F* with transform
+ * helpers. F must expose Params::kTwoAdicity and kRootOfUnity.
+ */
+template <typename F>
+class EvaluationDomain
+{
+  public:
+    /** Domain of size @p size (power of two, within 2-adicity). */
+    explicit EvaluationDomain(std::size_t size) : size_(size)
+    {
+        DISTMSM_REQUIRE(size >= 1 && (size & (size - 1)) == 0,
+                        "domain size must be a power of two");
+        unsigned log_n = 0;
+        while ((std::size_t{1} << log_n) < size)
+            ++log_n;
+        log_size_ = log_n;
+        DISTMSM_REQUIRE(log_n <= F::Params::kTwoAdicity,
+                        "domain exceeds the field's 2-adicity");
+        // Scale the maximal-order root down to order `size`.
+        F w = F::fromRaw(
+            F::Base::fromLimbs(F::Params::kRootOfUnity));
+        for (unsigned i = F::Params::kTwoAdicity; i > log_n; --i)
+            w = w.sqr();
+        root_ = w;
+        root_inv_ = w.inverse();
+        size_inv_ = F::fromU64(size).inverse();
+    }
+
+    std::size_t size() const { return size_; }
+    unsigned logSize() const { return log_size_; }
+    const F &root() const { return root_; }
+
+    /** w^i. */
+    F
+    element(std::size_t i) const
+    {
+        F r = F::one();
+        F base = root_;
+        for (std::size_t e = i; e != 0; e >>= 1) {
+            if (e & 1)
+                r *= base;
+            base = base.sqr();
+        }
+        return r;
+    }
+
+    /** In-place forward NTT: coefficients -> evaluations over H. */
+    void
+    forward(std::vector<F> &a) const
+    {
+        transform(a, root_);
+    }
+
+    /** In-place inverse NTT: evaluations -> coefficients. */
+    void
+    inverse(std::vector<F> &a) const
+    {
+        transform(a, root_inv_);
+        for (auto &x : a)
+            x *= size_inv_;
+    }
+
+    /** Scale coefficients so evaluation happens on the coset g*H. */
+    void
+    toCoset(std::vector<F> &coeffs, const F &g) const
+    {
+        F power = F::one();
+        for (auto &c : coeffs) {
+            c *= power;
+            power *= g;
+        }
+    }
+
+    /** Undo toCoset (divide coefficient i by g^i). */
+    void
+    fromCoset(std::vector<F> &coeffs, const F &g) const
+    {
+        toCoset(coeffs, g.inverse());
+    }
+
+    /** Z_H(x) = x^n - 1 evaluated at @p x. */
+    F
+    vanishing(const F &x) const
+    {
+        F p = x;
+        for (unsigned i = 0; i < log_size_; ++i)
+            p = p.sqr();
+        return p - F::one();
+    }
+
+  private:
+    /** Iterative radix-2 Cooley-Tukey with bit-reversal. */
+    void
+    transform(std::vector<F> &a, const F &w) const
+    {
+        DISTMSM_REQUIRE(a.size() == size_, "vector/domain mismatch");
+        const std::size_t n = size_;
+        // Bit-reverse permutation.
+        for (std::size_t i = 1, j = 0; i < n; ++i) {
+            std::size_t bit = n >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j ^= bit;
+            if (i < j)
+                std::swap(a[i], a[j]);
+        }
+        for (std::size_t len = 2; len <= n; len <<= 1) {
+            F wlen = w;
+            for (std::size_t k = len; k < n; k <<= 1)
+                wlen = wlen.sqr();
+            for (std::size_t i = 0; i < n; i += len) {
+                F tw = F::one();
+                for (std::size_t j = 0; j < len / 2; ++j) {
+                    const F u = a[i + j];
+                    const F v = a[i + j + len / 2] * tw;
+                    a[i + j] = u + v;
+                    a[i + j + len / 2] = u - v;
+                    tw *= wlen;
+                }
+            }
+        }
+    }
+
+    std::size_t size_;
+    unsigned log_size_;
+    F root_;
+    F root_inv_;
+    F size_inv_;
+};
+
+/** Evaluate a polynomial (coefficient form) at @p x via Horner. */
+template <typename F>
+F
+evaluatePoly(const std::vector<F> &coeffs, const F &x)
+{
+    F acc = F::zero();
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        acc = acc * x + coeffs[i];
+    return acc;
+}
+
+/** Product of two polynomials via NTT (sizes padded internally). */
+template <typename F>
+std::vector<F>
+multiplyPolys(std::vector<F> a, std::vector<F> b)
+{
+    const std::size_t out_size = a.size() + b.size() - 1;
+    std::size_t n = 1;
+    while (n < out_size)
+        n <<= 1;
+    a.resize(n, F::zero());
+    b.resize(n, F::zero());
+    const EvaluationDomain<F> domain(n);
+    domain.forward(a);
+    domain.forward(b);
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] *= b[i];
+    domain.inverse(a);
+    a.resize(out_size);
+    return a;
+}
+
+} // namespace distmsm::ntt
+
+#endif // DISTMSM_NTT_NTT_H

@@ -1,0 +1,347 @@
+#include "src/sched/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/support/check.h"
+
+namespace distmsm::sched {
+namespace {
+
+/** Next-use oracle (mirrors the spill planner's). */
+class Uses
+{
+  public:
+    Uses(const OpDag &dag, const std::vector<int> &order)
+    {
+        const int kEnd = static_cast<int>(order.size());
+        uses_.resize(dag.numValues());
+        for (std::size_t pos = 0; pos < order.size(); ++pos) {
+            for (ValueId s : dag.ops()[order[pos]].srcs)
+                uses_[s].push_back(static_cast<int>(pos));
+        }
+        for (ValueId v : dag.outputs())
+            uses_[v].push_back(kEnd);
+    }
+
+    int
+    next(ValueId v, int pos) const
+    {
+        for (int u : uses_[v]) {
+            if (u >= pos)
+                return u;
+        }
+        return kNever;
+    }
+
+    bool
+    liveAfter(ValueId v, int pos) const
+    {
+        return next(v, pos + 1) != kNever;
+    }
+
+    static constexpr int kNever = 1 << 28;
+
+  private:
+    std::vector<std::vector<int>> uses_;
+};
+
+/** Concrete slot state during allocation. */
+class SlotState
+{
+  public:
+    int
+    allocReg(ValueId v)
+    {
+        int slot;
+        if (!free_regs_.empty()) {
+            slot = *free_regs_.begin();
+            free_regs_.erase(free_regs_.begin());
+        } else {
+            slot = num_regs_++;
+        }
+        reg_of_[v] = slot;
+        return slot;
+    }
+
+    void
+    freeReg(ValueId v)
+    {
+        auto it = reg_of_.find(v);
+        DISTMSM_ASSERT(it != reg_of_.end());
+        free_regs_.insert(it->second);
+        reg_of_.erase(it);
+    }
+
+    /** Reassign v's register slot to w (in-place destination). */
+    void
+    transferReg(ValueId v, ValueId w)
+    {
+        auto it = reg_of_.find(v);
+        DISTMSM_ASSERT(it != reg_of_.end());
+        const int slot = it->second;
+        reg_of_.erase(it);
+        reg_of_[w] = slot;
+    }
+
+    int
+    regOf(ValueId v) const
+    {
+        auto it = reg_of_.find(v);
+        DISTMSM_ASSERT(it != reg_of_.end());
+        return it->second;
+    }
+
+    bool inReg(ValueId v) const { return reg_of_.count(v) != 0; }
+    int liveRegs() const { return static_cast<int>(reg_of_.size()); }
+
+    int
+    allocShm(ValueId v)
+    {
+        int slot;
+        if (!free_shm_.empty()) {
+            slot = *free_shm_.begin();
+            free_shm_.erase(free_shm_.begin());
+        } else {
+            slot = num_shm_++;
+        }
+        shm_of_[v] = slot;
+        return slot;
+    }
+
+    int
+    takeShm(ValueId v)
+    {
+        auto it = shm_of_.find(v);
+        DISTMSM_ASSERT(it != shm_of_.end());
+        const int slot = it->second;
+        free_shm_.insert(slot);
+        shm_of_.erase(it);
+        return slot;
+    }
+
+    bool inShm(ValueId v) const { return shm_of_.count(v) != 0; }
+
+    const std::map<ValueId, int> &regMap() const { return reg_of_; }
+    int numRegs() const { return num_regs_; }
+    int numShm() const { return num_shm_; }
+
+  private:
+    std::map<ValueId, int> reg_of_;
+    std::map<ValueId, int> shm_of_;
+    std::set<int> free_regs_;
+    std::set<int> free_shm_;
+    int num_regs_ = 0;
+    int num_shm_ = 0;
+};
+
+} // namespace
+
+AllocatedKernel
+allocateRegisters(const OpDag &dag, const std::vector<int> &order,
+                  const SpillPlan &plan)
+{
+    DISTMSM_REQUIRE(dag.isValidOrder(order), "invalid schedule");
+    DISTMSM_REQUIRE(plan.feasible, "infeasible spill plan");
+    const int reg_target = plan.regTarget;
+
+    Uses uses(dag, order);
+    SlotState state;
+    AllocatedKernel kernel;
+    kernel.order = order;
+    std::set<ValueId> loaded;
+
+    // Register-resident inputs arrive in registers.
+    for (ValueId v : dag.inputs()) {
+        if (!dag.isMemoryResident(v) &&
+            uses.next(v, 0) != Uses::kNever) {
+            const int slot = state.allocReg(v);
+            kernel.instrs.push_back(KernelInstr{
+                KernelInstr::Op::Load, slot, -1, -1, -1, v});
+            loaded.insert(v);
+        }
+    }
+
+    auto evict_one = [&](int pos, const std::set<ValueId> &pinned) {
+        ValueId victim = 0;
+        int victim_use = -1;
+        for (const auto &[v, slot] : state.regMap()) {
+            if (pinned.count(v))
+                continue;
+            const int u = uses.next(v, pos);
+            if (u > victim_use) {
+                victim_use = u;
+                victim = v;
+            }
+        }
+        DISTMSM_ASSERT(victim_use >= 0);
+        const int reg = state.regOf(victim);
+        state.freeReg(victim);
+        if (victim_use != Uses::kNever) {
+            const int shm = state.allocShm(victim);
+            kernel.instrs.push_back(KernelInstr{
+                KernelInstr::Op::Store, -1, reg, -1, shm, victim});
+        }
+    };
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const Operation &op = dag.ops()[order[pos]];
+        const int ipos = static_cast<int>(pos);
+        std::set<ValueId> pinned(op.srcs.begin(), op.srcs.end());
+
+        // Materialize operands: unspill or fetch fresh inputs.
+        for (ValueId s : pinned) {
+            const bool from_shm = state.inShm(s);
+            const bool fresh =
+                dag.isMemoryResident(s) && !loaded.count(s);
+            if (!from_shm && !fresh)
+                continue;
+            while (state.liveRegs() >= reg_target)
+                evict_one(ipos, pinned);
+            const int slot = state.allocReg(s);
+            if (from_shm) {
+                const int shm = state.takeShm(s);
+                kernel.instrs.push_back(KernelInstr{
+                    KernelInstr::Op::Fill, slot, -1, -1, shm, s});
+            } else {
+                kernel.instrs.push_back(KernelInstr{
+                    KernelInstr::Op::Load, slot, -1, -1, -1, s});
+                loaded.insert(s);
+            }
+        }
+        for (ValueId s : pinned)
+            DISTMSM_ASSERT(state.inReg(s));
+
+        // Destination slot: an in-place add/sub reuses a dying
+        // source; everything else needs a fresh slot.
+        ValueId dying_src = 0;
+        bool reuse = false;
+        if (!op.isMul()) {
+            for (ValueId s : op.srcs) {
+                if (!uses.liveAfter(s, ipos)) {
+                    dying_src = s;
+                    reuse = true;
+                }
+            }
+        }
+
+        const int a = state.regOf(op.srcs.at(0));
+        const int b = state.regOf(op.srcs.at(1));
+        int dst;
+        if (reuse) {
+            dst = state.regOf(dying_src);
+        } else {
+            while (state.liveRegs() + 1 > reg_target)
+                evict_one(ipos, pinned);
+            dst = state.allocReg(op.dst);
+        }
+
+        KernelInstr::Op kind;
+        switch (op.kind) {
+          case Operation::Kind::Mul:
+            kind = KernelInstr::Op::Mul;
+            break;
+          case Operation::Kind::Add:
+            kind = KernelInstr::Op::Add;
+            break;
+          case Operation::Kind::Sub:
+            kind = KernelInstr::Op::Sub;
+            break;
+          default:
+            DISTMSM_ASSERT(false);
+            kind = KernelInstr::Op::Mul;
+        }
+        kernel.instrs.push_back(
+            KernelInstr{kind, dst, a, b, -1, op.dst});
+
+        // Retire dying sources (the reused one transfers its slot).
+        for (ValueId s : op.srcs) {
+            if (!uses.liveAfter(s, ipos) && state.inReg(s)) {
+                if (reuse && s == dying_src) {
+                    state.transferReg(s, op.dst);
+                } else {
+                    state.freeReg(s);
+                }
+            }
+        }
+        if (!reuse && !uses.liveAfter(op.dst, ipos))
+            state.freeReg(op.dst);
+        DISTMSM_ASSERT(state.liveRegs() <= reg_target);
+    }
+
+    // Emit the outputs; a value parked in shared memory at the end
+    // streams to global memory from there.
+    for (ValueId v : dag.outputs()) {
+        if (state.inReg(v)) {
+            kernel.instrs.push_back(KernelInstr{
+                KernelInstr::Op::Out, -1, state.regOf(v), -1, -1,
+                v});
+        } else {
+            DISTMSM_ASSERT(state.inShm(v));
+            kernel.instrs.push_back(KernelInstr{
+                KernelInstr::Op::Out, -1, -1, -1, state.takeShm(v),
+                v});
+        }
+    }
+
+    kernel.numRegisters = state.numRegs();
+    kernel.numSharedSlots = state.numShm();
+    return kernel;
+}
+
+std::string
+renderKernel(const OpDag &dag, const AllocatedKernel &kernel)
+{
+    std::string out;
+    out += "; " + std::to_string(kernel.numRegisters) +
+           " big-integer registers, " +
+           std::to_string(kernel.numSharedSlots) +
+           " shared-memory slots\n";
+    for (const auto &i : kernel.instrs) {
+        const std::string name = dag.name(i.value);
+        switch (i.op) {
+          case KernelInstr::Op::Load:
+            out += "  ld.global  r" + std::to_string(i.dst) +
+                   ", [" + name + "]\n";
+            break;
+          case KernelInstr::Op::Store:
+            out += "  st.shared  shm" + std::to_string(i.shmSlot) +
+                   ", r" + std::to_string(i.srcA) + "    ; spill " +
+                   name + "\n";
+            break;
+          case KernelInstr::Op::Fill:
+            out += "  ld.shared  r" + std::to_string(i.dst) +
+                   ", shm" + std::to_string(i.shmSlot) +
+                   "    ; reload " + name + "\n";
+            break;
+          case KernelInstr::Op::Mul:
+            out += "  mont.mul   r" + std::to_string(i.dst) + ", r" +
+                   std::to_string(i.srcA) + ", r" +
+                   std::to_string(i.srcB) + "    ; " + name + "\n";
+            break;
+          case KernelInstr::Op::Add:
+            out += "  mod.add    r" + std::to_string(i.dst) + ", r" +
+                   std::to_string(i.srcA) + ", r" +
+                   std::to_string(i.srcB) + "    ; " + name + "\n";
+            break;
+          case KernelInstr::Op::Sub:
+            out += "  mod.sub    r" + std::to_string(i.dst) + ", r" +
+                   std::to_string(i.srcA) + ", r" +
+                   std::to_string(i.srcB) + "    ; " + name + "\n";
+            break;
+          case KernelInstr::Op::Out:
+            if (i.srcA >= 0) {
+                out += "  st.global  [" + name + "], r" +
+                       std::to_string(i.srcA) + "\n";
+            } else {
+                out += "  st.global  [" + name + "], shm" +
+                       std::to_string(i.shmSlot) + "\n";
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace distmsm::sched

@@ -1,0 +1,295 @@
+#include "src/sched/dag.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace distmsm::sched {
+
+ValueId
+OpDag::addInput(std::string name, bool memory_resident)
+{
+    DISTMSM_REQUIRE(ops_.empty(), "inputs must precede operations");
+    names_.push_back(std::move(name));
+    const ValueId id = static_cast<ValueId>(names_.size() - 1);
+    inputs_.push_back(id);
+    memory_resident_.push_back(memory_resident);
+    return id;
+}
+
+ValueId
+OpDag::addOp(Operation::Kind kind, std::string name,
+             std::vector<ValueId> srcs)
+{
+    for (ValueId s : srcs)
+        DISTMSM_REQUIRE(s < names_.size(), "operand not yet defined");
+    names_.push_back(std::move(name));
+    const ValueId id = static_cast<ValueId>(names_.size() - 1);
+    ops_.push_back(Operation{kind, id, std::move(srcs)});
+    return id;
+}
+
+void
+OpDag::markOutput(ValueId v)
+{
+    DISTMSM_REQUIRE(v < names_.size(), "unknown value");
+    outputs_.push_back(v);
+}
+
+bool
+OpDag::isOutput(ValueId v) const
+{
+    return std::find(outputs_.begin(), outputs_.end(), v) !=
+           outputs_.end();
+}
+
+int
+OpDag::definingOp(ValueId v) const
+{
+    if (isInput(v))
+        return -1;
+    return static_cast<int>(v) - static_cast<int>(inputs_.size());
+}
+
+std::vector<int>
+OpDag::depsOf(int i) const
+{
+    std::vector<int> deps;
+    for (ValueId s : ops_[i].srcs) {
+        const int d = definingOp(s);
+        if (d >= 0)
+            deps.push_back(d);
+    }
+    return deps;
+}
+
+bool
+OpDag::isValidOrder(const std::vector<int> &order) const
+{
+    if (order.size() != ops_.size())
+        return false;
+    std::vector<int> position(ops_.size(), -1);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const int op = order[pos];
+        if (op < 0 || op >= static_cast<int>(ops_.size()) ||
+            position[op] != -1) {
+            return false;
+        }
+        position[op] = static_cast<int>(pos);
+    }
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        for (int d : depsOf(static_cast<int>(i))) {
+            if (position[d] > position[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+int
+OpDag::peakLive(const std::vector<int> &order) const
+{
+    DISTMSM_ASSERT(isValidOrder(order));
+
+    // First/last use position of each value under this order;
+    // outputs are pinned to the end.
+    const int kEnd = static_cast<int>(order.size());
+    std::vector<int> last_use(names_.size(), -1);
+    std::vector<int> first_use(names_.size(), kEnd + 1);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        for (ValueId s : ops_[order[pos]].srcs) {
+            last_use[s] = static_cast<int>(pos);
+            first_use[s] =
+                std::min(first_use[s], static_cast<int>(pos));
+        }
+    }
+    for (ValueId v : outputs_)
+        last_use[v] = kEnd;
+
+    // Register-resident inputs are live from the start; memory-
+    // resident ones are loaded at their first use.
+    int live = 0;
+    for (ValueId v : inputs_) {
+        if (!memory_resident_[v] && last_use[v] >= 0)
+            ++live;
+    }
+    int peak = live;
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const Operation &op = ops_[order[pos]];
+        const int ipos = static_cast<int>(pos);
+
+        // Memory-resident inputs making their first appearance are
+        // loaded now.
+        int newly_loaded = 0;
+        for (ValueId s : op.srcs) {
+            if (isMemoryResident(s) && first_use[s] == ipos) {
+                ++newly_loaded;
+                first_use[s] = -1; // guard against double count (P*P)
+            }
+        }
+        live += newly_loaded;
+
+        int during;
+        if (op.isMul()) {
+            // The Montgomery scratch accumulator occupies one extra
+            // register while the multiply runs.
+            during = live + 1;
+        } else {
+            // In-place add/sub: the destination can reuse a source
+            // register that dies at this op.
+            bool src_dies = false;
+            for (ValueId s : op.srcs)
+                src_dies |= last_use[s] == ipos;
+            during = live + (src_dies ? 0 : 1);
+        }
+        peak = std::max(peak, during);
+
+        // Retire dying sources, then materialize the destination if
+        // it has a later use.
+        for (ValueId s : op.srcs) {
+            if (last_use[s] == ipos) {
+                --live;
+                last_use[s] = -2; // guard against double-retire (P*P)
+            }
+        }
+        if (last_use[op.dst] > ipos)
+            ++live;
+    }
+    return peak;
+}
+
+int
+OpDag::peakLiveReferenceOrder() const
+{
+    std::vector<int> order(ops_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    return peakLive(order);
+}
+
+OpDag
+makePaddDag()
+{
+    OpDag d;
+    using K = Operation::Kind;
+    const auto x1 = d.addInput("X1");
+    const auto y1 = d.addInput("Y1");
+    const auto zz1 = d.addInput("ZZ1");
+    const auto zzz1 = d.addInput("ZZZ1");
+    const auto x2 = d.addInput("X2");
+    const auto y2 = d.addInput("Y2");
+    const auto zz2 = d.addInput("ZZ2");
+    const auto zzz2 = d.addInput("ZZZ2");
+
+    const auto u1 = d.addOp(K::Mul, "U1", {x1, zz2});
+    const auto u2 = d.addOp(K::Mul, "U2", {x2, zz1});
+    const auto s1 = d.addOp(K::Mul, "S1", {y1, zzz2});
+    const auto s2 = d.addOp(K::Mul, "S2", {y2, zzz1});
+    const auto p = d.addOp(K::Sub, "P", {u2, u1});
+    const auto r = d.addOp(K::Sub, "R", {s2, s1});
+    const auto pp = d.addOp(K::Mul, "PP", {p, p});
+    const auto ppp = d.addOp(K::Mul, "PPP", {pp, p});
+    const auto q = d.addOp(K::Mul, "Q", {u1, pp});
+    const auto v1 = d.addOp(K::Mul, "V1", {r, r});
+    const auto v2 = d.addOp(K::Sub, "V2", {v1, ppp});
+    const auto v3 = d.addOp(K::Sub, "V3", {v2, q});
+    const auto x3 = d.addOp(K::Sub, "X3", {v3, q});
+    const auto t1 = d.addOp(K::Sub, "T1", {q, x3});
+    const auto rt = d.addOp(K::Mul, "RT", {r, t1});
+    const auto t2 = d.addOp(K::Mul, "T2", {s1, ppp});
+    const auto y3 = d.addOp(K::Sub, "Y3", {rt, t2});
+    const auto zzp = d.addOp(K::Mul, "ZZ", {zz1, zz2});
+    const auto zz3 = d.addOp(K::Mul, "ZZ3", {zzp, pp});
+    const auto zzzp = d.addOp(K::Mul, "ZZZ", {zzz1, zzz2});
+    const auto zzz3 = d.addOp(K::Mul, "ZZZ3", {zzzp, ppp});
+
+    d.markOutput(x3);
+    d.markOutput(y3);
+    d.markOutput(zz3);
+    d.markOutput(zzz3);
+    return d;
+}
+
+OpDag
+makePaccDag()
+{
+    OpDag d;
+    using K = Operation::Kind;
+    const auto xa = d.addInput("Xacc");
+    const auto ya = d.addInput("Yacc");
+    const auto zza = d.addInput("ZZacc");
+    const auto zzza = d.addInput("ZZZacc");
+    const auto xp = d.addInput("Xp", /*memory_resident=*/true);
+    const auto yp = d.addInput("Yp", /*memory_resident=*/true);
+
+    const auto u2 = d.addOp(K::Mul, "U2", {xp, zza});
+    const auto s2 = d.addOp(K::Mul, "S2", {yp, zzza});
+    const auto p = d.addOp(K::Sub, "P", {u2, xa});
+    const auto r = d.addOp(K::Sub, "R", {s2, ya});
+    const auto pp = d.addOp(K::Mul, "PP", {p, p});
+    const auto ppp = d.addOp(K::Mul, "PPP", {pp, p});
+    const auto q = d.addOp(K::Mul, "Q", {xa, pp});
+    const auto v1 = d.addOp(K::Mul, "V1", {r, r});
+    const auto v2 = d.addOp(K::Sub, "V2", {v1, ppp});
+    const auto v3 = d.addOp(K::Sub, "V3", {v2, q});
+    const auto x3 = d.addOp(K::Sub, "Xout", {v3, q});
+    const auto t1 = d.addOp(K::Sub, "T1", {q, x3});
+    const auto rt = d.addOp(K::Mul, "RT", {r, t1});
+    const auto t2 = d.addOp(K::Mul, "T2", {ya, ppp});
+    const auto y3 = d.addOp(K::Sub, "Yout", {rt, t2});
+    const auto zz3 = d.addOp(K::Mul, "ZZout", {zza, pp});
+    const auto zzz3 = d.addOp(K::Mul, "ZZZout", {zzza, ppp});
+
+    d.markOutput(x3);
+    d.markOutput(y3);
+    d.markOutput(zz3);
+    d.markOutput(zzz3);
+    return d;
+}
+
+OpDag
+makePdblDag(bool a_is_zero)
+{
+    OpDag d;
+    using K = Operation::Kind;
+    const auto x1 = d.addInput("X1");
+    const auto y1 = d.addInput("Y1");
+    const auto zz1 = d.addInput("ZZ1");
+    const auto zzz1 = d.addInput("ZZZ1");
+    // The curve coefficient is a compiled-in constant; as a
+    // memory-resident input it is fetched only when used.
+    const ValueId a = a_is_zero
+                          ? ValueId{0}
+                          : d.addInput("A", /*memory_resident=*/true);
+
+    const auto u = d.addOp(K::Add, "U", {y1, y1});
+    const auto v = d.addOp(K::Mul, "V", {u, u});
+    const auto w = d.addOp(K::Mul, "W", {u, v});
+    const auto s = d.addOp(K::Mul, "S", {x1, v});
+    const auto m1 = d.addOp(K::Mul, "M1", {x1, x1});
+    const auto m2 = d.addOp(K::Add, "M2", {m1, m1});
+    ValueId m = d.addOp(K::Add, "M", {m2, m1});
+    if (!a_is_zero) {
+        const auto zzsq = d.addOp(K::Mul, "ZZsq", {zz1, zz1});
+        const auto azz = d.addOp(K::Mul, "AZZ", {a, zzsq});
+        m = d.addOp(K::Add, "Ma", {m, azz});
+    }
+    const auto msq = d.addOp(K::Mul, "Msq", {m, m});
+    const auto s2 = d.addOp(K::Add, "S2", {s, s});
+    const auto x3 = d.addOp(K::Sub, "X3", {msq, s2});
+    const auto t = d.addOp(K::Sub, "T", {s, x3});
+    const auto mt = d.addOp(K::Mul, "MT", {m, t});
+    const auto wy = d.addOp(K::Mul, "WY", {w, y1});
+    const auto y3 = d.addOp(K::Sub, "Y3", {mt, wy});
+    const auto zz3 = d.addOp(K::Mul, "ZZ3", {v, zz1});
+    const auto zzz3 = d.addOp(K::Mul, "ZZZ3", {w, zzz1});
+
+    d.markOutput(x3);
+    d.markOutput(y3);
+    d.markOutput(zz3);
+    d.markOutput(zzz3);
+    return d;
+}
+
+} // namespace distmsm::sched

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Operation DAGs for EC point arithmetic.
+ *
+ * Section 4.2 of the paper treats a PADD/PACC routine as a small
+ * program over big-integer values and asks: in which order should the
+ * operations run so that the peak number of concurrently live big
+ * integers (and hence the register pressure) is minimal?
+ *
+ * This module represents those programs in SSA form (every operation
+ * defines a fresh value) and provides the liveness accounting that
+ * both the exhaustive scheduler (schedule_search.h) and the spill
+ * planner (spill.h) build on.
+ *
+ * Register-pressure convention (matches the paper's counts of 11 for
+ * straightforward PADD and 9 for PACC, and the optimal 9 and 7):
+ *  - a value occupies a register from its definition to its last use;
+ *    live-out values stay to the end;
+ *  - memory-resident live-in values (the affine point consumed by
+ *    PACC) are loaded on demand: they occupy a register from their
+ *    *first use* to their last use; register-resident live-ins (the
+ *    partial-result operands) are live from the start;
+ *  - a Montgomery multiplication needs one scratch big integer while
+ *    it runs (the accumulator), which then becomes the destination;
+ *  - additions/subtractions run in place limb-by-limb, so their
+ *    destination can reuse a dying source register.
+ */
+
+#ifndef DISTMSM_SCHED_DAG_H
+#define DISTMSM_SCHED_DAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distmsm::sched {
+
+/** Value identifier within an OpDag. */
+using ValueId = std::uint16_t;
+
+/** One big-integer operation. */
+struct Operation
+{
+    enum class Kind { Mul, Add, Sub };
+
+    Kind kind;
+    ValueId dst;
+    std::vector<ValueId> srcs;
+
+    bool isMul() const { return kind == Kind::Mul; }
+};
+
+/**
+ * A small SSA program over big integers together with its interface
+ * (live-in and live-out values).
+ */
+class OpDag
+{
+  public:
+    /**
+     * Register a live-in value; returns its id.
+     *
+     * @param memory_resident when true the value sits in device
+     *        memory and is loaded into a register at its first use
+     *        (e.g. the affine point fed to PACC); when false it is
+     *        register-resident from the start (e.g. a partial-result
+     *        operand of PADD).
+     */
+    ValueId addInput(std::string name, bool memory_resident = false);
+
+    /**
+     * Append an operation in reference program order; returns the id
+     * of the defined value.
+     */
+    ValueId addOp(Operation::Kind kind, std::string name,
+                  std::vector<ValueId> srcs);
+
+    /** Mark a value as live-out (must survive to the end). */
+    void markOutput(ValueId v);
+
+    std::size_t numValues() const { return names_.size(); }
+    std::size_t numOps() const { return ops_.size(); }
+    const std::vector<Operation> &ops() const { return ops_; }
+    const std::vector<ValueId> &inputs() const { return inputs_; }
+    const std::vector<ValueId> &outputs() const { return outputs_; }
+    const std::string &name(ValueId v) const { return names_[v]; }
+    bool isInput(ValueId v) const { return v < inputs_.size(); }
+    bool isMemoryResident(ValueId v) const
+    {
+        return isInput(v) && memory_resident_[v];
+    }
+    bool isOutput(ValueId v) const;
+
+    /** Index of the op defining @p v; -1 for inputs. */
+    int definingOp(ValueId v) const;
+
+    /**
+     * Ids of ops that must precede op @p i (its data dependencies on
+     * non-input values).
+     */
+    std::vector<int> depsOf(int i) const;
+
+    /**
+     * Peak number of live big integers when ops execute in the given
+     * order (a permutation of op indices). Applies the convention in
+     * the file comment. @p order must be a valid topological order.
+     */
+    int peakLive(const std::vector<int> &order) const;
+
+    /** peakLive() of the reference program order. */
+    int peakLiveReferenceOrder() const;
+
+    /** true when @p order is a permutation respecting dependencies. */
+    bool isValidOrder(const std::vector<int> &order) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Operation> ops_;
+    std::vector<ValueId> inputs_;
+    std::vector<ValueId> outputs_;
+    std::vector<bool> memory_resident_;
+};
+
+/**
+ * The general XYZZ point addition of paper Algorithm 1
+ * (live-in: X1 Y1 ZZ1 ZZZ1 X2 Y2 ZZ2 ZZZ2; 14 multiplies).
+ */
+OpDag makePaddDag();
+
+/**
+ * The dedicated accumulation kernel of paper Algorithm 4
+ * (live-in: Xacc Yacc ZZacc ZZZacc Xp Yp; 10 multiplies).
+ */
+OpDag makePaccDag();
+
+/**
+ * XYZZ point doubling (EFD dbl-2008-s-1). @p a_is_zero selects the
+ * short form (9 multiplies) or the general one with the constant
+ * curve coefficient a (11 multiplies).
+ */
+OpDag makePdblDag(bool a_is_zero);
+
+} // namespace distmsm::sched
+
+#endif // DISTMSM_SCHED_DAG_H

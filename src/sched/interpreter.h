@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Executes a scheduled operation DAG against real field arithmetic.
+ *
+ * This is the semantic safety net for the scheduler: any order the
+ * search produces (with or without a spill plan) must compute exactly
+ * the same field values as the reference PADD/PACC routines. The
+ * interpreter also enforces the structural claims of a spill plan:
+ * every operand is register-resident when used and the register
+ * budget is never exceeded.
+ */
+
+#ifndef DISTMSM_SCHED_INTERPRETER_H
+#define DISTMSM_SCHED_INTERPRETER_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/sched/dag.h"
+#include "src/sched/spill.h"
+#include "src/support/check.h"
+
+namespace distmsm::sched {
+
+/**
+ * Execute @p order of @p dag over field type @p Fq.
+ *
+ * @param inputs one value per dag.inputs(), in order.
+ * @param plan   optional spill plan to validate structurally.
+ * @return one value per dag.outputs(), in order.
+ */
+template <typename Fq>
+std::vector<Fq>
+executeSchedule(const OpDag &dag, const std::vector<int> &order,
+                const std::vector<Fq> &inputs,
+                const SpillPlan *plan = nullptr)
+{
+    DISTMSM_REQUIRE(dag.isValidOrder(order), "invalid schedule");
+    DISTMSM_REQUIRE(inputs.size() == dag.inputs().size(),
+                    "wrong input count");
+
+    std::map<ValueId, Fq> values;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        values[dag.inputs()[i]] = inputs[i];
+
+    // Structural validation state for the spill plan.
+    std::set<ValueId> in_reg;
+    std::set<ValueId> in_shm;
+    std::set<ValueId> loaded; // inputs already fetched from memory
+    std::size_t event_idx = 0;
+    if (plan) {
+        DISTMSM_REQUIRE(plan->feasible, "infeasible spill plan");
+        for (ValueId v : dag.inputs()) {
+            if (!dag.isMemoryResident(v)) {
+                in_reg.insert(v);
+                loaded.insert(v);
+            }
+        }
+    }
+
+    auto apply_events = [&](int pos) {
+        if (!plan)
+            return;
+        while (event_idx < plan->events.size() &&
+               plan->events[event_idx].position <= pos) {
+            const SpillEvent &e = plan->events[event_idx];
+            if (e.kind == SpillEvent::Kind::Store) {
+                DISTMSM_ASSERT(in_reg.erase(e.value) == 1);
+                in_shm.insert(e.value);
+            } else {
+                DISTMSM_ASSERT(in_shm.erase(e.value) == 1);
+                in_reg.insert(e.value);
+            }
+            ++event_idx;
+        }
+    };
+
+    // liveAfter(v, pos): used by a later op or is an output.
+    auto live_after = [&](ValueId v, std::size_t pos) {
+        if (dag.isOutput(v))
+            return true;
+        for (std::size_t later = pos + 1; later < order.size();
+             ++later) {
+            for (ValueId s : dag.ops()[order[later]].srcs) {
+                if (s == v)
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        apply_events(static_cast<int>(pos));
+        const Operation &op = dag.ops()[order[pos]];
+        if (plan) {
+            for (ValueId s : op.srcs) {
+                // Memory-resident inputs arrive at first use.
+                if (dag.isMemoryResident(s) && !loaded.count(s)) {
+                    DISTMSM_ASSERT(!in_shm.count(s));
+                    in_reg.insert(s);
+                    loaded.insert(s);
+                }
+                DISTMSM_ASSERT(in_reg.count(s) &&
+                               "operand must be register resident");
+            }
+        }
+        const Fq a = values.at(op.srcs.at(0));
+        const Fq b = values.at(op.srcs.at(1));
+        Fq result;
+        switch (op.kind) {
+          case Operation::Kind::Mul:
+            result = a * b;
+            break;
+          case Operation::Kind::Add:
+            result = a + b;
+            break;
+          case Operation::Kind::Sub:
+            result = a - b;
+            break;
+        }
+        values[op.dst] = result;
+        if (plan) {
+            for (ValueId s : op.srcs) {
+                if (!live_after(s, pos))
+                    in_reg.erase(s);
+            }
+            if (live_after(op.dst, pos))
+                in_reg.insert(op.dst);
+            DISTMSM_ASSERT(static_cast<int>(in_reg.size()) <=
+                           plan->regTarget);
+        }
+    }
+
+    std::vector<Fq> outputs;
+    for (ValueId v : dag.outputs())
+        outputs.push_back(values.at(v));
+    return outputs;
+}
+
+} // namespace distmsm::sched
+
+#endif // DISTMSM_SCHED_INTERPRETER_H

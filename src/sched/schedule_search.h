@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Exhaustive search for register-minimal execution orders.
+ *
+ * Section 4.2.1: instead of heuristic instruction scheduling, DistMSM
+ * enumerates topological orders of the PADD/PACC operation DAGs and
+ * picks one with the fewest concurrently live big integers. The search
+ * here is an exact dynamic program over subsets of executed
+ * operations; the paper's "scheduling unit" fusion (pairing each
+ * subtraction with the multiply that feeds it) is implemented as well
+ * and shown to preserve the optimum while shrinking the search space.
+ */
+
+#ifndef DISTMSM_SCHED_SCHEDULE_SEARCH_H
+#define DISTMSM_SCHED_SCHEDULE_SEARCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sched/dag.h"
+
+namespace distmsm::sched {
+
+/** Result of a schedule search. */
+struct ScheduleResult
+{
+    /** An optimal topological order (op indices). */
+    std::vector<int> order;
+    /** Peak number of concurrently live big integers. */
+    int peak = 0;
+    /** Distinct subset states visited by the dynamic program. */
+    std::uint64_t statesExplored = 0;
+};
+
+/**
+ * Find an execution order of @p dag minimizing the peak number of
+ * concurrently live big integers. Exact (dynamic program over
+ * executed-op subsets); supports DAGs of up to 31 operations.
+ */
+ScheduleResult findOptimalOrder(const OpDag &dag);
+
+/** A scheduling unit: ops executed consecutively as a block. */
+struct Unit
+{
+    std::vector<int> ops;
+};
+
+/**
+ * Fuse operations into scheduling units following the paper's
+ * observation: running a subtraction immediately after the multiply
+ * that defines its newest operand retires that operand at once, so
+ * the pair can be scheduled atomically without losing optimality.
+ */
+std::vector<Unit> fuseUnits(const OpDag &dag);
+
+/**
+ * Schedule search restricted to unit granularity. Returns a full op
+ * order (units expanded).
+ */
+ScheduleResult findOptimalUnitOrder(const OpDag &dag,
+                                    const std::vector<Unit> &units);
+
+/**
+ * Number of topological orders of @p dag (the paper bounds the PACC
+ * search by 12! and notes the true count is far smaller).
+ */
+std::uint64_t countTopologicalOrders(const OpDag &dag);
+
+} // namespace distmsm::sched
+
+#endif // DISTMSM_SCHED_SCHEDULE_SEARCH_H

@@ -1,0 +1,183 @@
+#include "src/sched/spill.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/check.h"
+
+namespace distmsm::sched {
+namespace {
+
+/** Next-use positions of every value under a fixed schedule. */
+class UseTable
+{
+  public:
+    UseTable(const OpDag &dag, const std::vector<int> &order)
+        : dag_(dag)
+    {
+        const int kEnd = static_cast<int>(order.size());
+        uses_.resize(dag.numValues());
+        for (std::size_t pos = 0; pos < order.size(); ++pos) {
+            for (ValueId s : dag.ops()[order[pos]].srcs)
+                uses_[s].push_back(static_cast<int>(pos));
+        }
+        for (ValueId v : dag.outputs())
+            uses_[v].push_back(kEnd);
+    }
+
+    /** First use at or after @p pos; INT_MAX when none. */
+    int
+    nextUse(ValueId v, int pos) const
+    {
+        for (int u : uses_[v]) {
+            if (u >= pos)
+                return u;
+        }
+        return kNever;
+    }
+
+    bool
+    liveAfter(ValueId v, int pos) const
+    {
+        return nextUse(v, pos + 1) != kNever;
+    }
+
+    static constexpr int kNever = 1 << 28;
+
+  private:
+    const OpDag &dag_;
+    std::vector<std::vector<int>> uses_;
+};
+
+} // namespace
+
+int
+minimumFeasibleRegisters(const OpDag &dag, const std::vector<int> &order)
+{
+    int floor_regs = 0;
+    for (int op_idx : order) {
+        const Operation &op = dag.ops()[op_idx];
+        std::set<ValueId> distinct(op.srcs.begin(), op.srcs.end());
+        // Operands plus the scratch/destination register.
+        floor_regs = std::max(floor_regs,
+                              static_cast<int>(distinct.size()) + 1);
+    }
+    return floor_regs;
+}
+
+SpillPlan
+planSpills(const OpDag &dag, const std::vector<int> &order,
+           int reg_target)
+{
+    DISTMSM_REQUIRE(dag.isValidOrder(order), "invalid schedule");
+    SpillPlan plan;
+    plan.regTarget = reg_target;
+    if (reg_target < minimumFeasibleRegisters(dag, order))
+        return plan; // infeasible
+
+    UseTable uses(dag, order);
+    std::set<ValueId> in_reg;
+    std::set<ValueId> in_shm;
+    std::set<ValueId> loaded; // inputs already fetched from memory
+
+    // Register-resident inputs start out in registers; excess over
+    // the budget is parked in shared memory up front.
+    for (ValueId v : dag.inputs()) {
+        if (!dag.isMemoryResident(v) &&
+            uses.nextUse(v, 0) != UseTable::kNever) {
+            in_reg.insert(v);
+            loaded.insert(v);
+        }
+    }
+
+    auto record = [&](int pos, SpillEvent::Kind kind, ValueId v) {
+        plan.events.push_back(SpillEvent{pos, kind, v});
+        ++plan.transfers;
+    };
+
+    // Evict the register value with the furthest next use, excluding
+    // @p pinned values (operands of the current op).
+    auto evict_one = [&](int pos, const std::set<ValueId> &pinned) {
+        ValueId victim = 0;
+        int victim_use = -1;
+        for (ValueId v : in_reg) {
+            if (pinned.count(v))
+                continue;
+            const int u = uses.nextUse(v, pos);
+            if (u > victim_use) {
+                victim_use = u;
+                victim = v;
+            }
+        }
+        DISTMSM_ASSERT(victim_use >= 0);
+        in_reg.erase(victim);
+        if (victim_use != UseTable::kNever) {
+            in_shm.insert(victim);
+            record(pos, SpillEvent::Kind::Store, victim);
+        }
+    };
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const Operation &op = dag.ops()[order[pos]];
+        const int ipos = static_cast<int>(pos);
+        std::set<ValueId> pinned(op.srcs.begin(), op.srcs.end());
+
+        // Bring operands into registers: spilled values come back
+        // from shared memory (a counted transfer); inputs not yet
+        // seen are fetched from device memory (an ordinary load the
+        // kernel performs anyway, not a spill transfer).
+        for (ValueId s : pinned) {
+            const bool from_shm = in_shm.count(s) != 0;
+            const bool fresh_input =
+                dag.isMemoryResident(s) && !loaded.count(s);
+            if (!from_shm && !fresh_input)
+                continue;
+            while (static_cast<int>(in_reg.size()) >= reg_target)
+                evict_one(ipos, pinned);
+            in_reg.insert(s);
+            if (from_shm) {
+                in_shm.erase(s);
+                record(ipos, SpillEvent::Kind::Load, s);
+            } else {
+                loaded.insert(s);
+            }
+        }
+        for (ValueId s : pinned)
+            DISTMSM_ASSERT(in_reg.count(s));
+
+        // Reserve the scratch/destination register. An in-place
+        // add/sub whose source dies at this op reuses that register.
+        bool needs_new_reg = true;
+        if (!op.isMul()) {
+            for (ValueId s : op.srcs) {
+                if (!uses.liveAfter(s, ipos))
+                    needs_new_reg = false;
+            }
+        }
+        if (needs_new_reg) {
+            while (static_cast<int>(in_reg.size()) + 1 > reg_target)
+                evict_one(ipos, pinned);
+        }
+        plan.peakRegisters =
+            std::max(plan.peakRegisters,
+                     static_cast<int>(in_reg.size()) +
+                         (needs_new_reg ? 1 : 0));
+
+        // Execute: retire dying sources, materialize the result.
+        for (ValueId s : op.srcs) {
+            if (!uses.liveAfter(s, ipos))
+                in_reg.erase(s);
+        }
+        if (uses.liveAfter(op.dst, ipos))
+            in_reg.insert(op.dst);
+        DISTMSM_ASSERT(static_cast<int>(in_reg.size()) <= reg_target);
+
+        plan.peakShared = std::max(
+            plan.peakShared, static_cast<int>(in_shm.size()));
+    }
+
+    plan.feasible = true;
+    return plan;
+}
+
+} // namespace distmsm::sched

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Explicit register spilling to (simulated) shared memory.
+ *
+ * Section 4.2.2: even the register-optimal PACC order needs 7 live
+ * big integers; DistMSM parks selected values in shared memory so
+ * only 5 occupy registers, paying a few register<->shared transfers.
+ * This module plans those transfers for a given schedule with a
+ * Belady (furthest-next-use) eviction policy and reports the costs
+ * the paper quotes: peak registers, peak shared-memory residency and
+ * the number of big-integer transfers.
+ */
+
+#ifndef DISTMSM_SCHED_SPILL_H
+#define DISTMSM_SCHED_SPILL_H
+
+#include <vector>
+
+#include "src/sched/dag.h"
+
+namespace distmsm::sched {
+
+/** One register<->shared-memory movement of a big integer. */
+struct SpillEvent
+{
+    enum class Kind { Store, Load };
+
+    /** Position in the schedule before which the move happens. */
+    int position;
+    Kind kind;
+    ValueId value;
+};
+
+/** Result of spill planning for a schedule. */
+struct SpillPlan
+{
+    /** Register budget the plan was asked to respect. */
+    int regTarget = 0;
+    /** Whether the budget is achievable for this schedule. */
+    bool feasible = false;
+    /** Peak big integers resident in registers (<= regTarget). */
+    int peakRegisters = 0;
+    /** Peak big integers parked in shared memory at once. */
+    int peakShared = 0;
+    /** Total big-integer transfers (stores + loads). */
+    int transfers = 0;
+    std::vector<SpillEvent> events;
+};
+
+/**
+ * Plan spills so that executing @p order of @p dag never holds more
+ * than @p reg_target big integers in registers. Values are evicted
+ * by furthest next use. Returns an infeasible plan when an operation
+ * intrinsically needs more than @p reg_target registers.
+ */
+SpillPlan planSpills(const OpDag &dag, const std::vector<int> &order,
+                     int reg_target);
+
+/**
+ * Smallest register budget for which planSpills() is feasible on this
+ * schedule (the per-op floor: operand count plus scratch).
+ */
+int minimumFeasibleRegisters(const OpDag &dag,
+                             const std::vector<int> &order);
+
+} // namespace distmsm::sched
+
+#endif // DISTMSM_SCHED_SPILL_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Internal invariant checks and user-facing fatal errors.
+ *
+ * Follows the gem5 panic()/fatal() split: panic() marks a library bug
+ * (aborts so a core dump is available); fatal() marks a caller error
+ * (bad configuration, invalid arguments) and exits cleanly.
+ */
+
+#ifndef DISTMSM_SUPPORT_CHECK_H
+#define DISTMSM_SUPPORT_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace distmsm {
+
+/** Abort with a message; use for conditions that indicate a bug. */
+[[noreturn]] inline void
+panic(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+/** Exit with a message; use for conditions that are the caller's fault. */
+[[noreturn]] inline void
+fatal(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace distmsm
+
+/** Internal invariant: failure means a distmsm bug. */
+#define DISTMSM_ASSERT(cond)                                            \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::distmsm::panic(__FILE__, __LINE__,                        \
+                             "assertion failed: " #cond);               \
+    } while (0)
+
+/** Caller-facing precondition: failure means a usage error. */
+#define DISTMSM_REQUIRE(cond, msg)                                      \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::distmsm::fatal(__FILE__, __LINE__, msg);                  \
+    } while (0)
+
+#endif // DISTMSM_SUPPORT_CHECK_H

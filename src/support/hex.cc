@@ -1,0 +1,65 @@
+#include "src/support/hex.h"
+
+#include <cctype>
+
+namespace distmsm {
+
+std::string
+hexFromLimbs(const std::uint64_t *limbs, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    bool significant = false;
+    for (std::size_t i = n; i-- > 0;) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            const unsigned nibble = (limbs[i] >> shift) & 0xF;
+            if (nibble != 0)
+                significant = true;
+            if (significant)
+                out.push_back(digits[nibble]);
+        }
+    }
+    return out.empty() ? std::string("0x0") : "0x" + out;
+}
+
+bool
+hexToLimbs(std::string_view text, std::uint64_t *limbs, std::size_t n)
+{
+    if (text.size() >= 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+        text.remove_prefix(2);
+    }
+    if (text.empty())
+        return false;
+    for (std::size_t i = 0; i < n; ++i)
+        limbs[i] = 0;
+    std::size_t bit = 0;
+    for (std::size_t i = text.size(); i-- > 0;) {
+        const char c = text[i];
+        unsigned v;
+        if (c >= '0' && c <= '9') {
+            v = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            v = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+            v = c - 'A' + 10;
+        } else {
+            return false;
+        }
+        if (v != 0) {
+            if (bit >= 64 * n)
+                return false;
+            const std::size_t avail = 64 * n - bit;
+            if (avail < 4 && (v >> avail) != 0)
+                return false;
+            limbs[bit / 64] |= static_cast<std::uint64_t>(v) << (bit % 64);
+            // A nibble may straddle a limb boundary only if bit % 64 > 60.
+            if (bit % 64 > 60 && bit / 64 + 1 < n)
+                limbs[bit / 64 + 1] |= v >> (64 - bit % 64);
+        }
+        bit += 4;
+    }
+    return true;
+}
+
+} // namespace distmsm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hexadecimal formatting and parsing for little-endian limb arrays.
+ */
+
+#ifndef DISTMSM_SUPPORT_HEX_H
+#define DISTMSM_SUPPORT_HEX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace distmsm {
+
+/**
+ * Format @p limbs (little-endian base-2^64) as "0x..." with leading
+ * zeros stripped.
+ */
+std::string hexFromLimbs(const std::uint64_t *limbs, std::size_t n);
+
+/**
+ * Parse a hex string ("0x" prefix optional) into @p limbs
+ * (little-endian). Excess high limbs are zeroed.
+ *
+ * @return true on success, false on malformed input or overflow.
+ */
+bool hexToLimbs(std::string_view text, std::uint64_t *limbs,
+                std::size_t n);
+
+} // namespace distmsm
+
+#endif // DISTMSM_SUPPORT_HEX_H

@@ -1,0 +1,87 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace distmsm {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells,
+                    std::string &out) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            out += "  ";
+            out += cell;
+            out.append(widths[i] - cell.size(), ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        emit(header_, out);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        out.append(total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r, out);
+    return out;
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TextTable::paperMs(double ms)
+{
+    char buf[64];
+    if (ms >= 10000.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fK", ms / 1000.0);
+    } else if (ms >= 1000.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f", ms);
+    } else if (ms >= 100.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f", ms);
+    } else if (ms >= 10.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f", ms);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", ms);
+    }
+    return buf;
+}
+
+} // namespace distmsm

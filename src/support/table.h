@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table printer for benchmark harnesses.
+ *
+ * The experiment binaries print rows in the same layout as the paper's
+ * tables; this helper handles alignment so every harness looks uniform.
+ */
+
+#ifndef DISTMSM_SUPPORT_TABLE_H
+#define DISTMSM_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace distmsm {
+
+/** Accumulates rows of strings and renders an aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with column alignment and a separator line. */
+    std::string render() const;
+
+    /** Format a double with @p decimals digits after the point. */
+    static std::string num(double value, int decimals = 2);
+
+    /**
+     * Format a time in milliseconds the way Table 3 does: four
+     * significant digits, switching to "12.3K" above 10000.
+     */
+    static std::string paperMs(double ms);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace distmsm
+
+#endif // DISTMSM_SUPPORT_TABLE_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by benchmarks and calibration.
+ */
+
+#ifndef DISTMSM_SUPPORT_TIMER_H
+#define DISTMSM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace distmsm {
+
+/** Simple wall-clock stopwatch (steady clock). */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    /** Milliseconds elapsed since construction or the last reset(). */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** Nanoseconds elapsed since construction or the last reset(). */
+    double nanoseconds() const { return seconds() * 1e9; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace distmsm
+
+#endif // DISTMSM_SUPPORT_TIMER_H

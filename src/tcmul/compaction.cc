@@ -1,0 +1,38 @@
+#include "src/tcmul/compaction.h"
+
+#include "src/tcmul/digit_matrix.h"
+
+namespace distmsm::tcmul {
+
+std::vector<std::uint64_t>
+compactColumns(const std::vector<std::uint32_t> &sums)
+{
+    std::vector<std::uint64_t> out((sums.size() + 3) / 4, 0);
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+        out[i / 4] += static_cast<std::uint64_t>(sums[i])
+                      << (8 * (i % 4));
+    }
+    return out;
+}
+
+unsigned
+compactedBits(std::size_t rows)
+{
+    // Highest lane is shifted by 24 bits; lower lanes add at most
+    // one more bit.
+    return columnSumBits(rows) + 24 + 1;
+}
+
+std::size_t
+rawTrafficBytes(std::size_t cols)
+{
+    return 4 * cols;
+}
+
+std::size_t
+compactedTrafficBytes(std::size_t cols)
+{
+    return 4 * (cols / 4);
+}
+
+} // namespace distmsm::tcmul

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * On-the-fly compaction of tensor-core column sums.
+ *
+ * The matrix product of digit_matrix.h leaves a 2N-bit product spread
+ * over 2N/8 uint32 column sums whose bases are only 8 bits apart, so
+ * three quarters of every uint32 lane is zero. Writing those raw
+ * lanes to memory costs 4x the optimal traffic (Section 4.3). DistMSM
+ * instead compacts groups of four neighbouring lanes inside
+ * registers:
+ *
+ *     D_t = C_{4t} + C_{4t+1}*2^8 + C_{4t+2}*2^16 + C_{4t+3}*2^24
+ *
+ * which is a 45-bit value for 256-bit operands (23-bit lanes + 24),
+ * and the final integer is sum_t D_t * 2^(32t) after one carry
+ * propagation. This module implements the compaction and the traffic
+ * accounting.
+ */
+
+#ifndef DISTMSM_TCMUL_COMPACTION_H
+#define DISTMSM_TCMUL_COMPACTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bigint/bigint.h"
+
+namespace distmsm::tcmul {
+
+/**
+ * Compact column sums in groups of four: out[t] = sum of 4 lanes with
+ * 8-bit stagger. The input length is padded (with zeros) to a
+ * multiple of 4.
+ */
+std::vector<std::uint64_t>
+compactColumns(const std::vector<std::uint32_t> &sums);
+
+/** Worst-case bit width of a compacted group for @p rows byte rows. */
+unsigned compactedBits(std::size_t rows);
+
+/**
+ * Resolve compacted groups into a full integer:
+ * sum_t groups[t] * 2^(32t), with carry propagation.
+ */
+template <std::size_t W>
+BigInt<W>
+resolveCompacted(const std::vector<std::uint64_t> &groups)
+{
+    BigInt<W> acc{};
+    for (std::size_t t = 0; t < groups.size(); ++t) {
+        BigInt<W> term{};
+        term.limb[0] = groups[t];
+        acc.addInPlace(term.shl(32 * t));
+    }
+    return acc;
+}
+
+/** Bytes written to memory when storing raw uint32 column sums. */
+std::size_t rawTrafficBytes(std::size_t cols);
+
+/**
+ * Bytes written when the product is compacted on the fly: the 2N-bit
+ * value needs only cols/4 uint32 of payload (the paper's "N/16
+ * uint32 for a 2N-bit integer", a 4x saving).
+ */
+std::size_t compactedTrafficBytes(std::size_t cols);
+
+} // namespace distmsm::tcmul
+
+#endif // DISTMSM_TCMUL_COMPACTION_H

@@ -1,0 +1,39 @@
+#include "src/tcmul/digit_matrix.h"
+
+#include "src/support/check.h"
+
+namespace distmsm::tcmul {
+
+std::vector<std::uint32_t>
+columnSums(const std::vector<std::uint8_t> &x_digits,
+           const ConstantMatrix &mat_b)
+{
+    DISTMSM_REQUIRE(x_digits.size() == mat_b.rows(),
+                    "digit count must match matrix rows");
+    std::vector<std::uint32_t> out(mat_b.cols(), 0);
+    for (std::size_t j = 0; j < mat_b.rows(); ++j) {
+        const std::uint32_t xj = x_digits[j];
+        if (xj == 0)
+            continue;
+        for (std::size_t i = 0; i < mat_b.cols(); ++i) {
+            out[i] += xj * mat_b.entry(j, i);
+        }
+    }
+    return out;
+}
+
+unsigned
+columnSumBits(std::size_t rows)
+{
+    // Each product is < 2^16; `rows` of them accumulate.
+    std::uint64_t max_value = static_cast<std::uint64_t>(rows) * 255 *
+                              255;
+    unsigned bits = 0;
+    while (max_value != 0) {
+        max_value >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace distmsm::tcmul

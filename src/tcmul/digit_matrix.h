@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Big-integer multiplication as uint8 matrix multiplication.
+ *
+ * Section 4.3 of the paper: tensor cores multiply int8 matrices with
+ * int32 accumulation at 8x the int32 throughput of CUDA cores, but
+ * only as matrix-matrix products. A big integer x can be written in
+ * base 2^8 as digits x_j; the product with a *constant* integer n is
+ * then
+ *
+ *     x * n = sum_i C_i * 2^(8i),   C_i = sum_j x_j * n_(i-j),
+ *
+ * i.e. each column sum C_i is one dot product of the digit vector of
+ * x with a shifted copy of the digits of n. Arranging those shifted
+ * copies as the columns of a constant matrix matB turns the whole
+ * multiplication into one matrix product (Figure 6) whose outputs are
+ * carry-free column sums. For all curves in the paper, each C_i
+ * accumulates at most ceil(753/8) = 95 byte products and therefore
+ * has at most 23 significant bits, which is what makes the
+ * compaction of Section 4.3 (and compaction.h here) possible.
+ *
+ * This module is the bit-exact functional model of that data path:
+ * digit decomposition, matB construction, and the column-sum product.
+ */
+
+#ifndef DISTMSM_TCMUL_DIGIT_MATRIX_H
+#define DISTMSM_TCMUL_DIGIT_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bigint/bigint.h"
+
+namespace distmsm::tcmul {
+
+/** Base-2^8 digits of a big integer, least significant first. */
+template <std::size_t N>
+std::vector<std::uint8_t>
+toDigits(const BigInt<N> &v)
+{
+    std::vector<std::uint8_t> digits(8 * N);
+    for (std::size_t i = 0; i < 8 * N; ++i)
+        digits[i] = static_cast<std::uint8_t>(v.limb[i / 8] >>
+                                              (8 * (i % 8)));
+    return digits;
+}
+
+/** Reassemble base-2^8 digits into a big integer (must fit). */
+template <std::size_t N>
+BigInt<N>
+fromDigits(const std::vector<std::uint8_t> &digits)
+{
+    BigInt<N> v{};
+    for (std::size_t i = 0; i < digits.size() && i < 8 * N; ++i)
+        v.limb[i / 8] |= static_cast<std::uint64_t>(digits[i])
+                         << (8 * (i % 8));
+    return v;
+}
+
+/**
+ * The constant matrix matB of Figure 6 for multiplier digits of
+ * length @p k_digits and the constant @p n_digits: column i holds the
+ * digits of n shifted so that row j contributes n_(i-j).
+ *
+ * Stored row-major: entry(j, i) = b[j * cols + i].
+ */
+class ConstantMatrix
+{
+  public:
+    ConstantMatrix(const std::vector<std::uint8_t> &n_digits,
+                   std::size_t k_digits)
+        : rows_(k_digits), cols_(k_digits + n_digits.size()),
+          b_(rows_ * cols_, 0)
+    {
+        for (std::size_t j = 0; j < rows_; ++j) {
+            for (std::size_t d = 0; d < n_digits.size(); ++d)
+                b_[j * cols_ + (j + d)] = n_digits[d];
+        }
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    std::uint8_t
+    entry(std::size_t row, std::size_t col) const
+    {
+        return b_[row * cols_ + col];
+    }
+
+    /** Swap two columns (the layout trick of Section 4.3). */
+    void
+    swapColumns(std::size_t a, std::size_t b)
+    {
+        for (std::size_t j = 0; j < rows_; ++j)
+            std::swap(b_[j * cols_ + a], b_[j * cols_ + b]);
+    }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<std::uint8_t> b_;
+};
+
+/**
+ * Column sums of x * n via the matrix product of Figure 6:
+ * out[i] = sum_j x_j * B(j, i). Every element fits well inside
+ * uint32 (at most 23 significant bits for <= 95 rows).
+ */
+std::vector<std::uint32_t>
+columnSums(const std::vector<std::uint8_t> &x_digits,
+           const ConstantMatrix &mat_b);
+
+/**
+ * Number of significant bits needed by any column sum of a product
+ * with @p rows byte rows (the paper's 23-bit bound at rows = 95).
+ */
+unsigned columnSumBits(std::size_t rows);
+
+/** Exact value of sum_i out[i] * 2^(8i) as a wide limb vector. */
+template <std::size_t W>
+BigInt<W>
+accumulateColumns(const std::vector<std::uint32_t> &sums)
+{
+    BigInt<W> acc{};
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+        BigInt<W> term{};
+        term.limb[0] = sums[i];
+        acc.addInPlace(term.shl(8 * i));
+    }
+    return acc;
+}
+
+} // namespace distmsm::tcmul
+
+#endif // DISTMSM_TCMUL_DIGIT_MATRIX_H

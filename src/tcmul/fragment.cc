@@ -1,0 +1,55 @@
+#include "src/tcmul/fragment.h"
+
+#include "src/support/check.h"
+
+namespace distmsm::tcmul {
+
+int
+owningThread(int row, int slot_col)
+{
+    const int lane_group = (slot_col % kTileCols) / kFragmentElems;
+    return (row % kTileRows) * 4 + lane_group;
+}
+
+std::vector<int>
+compactionPermutation(int cols)
+{
+    DISTMSM_REQUIRE(cols % 16 == 0,
+                    "permutation defined on 16-column groups");
+    std::vector<int> perm(cols);
+    for (int i = 0; i < cols; ++i)
+        perm[i] = i;
+    for (int group = 0; group < cols; group += 16) {
+        for (int l = 0; l < 2; ++l) {
+            for (int k = 0; k < 2; ++k) {
+                std::swap(perm[group + 4 * l + 2 + k],
+                          perm[group + 8 + 4 * l + k]);
+            }
+        }
+    }
+    return perm;
+}
+
+std::vector<std::vector<int>>
+ownedColumns(int row, int cols, const std::vector<int> &perm)
+{
+    DISTMSM_REQUIRE(static_cast<int>(perm.size()) == cols,
+                    "permutation size mismatch");
+    std::vector<std::vector<int>> owned(kWarpSize);
+    for (int slot = 0; slot < cols; ++slot)
+        owned[owningThread(row, slot)].push_back(perm[slot]);
+    return owned;
+}
+
+std::vector<std::uint32_t>
+permuteSums(const std::vector<std::uint32_t> &sums,
+            const std::vector<int> &perm)
+{
+    DISTMSM_REQUIRE(perm.size() == sums.size(), "size mismatch");
+    std::vector<std::uint32_t> out(sums.size());
+    for (std::size_t slot = 0; slot < perm.size(); ++slot)
+        out[slot] = sums[perm[slot]];
+    return out;
+}
+
+} // namespace distmsm::tcmul

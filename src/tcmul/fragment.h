@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Warp-level layout of tensor-core accumulator fragments.
+ *
+ * Section 4.3 / Figure 7: an `mma` instruction produces an 8x8 int32
+ * accumulator tile whose elements live in the registers of the 32
+ * threads of a warp — thread t holds, in row t/4, the two columns
+ * 2*(t mod 4) and 2*(t mod 4) + 1. Eight consecutive column sums of
+ * one product row are therefore spread across four threads, which
+ * would force cross-thread shuffles before compaction.
+ *
+ * DistMSM sidesteps the shuffles by permuting the *columns of matB*
+ * (free: matB is constant and built once) so that after the MMA each
+ * thread owns two runs of four consecutive column sums — exactly the
+ * groups compaction.h combines. The paper illustrates the swap pairs
+ * {2,3}<->{8,9} and {18,19}<->{24,25}; the full permutation applies
+ * the pattern {4l+2, 4l+3} <-> {8+4l, 8+4l+1} for l in {0, 1} inside
+ * every 16-column group.
+ */
+
+#ifndef DISTMSM_TCMUL_FRAGMENT_H
+#define DISTMSM_TCMUL_FRAGMENT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace distmsm::tcmul {
+
+/** Threads per warp and MMA tile geometry. */
+inline constexpr int kWarpSize = 32;
+inline constexpr int kTileRows = 8;
+inline constexpr int kTileCols = 8;
+/** Accumulator elements held by one thread per tile. */
+inline constexpr int kFragmentElems = 2;
+
+/**
+ * Warp thread that owns accumulator slot (row, slot_col) of a
+ * multi-tile output row (standard mma.m8n8 fragment layout).
+ */
+int owningThread(int row, int slot_col);
+
+/**
+ * The matB column permutation: perm[slot] = original column whose
+ * sums should land in physical slot @p slot. @p cols must be a
+ * multiple of 16.
+ */
+std::vector<int> compactionPermutation(int cols);
+
+/**
+ * The column sums each thread ends up holding for one product row,
+ * given the permuted matB: result[t] lists the (original) column
+ * indices owned by warp thread t, in slot order.
+ */
+std::vector<std::vector<int>>
+ownedColumns(int row, int cols, const std::vector<int> &perm);
+
+/**
+ * Apply the permutation to physical storage: out[slot] =
+ * sums[perm[slot]]. Models running the MMA with the shuffled matB.
+ */
+std::vector<std::uint32_t>
+permuteSums(const std::vector<std::uint32_t> &sums,
+            const std::vector<int> &perm);
+
+} // namespace distmsm::tcmul
+
+#endif // DISTMSM_TCMUL_FRAGMENT_H

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Montgomery multiplication with the m*n product on tensor cores.
+ *
+ * In SOS Montgomery (paper Algorithm 2) the reduction factor
+ * M = sum_i m_i * 2^(64 i) multiplies the *constant* modulus n; that
+ * is precisely the constant-operand wide multiplication Section 4.3
+ * deploys to tensor cores. This header stitches the functional TC
+ * pipeline together:
+ *
+ *   1. t = a * b on "CUDA cores" (ordinary limb multiply);
+ *   2. the m_i are produced limb-by-limb exactly as in SOS;
+ *   3. M * n runs through the uint8 matrix path (digit_matrix.h),
+ *      optionally through the permuted fragment layout, and is
+ *      compacted in registers (compaction.h);
+ *   4. result = (t + M*n) / R with the final conditional subtract.
+ *
+ * The result is bit-identical to montMulCIOS/montMulSOS, which the
+ * tests assert for every field.
+ */
+
+#ifndef DISTMSM_TCMUL_MONT_TC_H
+#define DISTMSM_TCMUL_MONT_TC_H
+
+#include <array>
+
+#include "src/bigint/bigint.h"
+#include "src/bigint/montgomery.h"
+#include "src/tcmul/compaction.h"
+#include "src/tcmul/digit_matrix.h"
+#include "src/tcmul/fragment.h"
+
+namespace distmsm::tcmul {
+
+/**
+ * Per-field constant state for the TC path: the digit matrix of the
+ * modulus, with columns pre-permuted for in-register compaction.
+ */
+template <std::size_t N>
+class TcMontgomeryContext
+{
+  public:
+    explicit TcMontgomeryContext(const BigInt<N> &modulus,
+                                 std::uint64_t inv64)
+        : modulus_(modulus), inv64_(inv64),
+          mat_b_(toDigits(modulus), 8 * N),
+          perm_(compactionPermutation(static_cast<int>(mat_b_.cols())))
+    {
+        // Shuffle matB once; the MMA outputs then land pre-grouped
+        // for compaction. The model applies the inverse permutation
+        // at readout, which mirrors permuteSums(columnSums).
+        inverse_perm_.resize(perm_.size());
+        for (std::size_t slot = 0; slot < perm_.size(); ++slot)
+            inverse_perm_[perm_[slot]] = static_cast<int>(slot);
+    }
+
+    const BigInt<N> &modulus() const { return modulus_; }
+    std::uint64_t inv64() const { return inv64_; }
+    const ConstantMatrix &matB() const { return mat_b_; }
+    const std::vector<int> &permutation() const { return perm_; }
+
+    /**
+     * The wide product M * n computed through the simulated tensor
+     * core path: digit matrix product, fragment permutation and
+     * in-register compaction.
+     */
+    std::array<std::uint64_t, 2 * N>
+    wideProduct(const BigInt<N> &m) const
+    {
+        const auto sums = columnSums(toDigits(m), mat_b_);
+        // Physical slots hold the permuted sums (shuffled matB);
+        // each thread's slots are contiguous groups of 4 original
+        // columns, so compaction needs no cross-thread traffic.
+        const auto slots = permuteSums(sums, perm_);
+        // Undo the permutation at group granularity while compacting.
+        std::vector<std::uint32_t> regrouped(sums.size());
+        for (std::size_t orig = 0; orig < sums.size(); ++orig)
+            regrouped[orig] = slots[inverse_perm_[orig]];
+        const auto groups = compactColumns(regrouped);
+        const BigInt<2 * N + 1> wide =
+            resolveCompacted<2 * N + 1>(groups);
+        std::array<std::uint64_t, 2 * N> out{};
+        for (std::size_t i = 0; i < 2 * N; ++i)
+            out[i] = wide.limb[i];
+        return out;
+    }
+
+  private:
+    BigInt<N> modulus_;
+    std::uint64_t inv64_;
+    ConstantMatrix mat_b_;
+    std::vector<int> perm_;
+    std::vector<int> inverse_perm_;
+};
+
+/**
+ * Montgomery multiplication routed through the tensor-core model:
+ * returns a * b * R^-1 mod modulus, bit-identical to montMulSOS.
+ */
+template <std::size_t N>
+BigInt<N>
+montMulTC(const BigInt<N> &a, const BigInt<N> &b,
+          const TcMontgomeryContext<N> &ctx)
+{
+    const auto t = mulFull(a, b);
+
+    // Derive the reduction limbs m_i exactly as the SOS sweep does:
+    // m_i must cancel limb i of the running sum t + (partial M) * n.
+    BigInt<N> m_value{};
+    {
+        std::array<std::uint64_t, 2 * N> u = t;
+        for (std::size_t i = 0; i < N; ++i) {
+            const std::uint64_t mi = u[i] * ctx.inv64();
+            m_value.limb[i] = mi;
+            std::uint64_t carry = 0;
+            for (std::size_t j = 0; j < N; ++j) {
+                u[i + j] = mac(mi, ctx.modulus().limb[j], u[i + j],
+                               carry, carry);
+            }
+            for (std::size_t j = i + N; carry != 0 && j < 2 * N; ++j) {
+                std::uint64_t c = carry;
+                carry = 0;
+                u[j] = addc(u[j], c, carry);
+            }
+        }
+    }
+
+    // The wide multiplication M * n is what runs on tensor cores.
+    const auto mn = ctx.wideProduct(m_value);
+
+    // result = (t + M*n) / R, then one conditional subtraction.
+    std::array<std::uint64_t, 2 * N> sum{};
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < 2 * N; ++i)
+        sum[i] = addc(t[i], mn[i], carry);
+    // The carry out of limb 2N-1 is the extra bit of the (N+1)-limb
+    // high half.
+    BigInt<N> high{};
+    for (std::size_t i = 0; i < N; ++i)
+        high.limb[i] = sum[N + i];
+    return montFinalSub(high, carry, ctx.modulus());
+}
+
+} // namespace distmsm::tcmul
+
+#endif // DISTMSM_TCMUL_MONT_TC_H

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * R1CS gadget library.
+ *
+ * Small reusable constraint patterns for building realistic circuits
+ * (the paper's workloads — Zcash's note commitments, Zen's quantized
+ * networks — are assembled from exactly these shapes): booleanity,
+ * logic gates, selection, multiplication/squaring chains, bit
+ * decomposition and an x^5 S-box permutation in the MiMC/Poseidon
+ * style for hash-heavy circuits.
+ *
+ * A GadgetBuilder owns the growing constraint system and the witness
+ * assignment simultaneously, so every allocation is checked
+ * satisfiable as it is made.
+ */
+
+#ifndef DISTMSM_ZKSNARK_GADGETS_H
+#define DISTMSM_ZKSNARK_GADGETS_H
+
+#include <vector>
+
+#include "src/support/prng.h"
+#include "src/zksnark/r1cs.h"
+
+namespace distmsm::zksnark {
+
+/** Builds an R1CS and its witness together. */
+template <typename F>
+class GadgetBuilder
+{
+  public:
+    using Wire = std::uint32_t;
+    static constexpr Wire kOne = 0;
+
+    explicit GadgetBuilder(std::size_t num_public)
+        : num_public_(num_public)
+    {
+        wires_.push_back(F::one());
+        for (std::size_t i = 0; i < num_public; ++i)
+            wires_.push_back(F::zero());
+    }
+
+    /** Assign the value of public input @p index (0-based). */
+    void
+    setPublic(std::size_t index, const F &value)
+    {
+        DISTMSM_REQUIRE(index < num_public_, "no such public input");
+        wires_[1 + index] = value;
+    }
+
+    Wire
+    publicWire(std::size_t index) const
+    {
+        DISTMSM_REQUIRE(index < num_public_, "no such public input");
+        return static_cast<Wire>(1 + index);
+    }
+
+    /** Allocate a private wire holding @p value. */
+    Wire
+    allocate(const F &value)
+    {
+        wires_.push_back(value);
+        return static_cast<Wire>(wires_.size() - 1);
+    }
+
+    const F &value(Wire w) const { return wires_[w]; }
+
+    /** Enforce a * b = c for linear combinations. */
+    void
+    enforce(LinearCombination<F> a, LinearCombination<F> b,
+            LinearCombination<F> c)
+    {
+        constraints_.push_back(Constraint<F>{
+            std::move(a), std::move(b), std::move(c)});
+    }
+
+    /** w_c = w_a * w_b. */
+    Wire
+    mul(Wire a, Wire b)
+    {
+        const Wire c = allocate(value(a) * value(b));
+        enforce(lc(a), lc(b), lc(c));
+        return c;
+    }
+
+    /** w_b = w_a^2. */
+    Wire square(Wire a) { return mul(a, a); }
+
+    /** Constrain w to be 0 or 1: w * (w - 1) = 0. */
+    void
+    enforceBoolean(Wire w)
+    {
+        LinearCombination<F> w_minus_one = lc(w);
+        w_minus_one.add(kOne, -F::one());
+        enforce(lc(w), w_minus_one, {});
+    }
+
+    /** Allocate a boolean wire. */
+    Wire
+    allocateBit(bool bit)
+    {
+        const Wire w = allocate(bit ? F::one() : F::zero());
+        enforceBoolean(w);
+        return w;
+    }
+
+    /** c = a AND b (booleans): c = a*b. */
+    Wire andGate(Wire a, Wire b) { return mul(a, b); }
+
+    /** c = a XOR b (booleans): a + b - 2ab. */
+    Wire
+    xorGate(Wire a, Wire b)
+    {
+        const F va = value(a), vb = value(b);
+        const Wire c = allocate(va + vb - (va * vb).dbl());
+        // 2a * b = a + b - c.
+        LinearCombination<F> two_a;
+        two_a.add(a, F::fromU64(2));
+        LinearCombination<F> rhs;
+        rhs.add(a, F::one());
+        rhs.add(b, F::one());
+        rhs.add(c, -F::one());
+        enforce(two_a, lc(b), rhs);
+        return c;
+    }
+
+    /** c = NOT a (boolean): 1 - a, no constraint needed. */
+    Wire
+    notGate(Wire a)
+    {
+        const Wire c = allocate(F::one() - value(a));
+        LinearCombination<F> sum;
+        sum.add(a, F::one());
+        sum.add(c, F::one());
+        enforce(lc(kOne), lc(kOne), sum);
+        return c;
+    }
+
+    /** r = sel ? a : b (sel boolean): r = b + sel*(a-b). */
+    Wire
+    select(Wire sel, Wire a, Wire b)
+    {
+        const F v = value(sel).isZero() ? value(b) : value(a);
+        const Wire r = allocate(v);
+        LinearCombination<F> a_minus_b;
+        a_minus_b.add(a, F::one());
+        a_minus_b.add(b, -F::one());
+        LinearCombination<F> r_minus_b;
+        r_minus_b.add(r, F::one());
+        r_minus_b.add(b, -F::one());
+        enforce(lc(sel), a_minus_b, r_minus_b);
+        return r;
+    }
+
+    /**
+     * Decompose @p w into @p bits boolean wires (little-endian) and
+     * constrain the weighted sum to reassemble it.
+     */
+    std::vector<Wire>
+    decompose(Wire w, unsigned bits)
+    {
+        const auto raw = value(w).toRaw();
+        std::vector<Wire> out;
+        LinearCombination<F> sum;
+        F weight = F::one();
+        for (unsigned i = 0; i < bits; ++i) {
+            const Wire b = allocateBit(raw.bit(i));
+            out.push_back(b);
+            sum.add(b, weight);
+            weight = weight.dbl();
+        }
+        enforce(lc(kOne), sum, lc(w));
+        return out;
+    }
+
+    /**
+     * One x^5 S-box round with round constant @p c and key @p k:
+     * out = (in + k + c)^5. Three constraints.
+     */
+    Wire
+    sboxRound(Wire in, Wire k, const F &c)
+    {
+        // t = in + k + c (linear, folded into the first constraint).
+        LinearCombination<F> t;
+        t.add(in, F::one());
+        t.add(k, F::one());
+        t.add(kOne, c);
+        const F tv = value(in) + value(k) + c;
+
+        const Wire t2 = allocate(tv.sqr());
+        enforce(t, t, lc(t2));
+        const Wire t4 = square(t2);
+        const Wire t5 = allocate(value(t4) * tv);
+        enforce(lc(t4), t, lc(t5));
+        return t5;
+    }
+
+    /** Finalize: the constraint system plus its witness. */
+    std::pair<R1cs<F>, std::vector<F>>
+    build() const
+    {
+        R1cs<F> r1cs(wires_.size(), num_public_);
+        for (const auto &c : constraints_)
+            r1cs.addConstraint(c);
+        return {std::move(r1cs), wires_};
+    }
+
+    std::size_t numConstraints() const { return constraints_.size(); }
+
+  private:
+    static LinearCombination<F>
+    lc(Wire w)
+    {
+        LinearCombination<F> out;
+        out.add(w, F::one());
+        return out;
+    }
+
+    std::size_t num_public_;
+    std::vector<F> wires_;
+    std::vector<Constraint<F>> constraints_;
+};
+
+/**
+ * A MiMC-style hash chain circuit: @p rounds x^5 S-box rounds keyed
+ * by a private key wire, seeded from a public input — the shape of
+ * the commitment trees in the paper's Zcash workload. Returns the
+ * builder so callers can extend it.
+ */
+template <typename F>
+GadgetBuilder<F>
+buildSboxChain(std::size_t rounds, const F &seed, const F &key,
+               Prng &prng)
+{
+    GadgetBuilder<F> builder(1);
+    builder.setPublic(0, seed);
+    const auto key_wire = builder.allocate(key);
+    auto state = builder.publicWire(0);
+    for (std::size_t i = 0; i < rounds; ++i)
+        state = builder.sboxRound(state, key_wire, F::random(prng));
+    return builder;
+}
+
+} // namespace distmsm::zksnark
+
+#endif // DISTMSM_ZKSNARK_GADGETS_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Proof serialization.
+ *
+ * A Groth16 proof is three group elements; compressed they make the
+ * "proof sizes under 1KB" / 127-byte artifacts the paper describes.
+ * (The real protocol puts B in G2, which costs an extra coordinate;
+ * this G1-substituted pipeline serializes three G1 points plus the
+ * scalar shadows the trapdoor oracle needs — see groth16.h.)
+ */
+
+#ifndef DISTMSM_ZKSNARK_PROOF_IO_H
+#define DISTMSM_ZKSNARK_PROOF_IO_H
+
+#include <optional>
+#include <vector>
+
+#include "src/ec/encoding.h"
+#include "src/zksnark/groth16.h"
+
+namespace distmsm::zksnark {
+
+/** Serialized size: three compressed points + three scalars. */
+template <typename Curve>
+constexpr std::size_t
+proofSize()
+{
+    return 3 * encodedPointSize<Curve>() +
+           3 * Curve::Fr::kLimbs * 8;
+}
+
+/** Size of the wire part a pairing verifier would need (3 points). */
+template <typename Curve>
+constexpr std::size_t
+proofPointBytes()
+{
+    return 3 * encodedPointSize<Curve>();
+}
+
+template <typename Curve>
+std::vector<std::uint8_t>
+serializeProof(const Proof<Curve> &proof)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(proofSize<Curve>());
+    for (const auto &point :
+         {proof.a.toAffine(), proof.b.toAffine(),
+          proof.c.toAffine()}) {
+        const auto bytes = encodePoint<Curve>(point);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+    for (const auto &scalar :
+         {proof.aScalar, proof.bScalar, proof.cScalar}) {
+        const auto raw = scalar.toRaw();
+        for (std::size_t i = 0; i < Curve::Fr::kLimbs; ++i) {
+            for (int b = 0; b < 8; ++b) {
+                out.push_back(static_cast<std::uint8_t>(
+                    raw.limb[i] >> (8 * b)));
+            }
+        }
+    }
+    return out;
+}
+
+template <typename Curve>
+std::optional<Proof<Curve>>
+deserializeProof(const std::vector<std::uint8_t> &bytes)
+{
+    using F = typename Curve::Fr;
+    if (bytes.size() != proofSize<Curve>())
+        return std::nullopt;
+    Proof<Curve> proof;
+    std::size_t off = 0;
+    XYZZPoint<Curve> *points[3] = {&proof.a, &proof.b, &proof.c};
+    for (auto *point : points) {
+        const std::vector<std::uint8_t> chunk(
+            bytes.begin() + off,
+            bytes.begin() + off + encodedPointSize<Curve>());
+        const auto decoded = decodePoint<Curve>(chunk);
+        if (!decoded)
+            return std::nullopt;
+        *point = XYZZPoint<Curve>::fromAffine(*decoded);
+        off += encodedPointSize<Curve>();
+    }
+    F *scalars[3] = {&proof.aScalar, &proof.bScalar,
+                     &proof.cScalar};
+    for (auto *scalar : scalars) {
+        typename F::Base raw{};
+        for (std::size_t i = 0; i < Curve::Fr::kLimbs; ++i) {
+            for (int b = 0; b < 8; ++b) {
+                raw.limb[i] |=
+                    static_cast<std::uint64_t>(bytes[off++])
+                    << (8 * b);
+            }
+        }
+        if (!(raw < F::modulus()))
+            return std::nullopt;
+        *scalar = F::fromRaw(raw);
+    }
+    return proof;
+}
+
+} // namespace distmsm::zksnark
+
+#endif // DISTMSM_ZKSNARK_PROOF_IO_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Quadratic arithmetic program reduction of an R1CS.
+ *
+ * Groth16 interpolates the R1CS rows over an evaluation domain H:
+ * wire j induces polynomials A_j, B_j, C_j with A_j(w^i) = A_{ij};
+ * a witness w satisfies the system iff
+ *
+ *     A_w(x) * B_w(x) - C_w(x) = h(x) * Z_H(x)
+ *
+ * for some quotient h, where A_w = sum_j w_j A_j. This header
+ * provides the two QAP computations the pipeline needs:
+ *
+ *  - evaluating every A_j, B_j, C_j at the setup trapdoor t (via
+ *    Lagrange coefficients L_i(t), O(nnz) work), and
+ *  - the prover's h(x) via NTTs on a coset (the "NTT" stage of
+ *    Table 4).
+ */
+
+#ifndef DISTMSM_ZKSNARK_QAP_H
+#define DISTMSM_ZKSNARK_QAP_H
+
+#include <vector>
+
+#include "src/field/batch_inverse.h"
+#include "src/ntt/ntt.h"
+#include "src/zksnark/r1cs.h"
+
+namespace distmsm::zksnark {
+
+/** Per-wire evaluations of the QAP polynomials at one point. */
+template <typename F>
+struct QapEvaluation
+{
+    std::vector<F> a; ///< A_j(t), one per wire
+    std::vector<F> b;
+    std::vector<F> c;
+    F zt;             ///< Z_H(t)
+    std::size_t domainSize = 0;
+};
+
+/** Smallest power-of-two domain covering the constraints. */
+template <typename F>
+std::size_t
+qapDomainSize(const R1cs<F> &r1cs)
+{
+    std::size_t n = 1;
+    while (n < r1cs.numConstraints())
+        n <<= 1;
+    return n;
+}
+
+/**
+ * Evaluate all QAP wire polynomials at @p t (a point outside H).
+ * Uses L_i(t) = Z_H(t) * w^i / (n * (t - w^i)).
+ */
+template <typename F>
+QapEvaluation<F>
+evaluateQapAt(const R1cs<F> &r1cs, const F &t)
+{
+    const std::size_t n = qapDomainSize(r1cs);
+    const ntt::EvaluationDomain<F> domain(n);
+
+    QapEvaluation<F> ev;
+    ev.domainSize = n;
+    ev.zt = domain.vanishing(t);
+    DISTMSM_REQUIRE(!ev.zt.isZero(),
+                    "trapdoor point lies in the domain");
+
+    // Lagrange coefficients over the constraint rows, batched:
+    // L_i(t) = Z(t) * w^i / (n * (t - w^i)).
+    std::vector<F> denom(r1cs.numConstraints());
+    F wi = F::one();
+    const F w = domain.root();
+    for (std::size_t i = 0; i < denom.size(); ++i) {
+        denom[i] = (t - wi) * F::fromU64(n);
+        wi *= w;
+    }
+    batchInverse(denom);
+    std::vector<F> lagrange(denom.size());
+    wi = F::one();
+    for (std::size_t i = 0; i < denom.size(); ++i) {
+        lagrange[i] = ev.zt * wi * denom[i];
+        wi *= w;
+    }
+
+    ev.a.assign(r1cs.numWires(), F::zero());
+    ev.b.assign(r1cs.numWires(), F::zero());
+    ev.c.assign(r1cs.numWires(), F::zero());
+    const auto &constraints = r1cs.constraints();
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        for (const auto &[wire, coeff] : constraints[i].a.terms)
+            ev.a[wire] += coeff * lagrange[i];
+        for (const auto &[wire, coeff] : constraints[i].b.terms)
+            ev.b[wire] += coeff * lagrange[i];
+        for (const auto &[wire, coeff] : constraints[i].c.terms)
+            ev.c[wire] += coeff * lagrange[i];
+    }
+    return ev;
+}
+
+/**
+ * The prover's NTT stage: coefficients of
+ * h(x) = (A_w(x) B_w(x) - C_w(x)) / Z_H(x), degree <= n - 2.
+ *
+ * Seven transforms: three inverse NTTs (evaluations on H ->
+ * coefficients), three forward NTTs on the coset gH, one inverse on
+ * the coset.
+ */
+template <typename F>
+std::vector<F>
+computeQuotientH(const R1cs<F> &r1cs, const std::vector<F> &wires)
+{
+    const std::size_t n = qapDomainSize(r1cs);
+    const ntt::EvaluationDomain<F> domain(n);
+
+    // Evaluations of A_w, B_w, C_w on H are just the constraint
+    // dot products.
+    std::vector<F> a(n, F::zero()), b(n, F::zero()), c(n, F::zero());
+    const auto &constraints = r1cs.constraints();
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+        a[i] = constraints[i].a.evaluate(wires);
+        b[i] = constraints[i].b.evaluate(wires);
+        c[i] = constraints[i].c.evaluate(wires);
+    }
+
+    domain.inverse(a);
+    domain.inverse(b);
+    domain.inverse(c);
+
+    // Move to the coset gH where Z_H never vanishes; the field's
+    // small quadratic non-residue generates a suitable coset.
+    const F g = F::fromU64(F::Params::kQnrSmall);
+    domain.toCoset(a, g);
+    domain.toCoset(b, g);
+    domain.toCoset(c, g);
+    domain.forward(a);
+    domain.forward(b);
+    domain.forward(c);
+
+    // On the coset, Z_H(g w^i) = g^n - 1 for every i.
+    F zg = g;
+    for (unsigned i = 0; i < domain.logSize(); ++i)
+        zg = zg.sqr();
+    const F z_inv = (zg - F::one()).inverse();
+
+    std::vector<F> h(n);
+    for (std::size_t i = 0; i < n; ++i)
+        h[i] = (a[i] * b[i] - c[i]) * z_inv;
+    domain.inverse(h);
+    domain.fromCoset(h, g);
+
+    // Exact division leaves degree <= n - 2.
+    DISTMSM_ASSERT(h.back().isZero());
+    h.pop_back();
+    return h;
+}
+
+} // namespace distmsm::zksnark
+
+#endif // DISTMSM_ZKSNARK_QAP_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Rank-1 constraint systems.
+ *
+ * The paper's end-to-end workloads (Table 4) are R1CS instances:
+ * constraints of the form <a_i, w> * <b_i, w> = <c_i, w> over the
+ * scalar field, with w the wire vector (w[0] = 1, then the public
+ * inputs, then private wires).
+ */
+
+#ifndef DISTMSM_ZKSNARK_R1CS_H
+#define DISTMSM_ZKSNARK_R1CS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace distmsm::zksnark {
+
+/** Sparse linear combination over the wire vector. */
+template <typename F>
+struct LinearCombination
+{
+    std::vector<std::pair<std::uint32_t, F>> terms;
+
+    void
+    add(std::uint32_t wire, const F &coeff)
+    {
+        terms.emplace_back(wire, coeff);
+    }
+
+    F
+    evaluate(const std::vector<F> &wires) const
+    {
+        F acc = F::zero();
+        for (const auto &[wire, coeff] : terms) {
+            DISTMSM_ASSERT(wire < wires.size());
+            acc += coeff * wires[wire];
+        }
+        return acc;
+    }
+};
+
+/** One constraint: a * b = c. */
+template <typename F>
+struct Constraint
+{
+    LinearCombination<F> a;
+    LinearCombination<F> b;
+    LinearCombination<F> c;
+};
+
+/** A rank-1 constraint system. */
+template <typename F>
+class R1cs
+{
+  public:
+    /**
+     * @param num_wires total wires including the constant-one wire 0.
+     * @param num_public wires 1 .. num_public are public inputs.
+     */
+    R1cs(std::size_t num_wires, std::size_t num_public)
+        : num_wires_(num_wires), num_public_(num_public)
+    {
+        DISTMSM_REQUIRE(num_public + 1 <= num_wires,
+                        "more public inputs than wires");
+    }
+
+    std::size_t numWires() const { return num_wires_; }
+    std::size_t numPublic() const { return num_public_; }
+    std::size_t numConstraints() const { return constraints_.size(); }
+
+    void
+    addConstraint(Constraint<F> c)
+    {
+        constraints_.push_back(std::move(c));
+    }
+
+    const std::vector<Constraint<F>> &
+    constraints() const
+    {
+        return constraints_;
+    }
+
+    /** Check <a_i,w> * <b_i,w> == <c_i,w> for every constraint. */
+    bool
+    isSatisfied(const std::vector<F> &wires) const
+    {
+        if (wires.size() != num_wires_ || wires.empty() ||
+            !(wires[0] == F::one())) {
+            return false;
+        }
+        for (const auto &c : constraints_) {
+            if (!(c.a.evaluate(wires) * c.b.evaluate(wires) ==
+                  c.c.evaluate(wires))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::size_t num_wires_;
+    std::size_t num_public_;
+    std::vector<Constraint<F>> constraints_;
+};
+
+} // namespace distmsm::zksnark
+
+#endif // DISTMSM_ZKSNARK_R1CS_H

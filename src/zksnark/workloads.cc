@@ -1,0 +1,16 @@
+#include "src/zksnark/workloads.h"
+
+namespace distmsm::zksnark {
+
+const std::vector<WorkloadSpec> &
+table4Workloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"Zcash-Sprout", 2585747, 145.8, 5.8},
+        {"Otti-SGD", 6968254, 291.0, 11.7},
+        {"Zen_acc-LeNet", 77689757, 5036.7, 188.7},
+    };
+    return specs;
+}
+
+} // namespace distmsm::zksnark

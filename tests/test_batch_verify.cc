@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for batch proof verification: honest batches accept, any
+ * single corrupted proof (or public input) poisons the batch, and
+ * the degenerate cases behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ec/curves.h"
+#include "src/zksnark/batch_verify.h"
+#include "src/zksnark/workloads.h"
+
+namespace distmsm::zksnark {
+namespace {
+
+using F = Bn254Fr;
+
+class BatchVerifyTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Prng prng(0xBA7C);
+        built_ = buildMulChainCircuit<F>(12, 2, prng);
+        const auto trapdoor = Trapdoor<F>::random(prng);
+        keys_ = setup<Bn254>(built_.r1cs, trapdoor);
+        for (int i = 0; i < 5; ++i) {
+            BatchEntry<Bn254> entry;
+            entry.proof = prove<Bn254>(keys_.pk, built_.r1cs,
+                                       built_.wires, prng);
+            entry.publicInputs.assign(
+                built_.wires.begin() + 1,
+                built_.wires.begin() + 1 +
+                    built_.r1cs.numPublic());
+            entries_.push_back(std::move(entry));
+        }
+    }
+
+    BuiltCircuit<F> built_{R1cs<F>(2, 1), {}};
+    KeyPair<Bn254> keys_;
+    std::vector<BatchEntry<Bn254>> entries_;
+};
+
+TEST_F(BatchVerifyTest, HonestBatchAccepts)
+{
+    Prng rho(0x1);
+    EXPECT_TRUE(batchVerify<Bn254>(keys_.vk, entries_, rho));
+}
+
+TEST_F(BatchVerifyTest, EmptyBatchAccepts)
+{
+    Prng rho(0x2);
+    EXPECT_TRUE(batchVerify<Bn254>(keys_.vk, {}, rho));
+}
+
+TEST_F(BatchVerifyTest, SingleBadScalarPoisonsBatch)
+{
+    for (std::size_t victim : {0u, 2u, 4u}) {
+        auto bad = entries_;
+        bad[victim].proof.cScalar += F::one();
+        Prng rho(0x3 + victim);
+        EXPECT_FALSE(batchVerify<Bn254>(keys_.vk, bad, rho))
+            << "victim " << victim;
+    }
+}
+
+TEST_F(BatchVerifyTest, SingleBadPointPoisonsBatch)
+{
+    auto bad = entries_;
+    bad[1].proof.a = pdbl(bad[1].proof.a);
+    Prng rho(0x7);
+    EXPECT_FALSE(batchVerify<Bn254>(keys_.vk, bad, rho));
+}
+
+TEST_F(BatchVerifyTest, BadPublicInputPoisonsBatch)
+{
+    auto bad = entries_;
+    bad[3].publicInputs[0] += F::one();
+    Prng rho(0x8);
+    EXPECT_FALSE(batchVerify<Bn254>(keys_.vk, bad, rho));
+    // Wrong arity too.
+    bad = entries_;
+    bad[0].publicInputs.pop_back();
+    EXPECT_FALSE(batchVerify<Bn254>(keys_.vk, bad, rho));
+}
+
+TEST_F(BatchVerifyTest, TwoErrorsDoNotCancel)
+{
+    // Opposite-sign corruptions of two proofs must still be caught:
+    // the random coefficients make cancellation negligible.
+    auto bad = entries_;
+    bad[0].proof.cScalar += F::one();
+    bad[1].proof.cScalar -= F::one();
+    Prng rho(0x9);
+    EXPECT_FALSE(batchVerify<Bn254>(keys_.vk, bad, rho));
+}
+
+} // namespace
+} // namespace distmsm::zksnark

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for BigInt<N>: limb arithmetic, shifts, comparisons and the
+ * full multiplication, cross-checked against an independent base-2^32
+ * reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bigint/bigint.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+/** Reference big-number in base 2^32 used to cross-check BigInt. */
+class RefNum
+{
+  public:
+    template <std::size_t N>
+    static RefNum
+    from(const BigInt<N> &v)
+    {
+        RefNum r;
+        for (std::size_t i = 0; i < N; ++i) {
+            r.d_.push_back(static_cast<std::uint32_t>(v.limb[i]));
+            r.d_.push_back(static_cast<std::uint32_t>(v.limb[i] >> 32));
+        }
+        return r;
+    }
+
+    RefNum
+    mul(const RefNum &o) const
+    {
+        RefNum r;
+        r.d_.assign(d_.size() + o.d_.size(), 0);
+        for (std::size_t i = 0; i < d_.size(); ++i) {
+            std::uint64_t carry = 0;
+            for (std::size_t j = 0; j < o.d_.size(); ++j) {
+                const std::uint64_t cur =
+                    static_cast<std::uint64_t>(d_[i]) * o.d_[j] +
+                    r.d_[i + j] + carry;
+                r.d_[i + j] = static_cast<std::uint32_t>(cur);
+                carry = cur >> 32;
+            }
+            r.d_[i + o.d_.size()] = static_cast<std::uint32_t>(carry);
+        }
+        return r;
+    }
+
+    RefNum
+    add(const RefNum &o) const
+    {
+        RefNum r;
+        const std::size_t n = std::max(d_.size(), o.d_.size()) + 1;
+        r.d_.assign(n, 0);
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t cur = carry;
+            if (i < d_.size())
+                cur += d_[i];
+            if (i < o.d_.size())
+                cur += o.d_[i];
+            r.d_[i] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        return r;
+    }
+
+    std::uint32_t
+    digit(std::size_t i) const
+    {
+        return i < d_.size() ? d_[i] : 0;
+    }
+
+  private:
+    std::vector<std::uint32_t> d_;
+};
+
+using B4 = BigInt<4>;
+using B6 = BigInt<6>;
+
+TEST(BigInt, ZeroAndFromU64)
+{
+    EXPECT_TRUE(B4::zero().isZero());
+    const B4 v = B4::fromU64(77);
+    EXPECT_FALSE(v.isZero());
+    EXPECT_TRUE(v.isU64(77));
+    EXPECT_FALSE(v.isU64(78));
+}
+
+TEST(BigInt, Comparisons)
+{
+    const B4 a = B4::fromU64(5);
+    B4 b = B4::fromU64(5);
+    EXPECT_EQ(a, b);
+    b.limb[3] = 1;
+    EXPECT_LT(a, b);
+    EXPECT_GT(b, a);
+}
+
+TEST(BigInt, AddSubRoundTrip)
+{
+    Prng prng(11);
+    for (int i = 0; i < 200; ++i) {
+        const B6 a = B6::random(prng);
+        const B6 b = B6::random(prng);
+        B6 s = a;
+        const std::uint64_t carry = s.addInPlace(b);
+        B6 d = s;
+        const std::uint64_t borrow = d.subInPlace(b);
+        EXPECT_EQ(d, a);
+        EXPECT_EQ(carry, borrow) << "carry must equal borrow back";
+    }
+}
+
+TEST(BigInt, AddCarryDetected)
+{
+    B4 a{};
+    for (auto &l : a.limb)
+        l = ~0ull;
+    EXPECT_EQ(a.addInPlace(B4::fromU64(1)), 1u);
+    EXPECT_TRUE(a.isZero());
+}
+
+TEST(BigInt, ShiftInverse)
+{
+    Prng prng(13);
+    for (std::size_t k : {1u, 7u, 31u, 64u, 65u, 127u, 200u}) {
+        B4 a = B4::random(prng);
+        a.truncateToBits(256 - k);
+        EXPECT_EQ(a.shl(k).shr(k), a) << "k=" << k;
+    }
+}
+
+TEST(BigInt, ShrMatchesBitAccess)
+{
+    Prng prng(17);
+    const B6 a = B6::random(prng);
+    for (std::size_t k : {0u, 1u, 63u, 64u, 100u, 383u}) {
+        const B6 s = a.shr(k);
+        for (std::size_t i = 0; i + k < 384 && i < 64; ++i)
+            EXPECT_EQ(s.bit(i), a.bit(i + k)) << "k=" << k << " i=" << i;
+    }
+}
+
+TEST(BigInt, BitLength)
+{
+    EXPECT_EQ(B4::zero().bitLength(), 0u);
+    EXPECT_EQ(B4::fromU64(1).bitLength(), 1u);
+    EXPECT_EQ(B4::fromU64(0x80).bitLength(), 8u);
+    B4 v{};
+    v.limb[3] = 1;
+    EXPECT_EQ(v.bitLength(), 193u);
+}
+
+TEST(BigInt, BitsWindowExtraction)
+{
+    // bits(offset, width) is the scalar-window primitive of Pippenger.
+    Prng prng(19);
+    for (int iter = 0; iter < 100; ++iter) {
+        const B4 a = B4::random(prng);
+        const std::size_t offset = prng.below(256);
+        const std::size_t width = 1 + prng.below(20);
+        const std::uint64_t got = a.bits(offset, width);
+        std::uint64_t want = 0;
+        for (std::size_t i = 0; i < width && offset + i < 256; ++i) {
+            if (a.bit(offset + i))
+                want |= std::uint64_t{1} << i;
+        }
+        EXPECT_EQ(got, want) << "offset=" << offset << " w=" << width;
+    }
+}
+
+TEST(BigInt, WindowsReassembleScalar)
+{
+    // Concatenating all s-bit windows must reproduce the scalar:
+    // sum_j 2^(j*s) * window_j == k.
+    Prng prng(23);
+    for (std::size_t s : {1u, 4u, 11u, 16u, 21u}) {
+        const B4 k = B4::random(prng);
+        B4 acc = B4::zero();
+        const std::size_t n_win = (256 + s - 1) / s;
+        for (std::size_t j = n_win; j-- > 0;) {
+            const B4 w = B4::fromU64(k.bits(j * s, s));
+            acc = acc.shl(s);
+            acc.addInPlace(w);
+        }
+        EXPECT_EQ(acc, k) << "s=" << s;
+    }
+}
+
+TEST(BigInt, TruncateToBits)
+{
+    Prng prng(29);
+    B4 a = B4::random(prng);
+    a.truncateToBits(100);
+    EXPECT_LE(a.bitLength(), 100u);
+    B4 b = B4::random(prng);
+    b.truncateToBits(0);
+    EXPECT_TRUE(b.isZero());
+}
+
+TEST(BigInt, RandomBelowRespectsBound)
+{
+    Prng prng(31);
+    B4 bound = B4::fromU64(1000);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(B4::randomBelow(prng, bound), bound);
+    bound = B4::random(prng);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(B4::randomBelow(prng, bound), bound);
+}
+
+TEST(BigInt, MulFullMatchesReference)
+{
+    Prng prng(37);
+    for (int iter = 0; iter < 100; ++iter) {
+        const B6 a = B6::random(prng);
+        const B6 b = B6::random(prng);
+        const auto got = mulFull(a, b);
+        const RefNum want = RefNum::from(a).mul(RefNum::from(b));
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(static_cast<std::uint32_t>(got[i]),
+                      want.digit(2 * i));
+            EXPECT_EQ(static_cast<std::uint32_t>(got[i] >> 32),
+                      want.digit(2 * i + 1));
+        }
+    }
+}
+
+TEST(BigInt, MulFullCommutes)
+{
+    Prng prng(41);
+    for (int iter = 0; iter < 50; ++iter) {
+        const BigInt<12> a = BigInt<12>::random(prng);
+        const BigInt<12> b = BigInt<12>::random(prng);
+        EXPECT_EQ(mulFull(a, b), mulFull(b, a));
+    }
+}
+
+TEST(BigInt, HexRoundTrip)
+{
+    Prng prng(43);
+    for (int iter = 0; iter < 50; ++iter) {
+        const B6 a = B6::random(prng);
+        EXPECT_EQ(B6::fromHex(a.toHex()), a);
+    }
+}
+
+TEST(BigInt, AddcSubbPrimitives)
+{
+    std::uint64_t carry = 0;
+    EXPECT_EQ(addc(~0ull, 1, carry), 0u);
+    EXPECT_EQ(carry, 1u);
+    EXPECT_EQ(addc(0, 0, carry), 1u); // consumes carry-in
+    EXPECT_EQ(carry, 0u);
+
+    std::uint64_t borrow = 0;
+    EXPECT_EQ(subb(0, 1, borrow), ~0ull);
+    EXPECT_EQ(borrow, 1u);
+    EXPECT_EQ(subb(5, 2, borrow), 2u); // consumes borrow-in
+    EXPECT_EQ(borrow, 0u);
+}
+
+TEST(BigInt, MacPrimitive)
+{
+    std::uint64_t hi = 0;
+    // (2^32)^2 = 2^64: low 0, hi 1.
+    EXPECT_EQ(mac(1ull << 32, 1ull << 32, 0, 0, hi), 0u);
+    EXPECT_EQ(hi, 1u);
+    // Max case must not overflow 128 bits:
+    // (2^64-1)^2 + 2*(2^64-1) = 2^128 - 1.
+    EXPECT_EQ(mac(~0ull, ~0ull, ~0ull, ~0ull, hi), ~0ull);
+    EXPECT_EQ(hi, ~0ull);
+}
+
+} // namespace
+} // namespace distmsm

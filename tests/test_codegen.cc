@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for register allocation and kernel emission: slot counts
+ * equal the scheduler's register-pressure numbers, spill plans map
+ * to exactly the planned transfers, and the register-level programs
+ * reproduce PADD/PACC/PDBL bitwise on real field arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ec/curves.h"
+#include "src/sched/codegen.h"
+#include "src/sched/schedule_search.h"
+#include "src/support/prng.h"
+
+namespace distmsm::sched {
+namespace {
+
+int
+countOf(const AllocatedKernel &kernel, KernelInstr::Op op)
+{
+    int n = 0;
+    for (const auto &i : kernel.instrs)
+        n += i.op == op;
+    return n;
+}
+
+TEST(Codegen, PaccOptimalUsesSevenRegisters)
+{
+    const OpDag dag = makePaccDag();
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, opt.order, opt.peak);
+    ASSERT_TRUE(plan.feasible);
+    const auto kernel = allocateRegisters(dag, opt.order, plan);
+    EXPECT_EQ(kernel.numRegisters, 7);
+    EXPECT_EQ(kernel.numSharedSlots, 0);
+    EXPECT_EQ(countOf(kernel, KernelInstr::Op::Mul), 10);
+    EXPECT_EQ(countOf(kernel, KernelInstr::Op::Store), 0);
+    EXPECT_EQ(countOf(kernel, KernelInstr::Op::Out), 4);
+}
+
+TEST(Codegen, PaccSpilledUsesFiveRegisters)
+{
+    const OpDag dag = makePaccDag();
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, opt.order, 5);
+    ASSERT_TRUE(plan.feasible);
+    const auto kernel = allocateRegisters(dag, opt.order, plan);
+    EXPECT_LE(kernel.numRegisters, 5);
+    EXPECT_LE(kernel.numSharedSlots, plan.peakShared);
+    EXPECT_EQ(countOf(kernel, KernelInstr::Op::Store) +
+                  countOf(kernel, KernelInstr::Op::Fill),
+              plan.transfers);
+}
+
+TEST(Codegen, PaddOptimalUsesNineRegisters)
+{
+    const OpDag dag = makePaddDag();
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, opt.order, opt.peak);
+    ASSERT_TRUE(plan.feasible);
+    const auto kernel = allocateRegisters(dag, opt.order, plan);
+    EXPECT_EQ(kernel.numRegisters, 9);
+    EXPECT_EQ(countOf(kernel, KernelInstr::Op::Mul), 14);
+}
+
+TEST(Codegen, ListingRendersAllInstructions)
+{
+    const OpDag dag = makePaccDag();
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, opt.order, 5);
+    const auto kernel = allocateRegisters(dag, opt.order, plan);
+    const std::string text = renderKernel(dag, kernel);
+    EXPECT_NE(text.find("mont.mul"), std::string::npos);
+    EXPECT_NE(text.find("st.shared"), std::string::npos);
+    EXPECT_NE(text.find("; spill"), std::string::npos);
+    EXPECT_NE(text.find("st.global  [Xout]"), std::string::npos);
+    // One line per instruction plus the header.
+    const auto lines =
+        std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines,
+              static_cast<long>(kernel.instrs.size()) + 1);
+}
+
+template <typename Curve>
+class CodegenSemanticsTest : public ::testing::Test
+{
+  protected:
+    using Fq = typename Curve::Fq;
+    using Xyzz = XYZZPoint<Curve>;
+
+    Prng prng_{0xC0DE6E4};
+
+    Xyzz
+    randPoint()
+    {
+        const auto k = BigInt<1>::fromU64(2 + prng_.below(1 << 18));
+        return pmul(Xyzz::fromAffine(Curve::generator()), k);
+    }
+};
+
+using CodegenCurves = ::testing::Types<Bn254, Mnt4753>;
+TYPED_TEST_SUITE(CodegenSemanticsTest, CodegenCurves);
+
+TYPED_TEST(CodegenSemanticsTest, AllocatedPaccMatchesReference)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePaccDag();
+    const auto opt = findOptimalOrder(dag);
+    for (int target : {opt.peak, 5, 4}) {
+        const SpillPlan plan = planSpills(dag, opt.order, target);
+        ASSERT_TRUE(plan.feasible) << target;
+        const auto kernel =
+            allocateRegisters(dag, opt.order, plan);
+        for (int iter = 0; iter < 2; ++iter) {
+            const auto acc = this->randPoint();
+            const auto p = this->randPoint().toAffine();
+            const std::vector<Fq> inputs = {acc.x,  acc.y, acc.zz,
+                                            acc.zzz, p.x, p.y};
+            const auto outs =
+                executeAllocated<Fq>(dag, kernel, inputs);
+            const auto want = pacc(acc, p);
+            ASSERT_EQ(outs.size(), 4u);
+            EXPECT_EQ(outs[0], want.x) << "target " << target;
+            EXPECT_EQ(outs[1], want.y);
+            EXPECT_EQ(outs[2], want.zz);
+            EXPECT_EQ(outs[3], want.zzz);
+        }
+    }
+}
+
+TYPED_TEST(CodegenSemanticsTest, AllocatedPaddMatchesReference)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePaddDag();
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, opt.order, 7);
+    ASSERT_TRUE(plan.feasible);
+    const auto kernel = allocateRegisters(dag, opt.order, plan);
+    const auto p1 = this->randPoint();
+    const auto p2 = this->randPoint();
+    const std::vector<Fq> inputs = {p1.x, p1.y, p1.zz, p1.zzz,
+                                    p2.x, p2.y, p2.zz, p2.zzz};
+    const auto outs = executeAllocated<Fq>(dag, kernel, inputs);
+    const auto want = padd(p1, p2);
+    ASSERT_EQ(outs.size(), 4u);
+    EXPECT_EQ(outs[0], want.x);
+    EXPECT_EQ(outs[1], want.y);
+    EXPECT_EQ(outs[2], want.zz);
+    EXPECT_EQ(outs[3], want.zzz);
+}
+
+TYPED_TEST(CodegenSemanticsTest, AllocatedPdblMatchesReference)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePdblDag(TypeParam::kAIsZero);
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, opt.order, opt.peak);
+    ASSERT_TRUE(plan.feasible);
+    const auto kernel = allocateRegisters(dag, opt.order, plan);
+    const auto p = this->randPoint();
+    std::vector<Fq> inputs = {p.x, p.y, p.zz, p.zzz};
+    if (!TypeParam::kAIsZero)
+        inputs.push_back(TypeParam::a());
+    const auto outs = executeAllocated<Fq>(dag, kernel, inputs);
+    const auto want = pdbl(p);
+    ASSERT_EQ(outs.size(), 4u);
+    EXPECT_EQ(outs[0], want.x);
+    EXPECT_EQ(outs[1], want.y);
+    EXPECT_EQ(outs[2], want.zz);
+    EXPECT_EQ(outs[3], want.zzz);
+}
+
+TEST(Codegen, ReferenceOrderAllocatesAtItsPeak)
+{
+    const OpDag dag = makePaccDag();
+    std::vector<int> order(dag.numOps());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    const SpillPlan plan = planSpills(dag, order, 9);
+    ASSERT_TRUE(plan.feasible);
+    const auto kernel = allocateRegisters(dag, order, plan);
+    EXPECT_EQ(kernel.numRegisters, 9);
+}
+
+} // namespace
+} // namespace distmsm::sched

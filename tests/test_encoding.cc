@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for compressed point encoding, proof serialization and the
+ * dedicated squaring path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/bigint/squaring.h"
+#include "src/ec/curves.h"
+#include "src/ec/encoding.h"
+#include "src/field/field_params.h"
+#include "src/support/prng.h"
+#include "src/zksnark/proof_io.h"
+#include "src/zksnark/workloads.h"
+
+namespace distmsm {
+namespace {
+
+template <typename C>
+class EncodingTest : public ::testing::Test
+{
+  protected:
+    using Xyzz = XYZZPoint<C>;
+
+    Prng prng_{0xE4C0};
+
+    AffinePoint<C>
+    randPoint()
+    {
+        const auto k = BigInt<1>::fromU64(2 + prng_.below(1 << 20));
+        return pmul(Xyzz::fromAffine(C::generator()), k).toAffine();
+    }
+};
+
+using AllCurves = ::testing::Types<Bn254, Bls377, Bls381, Mnt4753>;
+TYPED_TEST_SUITE(EncodingTest, AllCurves);
+
+TYPED_TEST(EncodingTest, RoundTrip)
+{
+    for (int i = 0; i < 8; ++i) {
+        const auto p = this->randPoint();
+        const auto bytes = encodePoint<TypeParam>(p);
+        ASSERT_EQ(bytes.size(), encodedPointSize<TypeParam>());
+        const auto decoded = decodePoint<TypeParam>(bytes);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, p);
+    }
+}
+
+TYPED_TEST(EncodingTest, IdentityRoundTrip)
+{
+    const auto id = AffinePoint<TypeParam>::identity();
+    const auto bytes = encodePoint<TypeParam>(id);
+    EXPECT_EQ(bytes[0], 0);
+    const auto decoded = decodePoint<TypeParam>(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->infinity);
+}
+
+TYPED_TEST(EncodingTest, NegatedPointDiffersOnlyInFlag)
+{
+    const auto p = this->randPoint();
+    const auto a = encodePoint<TypeParam>(p);
+    const auto b = encodePoint<TypeParam>(p.negated());
+    EXPECT_NE(a[0], b[0]);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TYPED_TEST(EncodingTest, RejectsMalformed)
+{
+    auto bytes = encodePoint<TypeParam>(this->randPoint());
+    // Bad flag.
+    auto bad = bytes;
+    bad[0] = 7;
+    EXPECT_FALSE(decodePoint<TypeParam>(bad).has_value());
+    // Wrong length.
+    bad = bytes;
+    bad.pop_back();
+    EXPECT_FALSE(decodePoint<TypeParam>(bad).has_value());
+    // Identity with trailing garbage.
+    bad.assign(encodedPointSize<TypeParam>(), 0);
+    bad.back() = 1;
+    EXPECT_FALSE(decodePoint<TypeParam>(bad).has_value());
+    // x >= p (all 0xff bytes).
+    bad.assign(encodedPointSize<TypeParam>(), 0xFF);
+    bad[0] = 2;
+    EXPECT_FALSE(decodePoint<TypeParam>(bad).has_value());
+}
+
+TYPED_TEST(EncodingTest, RejectsNonCurveX)
+{
+    // Find a small x whose RHS is a non-residue and require reject.
+    using Fq = typename TypeParam::Fq;
+    for (std::uint64_t x = 1; x < 200; ++x) {
+        const Fq fx = Fq::fromU64(x);
+        const Fq rhs =
+            fx.sqr() * fx + TypeParam::a() * fx + TypeParam::b();
+        if (rhs.legendre() == -1) {
+            auto p = AffinePoint<TypeParam>::fromXY(fx, Fq::zero());
+            p.infinity = false;
+            auto bytes = encodePoint<TypeParam>(p);
+            bytes[0] = 2;
+            EXPECT_FALSE(
+                decodePoint<TypeParam>(bytes).has_value());
+            return;
+        }
+    }
+    GTEST_SKIP() << "no small non-curve x found";
+}
+
+TEST(ProofIo, RoundTripAndSize)
+{
+    namespace zk = zksnark;
+    Prng prng(0x10);
+    auto built = zk::buildMulChainCircuit<Bn254Fr>(16, 2, prng);
+    const auto trapdoor = zk::Trapdoor<Bn254Fr>::random(prng);
+    const auto keys = zk::setup<Bn254>(built.r1cs, trapdoor);
+    const auto proof =
+        zk::prove<Bn254>(keys.pk, built.r1cs, built.wires, prng);
+
+    const auto bytes = zk::serializeProof<Bn254>(proof);
+    EXPECT_EQ(bytes.size(), zk::proofSize<Bn254>());
+    // The wire portion a pairing verifier would need is three
+    // compressed G1 points: 3 * 33 = 99 bytes on BN254 (the paper's
+    // 127-byte proofs carry one G2 element instead).
+    EXPECT_EQ(zk::proofPointBytes<Bn254>(), 99u);
+
+    const auto round = zk::deserializeProof<Bn254>(bytes);
+    ASSERT_TRUE(round.has_value());
+    EXPECT_TRUE(round->a == proof.a);
+    EXPECT_TRUE(round->b == proof.b);
+    EXPECT_TRUE(round->c == proof.c);
+    EXPECT_EQ(round->aScalar, proof.aScalar);
+
+    // The deserialized proof still verifies.
+    const std::vector<Bn254Fr> inputs(
+        built.wires.begin() + 1,
+        built.wires.begin() + 1 + built.r1cs.numPublic());
+    EXPECT_TRUE(zk::verify<Bn254>(keys.vk, *round, inputs));
+
+    // Corrupt a byte: either decode fails or verification fails.
+    auto bad = bytes;
+    bad[5] ^= 0x40;
+    const auto tampered = zk::deserializeProof<Bn254>(bad);
+    if (tampered.has_value()) {
+        EXPECT_FALSE(zk::verify<Bn254>(keys.vk, *tampered, inputs));
+    }
+}
+
+template <typename P>
+class SquaringTest : public ::testing::Test
+{
+};
+
+using AllFieldParams =
+    ::testing::Types<Bn254FqParams, Bn254FrParams, Bls377FqParams,
+                     Bls377FrParams, Bls381FqParams, Bls381FrParams,
+                     Mnt4753FqParams, Mnt4753FrParams>;
+TYPED_TEST_SUITE(SquaringTest, AllFieldParams);
+
+TYPED_TEST(SquaringTest, SqrFullMatchesMulFull)
+{
+    Prng prng(0x5012);
+    using B = BigInt<TypeParam::kLimbs>;
+    for (int i = 0; i < 40; ++i) {
+        const B a = B::random(prng);
+        EXPECT_EQ(sqrFull(a), mulFull(a, a));
+    }
+    // Edges.
+    EXPECT_EQ(sqrFull(B::zero()), mulFull(B::zero(), B::zero()));
+    B max{};
+    for (auto &l : max.limb)
+        l = ~0ull;
+    EXPECT_EQ(sqrFull(max), mulFull(max, max));
+}
+
+TYPED_TEST(SquaringTest, MontSqrMatchesMontMul)
+{
+    Prng prng(0x5013);
+    using B = BigInt<TypeParam::kLimbs>;
+    const B mod = B::fromLimbs(TypeParam::kModulus);
+    for (int i = 0; i < 25; ++i) {
+        const B a = B::randomBelow(prng, mod);
+        EXPECT_EQ(montSqrDedicated(a, mod, TypeParam::kInv64),
+                  montMulCIOS(a, a, mod, TypeParam::kInv64));
+    }
+}
+
+} // namespace
+} // namespace distmsm

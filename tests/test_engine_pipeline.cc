@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the reusable MsmEngine, the proving pipeline model
+ * (Section 3.2.3's overlapped bucket-reduce), wNAF scalar
+ * multiplication and fixed-base window tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ec/curves.h"
+#include "src/ec/scalar_mul.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/pipeline.h"
+#include "src/msm/workload.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+using gpusim::Cluster;
+using gpusim::DeviceSpec;
+
+msm::MsmOptions
+smallOptions(unsigned s)
+{
+    msm::MsmOptions o;
+    o.windowBitsOverride = s;
+    o.scatter.blockDim = 64;
+    o.scatter.gridDim = 4;
+    o.scatter.sharedBytesPerBlock = 64 * 1024;
+    return o;
+}
+
+TEST(MsmEngineTest, ReusedAcrossScalarVectors)
+{
+    Prng prng(0xE6);
+    const auto points = msm::generatePoints<Bn254>(100, prng);
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const msm::MsmEngine<Bn254> engine(points, cluster,
+                                       smallOptions(7));
+    for (int round = 0; round < 3; ++round) {
+        const auto scalars =
+            msm::generateScalars<Bn254>(100, prng);
+        const auto result = engine.compute(scalars);
+        EXPECT_EQ(result.value,
+                  msm::msmNaive<Bn254>(points, scalars))
+            << "round " << round;
+    }
+}
+
+TEST(MsmEngineTest, PrecomputeTableBuiltOnce)
+{
+    Prng prng(0xE7);
+    const auto points = msm::generatePoints<Bn254>(60, prng);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    auto options = smallOptions(6);
+    options.precompute = true;
+    const msm::MsmEngine<Bn254> engine(points, cluster, options);
+    // Two computes reuse the same table; both must be right.
+    for (int round = 0; round < 2; ++round) {
+        const auto scalars = msm::generateScalars<Bn254>(60, prng);
+        EXPECT_EQ(engine.compute(scalars).value,
+                  msm::msmNaive<Bn254>(points, scalars));
+    }
+}
+
+TEST(MsmEngineTest, RejectsWrongScalarCount)
+{
+    Prng prng(0xE8);
+    const auto points = msm::generatePoints<Bn254>(16, prng);
+    const Cluster cluster(DeviceSpec::a100(), 1);
+    const msm::MsmEngine<Bn254> engine(points, cluster,
+                                       smallOptions(4));
+    const auto scalars = msm::generateScalars<Bn254>(8, prng);
+    EXPECT_EXIT(engine.compute(scalars),
+                ::testing::ExitedWithCode(1), "mismatch");
+}
+
+TEST(Pipeline, MakespanRecurrence)
+{
+    using msm::PipelineTask;
+    // Host stages fully hidden behind GPU stages.
+    std::vector<PipelineTask> tasks = {
+        {10, 2}, {10, 2}, {10, 2}};
+    EXPECT_DOUBLE_EQ(msm::pipelineMakespanNs(tasks), 32.0);
+    EXPECT_DOUBLE_EQ(msm::serialMakespanNs(tasks), 36.0);
+    // Host-bound pipeline: host becomes the critical path.
+    tasks = {{2, 10}, {2, 10}, {2, 10}};
+    EXPECT_DOUBLE_EQ(msm::pipelineMakespanNs(tasks), 32.0);
+    // Single task: no overlap possible.
+    tasks = {{5, 7}};
+    EXPECT_DOUBLE_EQ(msm::pipelineMakespanNs(tasks), 12.0);
+}
+
+TEST(Pipeline, BoundsHold)
+{
+    using msm::PipelineTask;
+    Prng prng(0x91);
+    std::vector<PipelineTask> tasks;
+    double gpu_sum = 0, host_sum = 0;
+    for (int i = 0; i < 12; ++i) {
+        PipelineTask t{1.0 + static_cast<double>(prng.below(100)),
+                       1.0 + static_cast<double>(prng.below(100))};
+        gpu_sum += t.gpuNs;
+        host_sum += t.hostNs;
+        tasks.push_back(t);
+    }
+    const double pipelined = msm::pipelineMakespanNs(tasks);
+    EXPECT_GE(pipelined, std::max(gpu_sum, host_sum));
+    EXPECT_LE(pipelined, msm::serialMakespanNs(tasks));
+}
+
+TEST(Pipeline, HidesCpuReduceAtScale)
+{
+    // Section 3.2.3: with several MSMs per proof the CPU reduce is
+    // essentially free.
+    const auto curve = gpusim::CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    msm::MsmOptions options;
+    options.windowBitsOverride = 11; // engage the CPU reduce
+    const auto estimate = msm::estimateProvingPipeline(
+        curve, 1ull << 24, cluster, options, 4);
+    EXPECT_LT(estimate.pipelinedNs, estimate.serialNs);
+    EXPECT_GT(estimate.hiddenFraction(), 0.0);
+    // The pipelined time approaches the pure GPU time.
+    double gpu_only = 0;
+    for (const auto &t : estimate.tasks)
+        gpu_only += t.gpuNs;
+    EXPECT_LT(estimate.pipelinedNs, 1.25 * gpu_only);
+}
+
+template <typename C>
+class ScalarMulTest : public ::testing::Test
+{
+  protected:
+    using Xyzz = XYZZPoint<C>;
+    Prng prng_{0x3CA1A};
+
+    BigInt<C::Fr::kLimbs>
+    randScalar()
+    {
+        auto k = BigInt<C::Fr::kLimbs>::random(prng_);
+        k.truncateToBits(C::kScalarBits);
+        return k;
+    }
+};
+
+using ScalarCurves = ::testing::Types<Bn254, Mnt4753>;
+TYPED_TEST_SUITE(ScalarMulTest, ScalarCurves);
+
+TYPED_TEST(ScalarMulTest, WnafDigitsAreValid)
+{
+    for (unsigned w : {2u, 4u, 6u}) {
+        const auto k = this->randScalar();
+        const auto digits = wnafDigits(k, w);
+        const std::int32_t bound = (1 << (w - 1)) - 1;
+        int last_nonzero = -static_cast<int>(w);
+        for (std::size_t i = 0; i < digits.size(); ++i) {
+            if (digits[i] == 0)
+                continue;
+            EXPECT_EQ(digits[i] % 2 != 0, true) << "digit must be odd";
+            EXPECT_LE(digits[i], bound);
+            EXPECT_GE(digits[i], -bound);
+            EXPECT_GE(static_cast<int>(i) - last_nonzero,
+                      static_cast<int>(w))
+                << "non-adjacency violated";
+            last_nonzero = static_cast<int>(i);
+        }
+    }
+}
+
+TYPED_TEST(ScalarMulTest, WnafMatchesDoubleAndAdd)
+{
+    using Xyzz = typename ScalarMulTest<TypeParam>::Xyzz;
+    const Xyzz g = Xyzz::fromAffine(TypeParam::generator());
+    for (unsigned w : {2u, 4u, 5u}) {
+        const auto k = this->randScalar();
+        EXPECT_EQ(pmulWnaf(g, k, w), pmul(g, k)) << "w=" << w;
+    }
+    // Edges.
+    EXPECT_TRUE(
+        pmulWnaf(g, BigInt<4>::zero(), 4).isIdentity());
+    EXPECT_EQ(pmulWnaf(g, BigInt<4>::fromU64(1), 4), g);
+}
+
+TYPED_TEST(ScalarMulTest, FixedBaseTableMatchesPmul)
+{
+    using Xyzz = typename ScalarMulTest<TypeParam>::Xyzz;
+    const Xyzz g = Xyzz::fromAffine(TypeParam::generator());
+    const FixedBaseTable<TypeParam> table(g, TypeParam::kScalarBits,
+                                          6);
+    for (int i = 0; i < 5; ++i) {
+        const auto k = this->randScalar();
+        EXPECT_EQ(table.mul(k), pmul(g, k));
+    }
+    EXPECT_TRUE(table.mul(BigInt<4>::zero()).isIdentity());
+    EXPECT_EQ(table.mul(BigInt<4>::fromU64(1)), g);
+}
+
+} // namespace
+} // namespace distmsm

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Field-axiom and special-function tests for Fp over all eight fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/field/field_params.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+template <typename P>
+class FieldTest : public ::testing::Test
+{
+  protected:
+    using F = Fp<P>;
+    Prng prng_{0xF00D};
+    F rand() { return F::random(prng_); }
+};
+
+using AllFieldParams =
+    ::testing::Types<Bn254FqParams, Bn254FrParams, Bls377FqParams,
+                     Bls377FrParams, Bls381FqParams, Bls381FrParams,
+                     Mnt4753FqParams, Mnt4753FrParams>;
+TYPED_TEST_SUITE(FieldTest, AllFieldParams);
+
+TYPED_TEST(FieldTest, ModulusBitsMatchPaperTable1)
+{
+    // Table 1 of the paper lists the field widths.
+    using F = typename FieldTest<TypeParam>::F;
+    EXPECT_EQ(F::modulus().bitLength(), TypeParam::kBits);
+}
+
+TYPED_TEST(FieldTest, Identities)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    for (int i = 0; i < 20; ++i) {
+        const F a = this->rand();
+        EXPECT_EQ(a + F::zero(), a);
+        EXPECT_EQ(a * F::one(), a);
+        EXPECT_EQ(a * F::zero(), F::zero());
+        EXPECT_EQ(a - a, F::zero());
+        EXPECT_EQ(a + (-a), F::zero());
+    }
+}
+
+TYPED_TEST(FieldTest, CommutativeAssociativeDistributive)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    for (int i = 0; i < 20; ++i) {
+        const F a = this->rand(), b = this->rand(), c = this->rand();
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+    }
+}
+
+TYPED_TEST(FieldTest, SqrMatchesMul)
+{
+    for (int i = 0; i < 20; ++i) {
+        const auto a = this->rand();
+        EXPECT_EQ(a.sqr(), a * a);
+        EXPECT_EQ(a.dbl(), a + a);
+    }
+}
+
+TYPED_TEST(FieldTest, InverseRoundTrip)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    for (int i = 0; i < 10; ++i) {
+        F a = this->rand();
+        if (a.isZero())
+            a = F::fromU64(3);
+        EXPECT_EQ(a * a.inverse(), F::one());
+        EXPECT_EQ(a.inverse().inverse(), a);
+    }
+    EXPECT_EQ(F::one().inverse(), F::one());
+}
+
+TYPED_TEST(FieldTest, RawRoundTrip)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    for (int i = 0; i < 20; ++i) {
+        const auto raw =
+            F::Base::randomBelow(this->prng_, F::modulus());
+        EXPECT_EQ(F::fromRaw(raw).toRaw(), raw);
+    }
+    EXPECT_TRUE(F::zero().toRaw().isZero());
+    EXPECT_TRUE(F::one().toRaw().isU64(1));
+}
+
+TYPED_TEST(FieldTest, SmallIntegerArithmetic)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    EXPECT_EQ(F::fromU64(3) + F::fromU64(4), F::fromU64(7));
+    EXPECT_EQ(F::fromU64(6) * F::fromU64(7), F::fromU64(42));
+    EXPECT_EQ(F::fromU64(10) - F::fromU64(4), F::fromU64(6));
+}
+
+TYPED_TEST(FieldTest, PowMatchesRepeatedMul)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    const F a = this->rand();
+    F expect = F::one();
+    for (std::uint64_t e = 0; e < 12; ++e) {
+        EXPECT_EQ(a.pow(BigInt<1>::fromU64(e)), expect);
+        expect *= a;
+    }
+}
+
+TYPED_TEST(FieldTest, FermatLittleTheorem)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    auto e = F::modulus();
+    e.subInPlace(F::Base::fromU64(1));
+    F a = this->rand();
+    if (a.isZero())
+        a = F::fromU64(2);
+    EXPECT_EQ(a.pow(e), F::one());
+}
+
+TYPED_TEST(FieldTest, LegendreAndSqrt)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    EXPECT_EQ(F::zero().legendre(), 0);
+    EXPECT_EQ(F::one().legendre(), 1);
+    // The generated QNR really is a non-residue.
+    EXPECT_EQ(F::fromU64(TypeParam::kQnrSmall).legendre(), -1);
+    int qr_seen = 0;
+    for (int i = 0; i < 8; ++i) {
+        const F a = this->rand();
+        const F square = a.sqr();
+        EXPECT_EQ(square.legendre(), a.isZero() ? 0 : 1);
+        const F root = square.sqrt();
+        EXPECT_EQ(root.sqr(), square);
+        ++qr_seen;
+    }
+    EXPECT_GT(qr_seen, 0);
+}
+
+TYPED_TEST(FieldTest, SqrtIsCanonical)
+{
+    // sqrt returns the lexicographically smaller of the two roots.
+    for (int i = 0; i < 5; ++i) {
+        const auto a = this->rand();
+        const auto root = a.sqr().sqrt();
+        const auto other = -root;
+        EXPECT_LE(root.toRaw(), other.toRaw());
+    }
+}
+
+TYPED_TEST(FieldTest, RootOfUnityHasExactOrder)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    const F w =
+        F::fromRaw(F::Base::fromLimbs(TypeParam::kRootOfUnity));
+    // w^(2^adicity) == 1 but w^(2^(adicity-1)) == -1.
+    F v = w;
+    for (unsigned i = 0; i + 1 < TypeParam::kTwoAdicity; ++i)
+        v = v.sqr();
+    EXPECT_EQ(v, -F::one());
+    EXPECT_EQ(v.sqr(), F::one());
+}
+
+TYPED_TEST(FieldTest, RandomIsReducedAndVaried)
+{
+    using F = typename FieldTest<TypeParam>::F;
+    const F a = this->rand();
+    const F b = this->rand();
+    EXPECT_FALSE(a == b); // astronomically unlikely
+    EXPECT_LT(a.toRaw(), F::modulus());
+}
+
+} // namespace
+} // namespace distmsm

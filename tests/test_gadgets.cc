@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the R1CS gadget library: every gadget produces a
+ * satisfiable system, rejects out-of-spec assignments, and composes
+ * into provable circuits through the full Groth16 pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ec/curves.h"
+#include "src/zksnark/gadgets.h"
+#include "src/zksnark/groth16.h"
+
+namespace distmsm::zksnark {
+namespace {
+
+using F = Bn254Fr;
+using Builder = GadgetBuilder<F>;
+
+bool
+satisfied(const Builder &b)
+{
+    auto [r1cs, wires] = b.build();
+    return r1cs.isSatisfied(wires);
+}
+
+TEST(Gadgets, MulAndSquare)
+{
+    Builder b(0);
+    const auto x = b.allocate(F::fromU64(6));
+    const auto y = b.allocate(F::fromU64(7));
+    const auto p = b.mul(x, y);
+    EXPECT_EQ(b.value(p), F::fromU64(42));
+    const auto s = b.square(p);
+    EXPECT_EQ(b.value(s), F::fromU64(1764));
+    EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Gadgets, BooleanEnforcement)
+{
+    Builder good(0);
+    good.allocateBit(true);
+    good.allocateBit(false);
+    EXPECT_TRUE(satisfied(good));
+
+    // A non-boolean value under the boolean constraint must fail.
+    Builder bad(0);
+    const auto w = bad.allocate(F::fromU64(2));
+    bad.enforceBoolean(w);
+    EXPECT_FALSE(satisfied(bad));
+}
+
+TEST(Gadgets, LogicGatesTruthTables)
+{
+    for (int a = 0; a <= 1; ++a) {
+        for (int bv = 0; bv <= 1; ++bv) {
+            Builder b(0);
+            const auto wa = b.allocateBit(a);
+            const auto wb = b.allocateBit(bv);
+            EXPECT_EQ(b.value(b.andGate(wa, wb)),
+                      F::fromU64(a & bv));
+            EXPECT_EQ(b.value(b.xorGate(wa, wb)),
+                      F::fromU64(a ^ bv));
+            EXPECT_EQ(b.value(b.notGate(wa)), F::fromU64(1 - a));
+            EXPECT_TRUE(satisfied(b)) << a << bv;
+        }
+    }
+}
+
+TEST(Gadgets, Select)
+{
+    Builder b(0);
+    const auto yes = b.allocateBit(true);
+    const auto no = b.allocateBit(false);
+    const auto x = b.allocate(F::fromU64(11));
+    const auto y = b.allocate(F::fromU64(22));
+    EXPECT_EQ(b.value(b.select(yes, x, y)), F::fromU64(11));
+    EXPECT_EQ(b.value(b.select(no, x, y)), F::fromU64(22));
+    EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Gadgets, BitDecomposition)
+{
+    Builder b(0);
+    const auto w = b.allocate(F::fromU64(0b1011010));
+    const auto bits = b.decompose(w, 8);
+    ASSERT_EQ(bits.size(), 8u);
+    const bool expected[] = {0, 1, 0, 1, 1, 0, 1, 0};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(b.value(bits[i]), F::fromU64(expected[i])) << i;
+    EXPECT_TRUE(satisfied(b));
+}
+
+TEST(Gadgets, SboxRoundIsFifthPower)
+{
+    Builder b(0);
+    const auto x = b.allocate(F::fromU64(3));
+    const auto k = b.allocate(F::fromU64(4));
+    const F c = F::fromU64(1);
+    const auto out = b.sboxRound(x, k, c);
+    // (3 + 4 + 1)^5 = 8^5 = 32768.
+    EXPECT_EQ(b.value(out), F::fromU64(32768));
+    EXPECT_TRUE(satisfied(b));
+    // 3 constraints per round.
+    EXPECT_EQ(b.numConstraints(), 3u);
+}
+
+TEST(Gadgets, SboxChainProvesEndToEnd)
+{
+    Prng prng(0x9AD);
+    auto builder = buildSboxChain<F>(20, F::fromU64(5),
+                                     F::random(prng), prng);
+    auto [r1cs, wires] = builder.build();
+    ASSERT_TRUE(r1cs.isSatisfied(wires));
+    EXPECT_EQ(r1cs.numConstraints(), 60u);
+
+    const auto trapdoor = Trapdoor<F>::random(prng);
+    const auto keys = setup<Bn254>(r1cs, trapdoor);
+    const auto proof = prove<Bn254>(keys.pk, r1cs, wires, prng);
+    const std::vector<F> inputs(wires.begin() + 1,
+                                wires.begin() + 2);
+    EXPECT_TRUE(verify<Bn254>(keys.vk, proof, inputs));
+    // A different seed must not verify against this proof.
+    EXPECT_FALSE(
+        verify<Bn254>(keys.vk, proof, {inputs[0] + F::one()}));
+}
+
+TEST(Gadgets, TamperedWitnessDetected)
+{
+    Prng prng(0x9AE);
+    auto builder = buildSboxChain<F>(5, F::fromU64(9),
+                                     F::random(prng), prng);
+    auto [r1cs, wires] = builder.build();
+    ASSERT_TRUE(r1cs.isSatisfied(wires));
+    wires[wires.size() / 2] += F::one();
+    EXPECT_FALSE(r1cs.isSatisfied(wires));
+}
+
+} // namespace
+} // namespace distmsm::zksnark

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the bucket-scatter kernels (Section 3.2.1) and the
+ * per-thread workload model (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/msm/planner.h"
+#include "src/msm/scatter.h"
+#include "src/msm/workload_model.h"
+#include "src/support/prng.h"
+
+namespace distmsm::msm {
+namespace {
+
+std::vector<std::uint32_t>
+randomBucketIds(std::size_t n, unsigned s, Prng &prng)
+{
+    std::vector<std::uint32_t> ids(n);
+    for (auto &id : ids)
+        id = static_cast<std::uint32_t>(prng.below(1u << s));
+    return ids;
+}
+
+/** Sorted per-bucket contents for comparing scatter outputs. */
+std::vector<std::vector<std::uint32_t>>
+normalized(ScatterResult r)
+{
+    for (auto &b : r.buckets)
+        std::sort(b.begin(), b.end());
+    return r.buckets;
+}
+
+ScatterConfig
+smallConfig()
+{
+    ScatterConfig c;
+    c.blockDim = 64;
+    c.gridDim = 8;
+    c.sharedBytesPerBlock = 32 * 1024;
+    return c;
+}
+
+TEST(Scatter, NaiveCoversEveryElementOnce)
+{
+    Prng prng(0x5CA7);
+    const unsigned s = 6;
+    const auto ids = randomBucketIds(2000, s, prng);
+    const auto result = naiveScatter(ids, s, smallConfig());
+    ASSERT_TRUE(result.ok);
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < result.buckets.size(); ++b) {
+        for (auto point : result.buckets[b]) {
+            ASSERT_LT(point, ids.size());
+            EXPECT_EQ(ids[point], b);
+        }
+        total += result.buckets[b].size();
+    }
+    const std::size_t nonzero =
+        ids.size() - std::count(ids.begin(), ids.end(), 0u);
+    EXPECT_EQ(total, nonzero);
+    EXPECT_TRUE(result.buckets[0].empty());
+}
+
+TEST(Scatter, HierarchicalMatchesNaive)
+{
+    Prng prng(0x5CA8);
+    for (unsigned s : {4u, 6u, 9u}) {
+        const auto ids = randomBucketIds(3000, s, prng);
+        const auto naive = naiveScatter(ids, s, smallConfig());
+        const auto hier = hierarchicalScatter(ids, s, smallConfig());
+        ASSERT_TRUE(naive.ok);
+        ASSERT_TRUE(hier.ok);
+        EXPECT_EQ(normalized(naive), normalized(hier)) << "s=" << s;
+    }
+}
+
+TEST(Scatter, HierarchicalHandlesMultipleTiles)
+{
+    // Force several tile rounds: tiny shared memory.
+    Prng prng(0x5CA9);
+    ScatterConfig cfg = smallConfig();
+    cfg.sharedBytesPerBlock = 3 * 1024;
+    const unsigned s = 5;
+    const auto ids = randomBucketIds(20000, s, prng);
+    const auto naive = naiveScatter(ids, s, cfg);
+    const auto hier = hierarchicalScatter(ids, s, cfg);
+    ASSERT_TRUE(hier.ok);
+    EXPECT_EQ(normalized(naive), normalized(hier));
+}
+
+TEST(Scatter, SharedMemoryFailureAboveS14)
+{
+    // Figure 11: "when s > 14, shared memory is insufficient to hold
+    // the size of each bucket, leading to execution failures" (with
+    // the A100's 164KB budget).
+    ScatterConfig cfg; // defaults: 1024 threads, 160KB
+    const std::vector<std::uint32_t> ids(1024, 1);
+    EXPECT_TRUE(hierarchicalScatter(ids, 14, cfg).ok);
+    EXPECT_FALSE(hierarchicalScatter(ids, 15, cfg).ok);
+    EXPECT_FALSE(hierarchicalScatter(ids, 18, cfg).ok);
+    // The naive kernel has no such limit.
+    EXPECT_TRUE(naiveScatter(ids, 18, cfg).ok);
+}
+
+TEST(Scatter, HierarchicalCutsGlobalAtomics)
+{
+    Prng prng(0x5CAA);
+    const unsigned s = 6;
+    const auto ids = randomBucketIds(32768, s, prng);
+    const auto naive = naiveScatter(ids, s, smallConfig());
+    const auto hier = hierarchicalScatter(ids, s, smallConfig());
+    ASSERT_TRUE(naive.ok && hier.ok);
+    // One atomic per element vs one per (block, tile, bucket).
+    EXPECT_GT(naive.stats.globalAtomics,
+              8 * hier.stats.globalAtomics);
+    // The contention collapses too.
+    EXPECT_GT(naive.stats.globalMaxConflict,
+              hier.stats.globalMaxConflict);
+    // The price: shared-memory atomics.
+    EXPECT_GT(hier.stats.sharedAtomics, naive.stats.sharedAtomics);
+}
+
+TEST(Scatter, NaiveContentionScalesWithConcurrency)
+{
+    // Section 3.2: fewer buckets => more concurrent writes per
+    // address.
+    Prng prng(0x5CAB);
+    const auto cfg = smallConfig();
+    const auto wide = naiveScatter(randomBucketIds(16384, 10, prng),
+                                   10, cfg);
+    const auto narrow = naiveScatter(randomBucketIds(16384, 4, prng),
+                                     4, cfg);
+    EXPECT_GT(narrow.stats.globalMaxConflict,
+              4 * wide.stats.globalMaxConflict);
+}
+
+TEST(Scatter, PaperRegisterEstimate)
+{
+    // "The corresponding register usage per thread is 32" for K=64.
+    EXPECT_EQ(hierarchicalRegistersPerThread(64), 32);
+}
+
+TEST(Scatter, SynthesizedStatsTrackMeasured)
+{
+    Prng prng(0x5CAC);
+    const auto cfg = smallConfig();
+    for (unsigned s : {4u, 8u}) {
+        const std::size_t n = 32768;
+        const auto ids = randomBucketIds(n, s, prng);
+        for (bool hier : {false, true}) {
+            const auto measured =
+                hier ? hierarchicalScatter(ids, s, cfg)
+                     : naiveScatter(ids, s, cfg);
+            const auto synth =
+                synthesizeScatterStats(hier, n, s, cfg);
+            ASSERT_TRUE(measured.ok);
+            auto close = [&](double a, double b) {
+                if (a == 0 && b == 0)
+                    return true;
+                return a < 3 * b + 64 && b < 3 * a + 64;
+            };
+            EXPECT_TRUE(close(measured.stats.globalAtomics,
+                              synth.globalAtomics))
+                << "s=" << s << " hier=" << hier << " measured="
+                << measured.stats.globalAtomics << " synth="
+                << synth.globalAtomics;
+            EXPECT_TRUE(close(measured.stats.sharedAtomics,
+                              synth.sharedAtomics))
+                << "s=" << s << " hier=" << hier;
+            EXPECT_TRUE(close(measured.stats.globalConflictWeight,
+                              synth.globalConflictWeight))
+                << "s=" << s << " hier=" << hier << " measured="
+                << measured.stats.globalConflictWeight << " synth="
+                << synth.globalConflictWeight;
+        }
+    }
+}
+
+TEST(WorkloadModel, WindowCount)
+{
+    EXPECT_EQ(windowCount(253, 11), 23u);
+    EXPECT_EQ(windowCount(253, 16), 16u);
+    EXPECT_EQ(windowCount(254, 16), 16u);
+    EXPECT_EQ(windowCount(753, 16), 48u);
+    EXPECT_EQ(windowCount(16, 16), 1u);
+}
+
+TEST(WorkloadModel, SingleGpuOptimumMatchesPaperFigure3)
+{
+    // Figure 3 (N = 2^26, N_T = 2^16, lambda = 253): "for a single
+    // GPU, s is best set at 20."
+    WorkloadConfig wc{1ull << 26, 253, 1, 1ull << 16};
+    EXPECT_EQ(optimalWindowSize(wc), 20u);
+}
+
+TEST(WorkloadModel, OptimumShrinksWithMoreGpus)
+{
+    // Figure 3's qualitative claim: the optimal window size is
+    // platform-dependent and decreases as GPUs are added.
+    WorkloadConfig wc{1ull << 26, 253, 1, 1ull << 16};
+    unsigned prev = optimalWindowSize(wc);
+    for (int gpus : {2, 4, 8, 16}) {
+        wc.numGpus = gpus;
+        const unsigned s = optimalWindowSize(wc);
+        EXPECT_LE(s, prev) << gpus << " GPUs";
+        prev = s;
+    }
+    EXPECT_LT(prev, 20u);
+}
+
+TEST(WorkloadModel, PerThreadWorkloadDropsWithGpus)
+{
+    WorkloadConfig wc{1ull << 26, 253, 1, 1ull << 16};
+    double prev = perThreadWorkload(wc, 16);
+    for (int gpus : {2, 4, 8, 16, 32}) {
+        wc.numGpus = gpus;
+        const double cost = perThreadWorkload(wc, 16);
+        EXPECT_LT(cost, prev);
+        prev = cost;
+    }
+}
+
+TEST(WorkloadModel, SplitFormulaEngagesWhenGpusExceedWindows)
+{
+    // 32 GPUs, s = 16 -> 16 windows: buckets split across 2 GPUs.
+    WorkloadConfig wc{1ull << 26, 253, 32, 1ull << 16};
+    const double split = perThreadWorkload(wc, 16);
+    wc.numGpus = 16;
+    const double whole = perThreadWorkload(wc, 16);
+    EXPECT_LT(split, whole);
+}
+
+TEST(WorkloadModel, BucketReduceTermGrowsWithS)
+{
+    // At fixed GPU count the 2s * 2^s / N_T term eventually
+    // dominates: the cost must turn upward for very large windows.
+    WorkloadConfig wc{1ull << 26, 253, 16, 1ull << 16};
+    EXPECT_GT(perThreadWorkload(wc, 24), perThreadWorkload(wc, 18));
+}
+
+} // namespace
+} // namespace distmsm::msm

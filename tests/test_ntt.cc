@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the NTT: round trips, agreement with the naive DFT,
+ * polynomial multiplication, coset transforms and vanishing
+ * polynomials, across the NTT-friendly scalar fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/field/field_params.h"
+#include "src/ntt/ntt.h"
+#include "src/support/prng.h"
+
+namespace distmsm::ntt {
+namespace {
+
+template <typename P>
+class NttTest : public ::testing::Test
+{
+  protected:
+    using F = Fp<P>;
+    Prng prng_{0x77};
+
+    std::vector<F>
+    randomPoly(std::size_t n)
+    {
+        std::vector<F> v(n);
+        for (auto &x : v)
+            x = F::random(prng_);
+        return v;
+    }
+};
+
+using NttFields =
+    ::testing::Types<Bn254FrParams, Bls377FrParams, Bls381FrParams,
+                     Mnt4753FrParams>;
+TYPED_TEST_SUITE(NttTest, NttFields);
+
+TYPED_TEST(NttTest, RoundTrip)
+{
+    using F = typename NttTest<TypeParam>::F;
+    for (std::size_t n : {1u, 2u, 8u, 64u, 256u}) {
+        const EvaluationDomain<F> domain(n);
+        const auto original = this->randomPoly(n);
+        auto work = original;
+        domain.forward(work);
+        domain.inverse(work);
+        EXPECT_EQ(work, original) << "n=" << n;
+    }
+}
+
+TYPED_TEST(NttTest, MatchesNaiveDft)
+{
+    using F = typename NttTest<TypeParam>::F;
+    const std::size_t n = 16;
+    const EvaluationDomain<F> domain(n);
+    const auto coeffs = this->randomPoly(n);
+    auto evals = coeffs;
+    domain.forward(evals);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(evals[i], evaluatePoly(coeffs, domain.element(i)))
+            << "i=" << i;
+    }
+}
+
+TYPED_TEST(NttTest, RootHasExactOrder)
+{
+    using F = typename NttTest<TypeParam>::F;
+    const std::size_t n = 64;
+    const EvaluationDomain<F> domain(n);
+    F p = domain.root();
+    for (int i = 0; i < 5; ++i)
+        p = p.sqr(); // root^32
+    EXPECT_FALSE(p == F::one());
+    EXPECT_EQ(p.sqr(), F::one());
+}
+
+TYPED_TEST(NttTest, PolynomialMultiply)
+{
+    using F = typename NttTest<TypeParam>::F;
+    const auto a = this->randomPoly(13);
+    const auto b = this->randomPoly(7);
+    const auto product = multiplyPolys(a, b);
+    ASSERT_EQ(product.size(), 19u);
+    // Schoolbook reference.
+    std::vector<F> want(19, F::zero());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j)
+            want[i + j] += a[i] * b[j];
+    }
+    EXPECT_EQ(product, want);
+}
+
+TYPED_TEST(NttTest, CosetRoundTrip)
+{
+    using F = typename NttTest<TypeParam>::F;
+    const std::size_t n = 32;
+    const EvaluationDomain<F> domain(n);
+    const F g = F::fromU64(TypeParam::kQnrSmall);
+    const auto original = this->randomPoly(n);
+    auto work = original;
+    domain.toCoset(work, g);
+    domain.forward(work);
+    domain.inverse(work);
+    domain.fromCoset(work, g);
+    EXPECT_EQ(work, original);
+}
+
+TYPED_TEST(NttTest, CosetEvaluatesOffDomain)
+{
+    // After toCoset + forward, slot i holds p(g * w^i).
+    using F = typename NttTest<TypeParam>::F;
+    const std::size_t n = 8;
+    const EvaluationDomain<F> domain(n);
+    const F g = F::fromU64(TypeParam::kQnrSmall);
+    const auto coeffs = this->randomPoly(n);
+    auto work = coeffs;
+    domain.toCoset(work, g);
+    domain.forward(work);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(work[i],
+                  evaluatePoly(coeffs, g * domain.element(i)));
+    }
+}
+
+TYPED_TEST(NttTest, VanishingPolynomial)
+{
+    using F = typename NttTest<TypeParam>::F;
+    const std::size_t n = 16;
+    const EvaluationDomain<F> domain(n);
+    // Zero on the domain...
+    for (std::size_t i : {0u, 3u, 15u})
+        EXPECT_TRUE(domain.vanishing(domain.element(i)).isZero());
+    // ... non-zero on the coset.
+    const F g = F::fromU64(TypeParam::kQnrSmall);
+    EXPECT_FALSE(domain.vanishing(g * domain.element(2)).isZero());
+}
+
+TYPED_TEST(NttTest, RejectsBadSizes)
+{
+    using F = typename NttTest<TypeParam>::F;
+    const EvaluationDomain<F> domain(8);
+    auto wrong = this->randomPoly(4);
+    EXPECT_EXIT(domain.forward(wrong),
+                ::testing::ExitedWithCode(1), "mismatch");
+}
+
+} // namespace
+} // namespace distmsm::ntt

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Parameterized property sweeps: the distributed MSM agrees with the
+ * serial references across the cross-product of window sizes,
+ * cluster shapes, scatter kernels and digit encodings; field and NTT
+ * laws hold across sizes and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/ec/curves.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/reference.h"
+#include "src/msm/workload.h"
+#include "src/ntt/ntt.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+using gpusim::Cluster;
+using gpusim::DeviceSpec;
+
+// ---------------------------------------------------------------
+// DistMSM configuration sweep: (window bits, gpus, hierarchical,
+// signed digits).
+// ---------------------------------------------------------------
+using MsmConfig = std::tuple<unsigned, int, bool, bool>;
+
+class DistMsmSweep : public ::testing::TestWithParam<MsmConfig>
+{
+  protected:
+    static const std::vector<AffinePoint<Bn254>> &
+    points()
+    {
+        static const auto pts = [] {
+            Prng prng(0xABCD);
+            return msm::generatePoints<Bn254>(160, prng);
+        }();
+        return pts;
+    }
+
+    static const std::vector<BigInt<4>> &
+    scalars()
+    {
+        static const auto ks = [] {
+            Prng prng(0xDCBA);
+            return msm::generateScalars<Bn254>(160, prng);
+        }();
+        return ks;
+    }
+
+    static const XYZZPoint<Bn254> &
+    expected()
+    {
+        static const auto e = msm::msmNaive<Bn254>(points(),
+                                                   scalars());
+        return e;
+    }
+};
+
+TEST_P(DistMsmSweep, MatchesNaive)
+{
+    const auto [s, gpus, hierarchical, use_signed] = GetParam();
+    msm::MsmOptions options;
+    options.windowBitsOverride = s;
+    options.hierarchicalScatter = hierarchical;
+    options.signedDigits = use_signed;
+    options.scatter.blockDim = 64;
+    options.scatter.gridDim = 4;
+    options.scatter.sharedBytesPerBlock = 64 * 1024;
+    const Cluster cluster(DeviceSpec::a100(), gpus);
+    const auto result = msm::computeDistMsm<Bn254>(
+        points(), scalars(), cluster, options);
+    EXPECT_EQ(result.value, expected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowAndClusterGrid, DistMsmSweep,
+    ::testing::Combine(::testing::Values(3u, 6u, 10u),
+                       ::testing::Values(1, 8, 32),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<MsmConfig> &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_g" +
+               std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "_hier" : "_naive") +
+               (std::get<3>(info.param) ? "_signed" : "_plain");
+    });
+
+// ---------------------------------------------------------------
+// Serial Pippenger window sweep on every curve-width class.
+// ---------------------------------------------------------------
+class PippengerWindowSweep
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PippengerWindowSweep, AllWindowsAgree)
+{
+    const unsigned s = GetParam();
+    Prng prng(0x1234 + s);
+    const auto points = msm::generatePoints<Bls381>(30, prng);
+    const auto scalars = msm::generateScalars<Bls381>(30, prng);
+    const auto naive = msm::msmNaive<Bls381>(points, scalars);
+    EXPECT_EQ(msm::msmSerialPippenger<Bls381>(points, scalars, s),
+              naive);
+    if (s >= 2) {
+        EXPECT_EQ(msm::msmSerialPippengerSigned<Bls381>(points,
+                                                        scalars, s),
+                  naive);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowRange, PippengerWindowSweep,
+                         ::testing::Range(1u, 15u, 2u));
+
+// ---------------------------------------------------------------
+// NTT round trips across the size/field grid.
+// ---------------------------------------------------------------
+using NttConfig = std::tuple<unsigned, std::uint64_t>;
+
+class NttSweep : public ::testing::TestWithParam<NttConfig>
+{
+};
+
+TEST_P(NttSweep, RoundTripAndConvolution)
+{
+    const auto [log_n, seed] = GetParam();
+    const std::size_t n = std::size_t{1} << log_n;
+    Prng prng(seed);
+    const ntt::EvaluationDomain<Bn254Fr> domain(n);
+    std::vector<Bn254Fr> poly(n);
+    for (auto &x : poly)
+        x = Bn254Fr::random(prng);
+    auto work = poly;
+    domain.forward(work);
+    domain.inverse(work);
+    EXPECT_EQ(work, poly);
+    // Convolution theorem spot check at a random evaluation point.
+    std::vector<Bn254Fr> q(n / 2 + 1);
+    for (auto &x : q)
+        x = Bn254Fr::random(prng);
+    const auto prod = ntt::multiplyPolys(poly, q);
+    const Bn254Fr x = Bn254Fr::random(prng);
+    EXPECT_EQ(ntt::evaluatePoly(prod, x),
+              ntt::evaluatePoly(poly, x) * ntt::evaluatePoly(q, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSeedGrid, NttSweep,
+    ::testing::Combine(::testing::Values(1u, 4u, 7u, 10u),
+                       ::testing::Values(11ull, 222ull)));
+
+// ---------------------------------------------------------------
+// Field law sweep across seeds (all four base fields).
+// ---------------------------------------------------------------
+class FieldLawSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    template <typename F>
+    static void
+    check(std::uint64_t seed)
+    {
+        Prng prng(seed);
+        const F a = F::random(prng), b = F::random(prng),
+                c = F::random(prng);
+        EXPECT_EQ((a + b) * c, a * c + b * c);
+        EXPECT_EQ(a.sqr() - b.sqr(), (a + b) * (a - b));
+        if (!a.isZero())
+            EXPECT_EQ(a * b * a.inverse(), b);
+        EXPECT_EQ((a * b).sqr(), a.sqr() * b.sqr());
+    }
+};
+
+TEST_P(FieldLawSweep, AllBaseFields)
+{
+    check<Bn254Fq>(GetParam());
+    check<Bls377Fq>(GetParam() + 1);
+    check<Bls381Fq>(GetParam() + 2);
+    check<Mnt4753Fq>(GetParam() + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldLawSweep,
+                         ::testing::Range(std::uint64_t{900},
+                                          std::uint64_t{910}));
+
+} // namespace
+} // namespace distmsm

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the register-pressure scheduler (paper Section 4.2):
+ * liveness accounting, exhaustive schedule search, scheduling-unit
+ * fusion, spill planning and semantic preservation of the scheduled
+ * kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ec/curves.h"
+#include "src/sched/dag.h"
+#include "src/sched/interpreter.h"
+#include "src/sched/schedule_search.h"
+#include "src/sched/spill.h"
+#include "src/support/prng.h"
+
+namespace distmsm::sched {
+namespace {
+
+std::vector<int>
+referenceOrder(const OpDag &dag)
+{
+    std::vector<int> order(dag.numOps());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    return order;
+}
+
+/** A random valid topological order. */
+std::vector<int>
+randomOrder(const OpDag &dag, Prng &prng)
+{
+    const int n = static_cast<int>(dag.numOps());
+    std::vector<int> order;
+    std::vector<bool> done(n, false);
+    while (static_cast<int>(order.size()) < n) {
+        std::vector<int> ready;
+        for (int i = 0; i < n; ++i) {
+            if (done[i])
+                continue;
+            bool ok = true;
+            for (int d : dag.depsOf(i))
+                ok &= done[d];
+            if (ok)
+                ready.push_back(i);
+        }
+        const int pick = ready[prng.below(ready.size())];
+        done[pick] = true;
+        order.push_back(pick);
+    }
+    return order;
+}
+
+TEST(Dag, PaddShape)
+{
+    const OpDag dag = makePaddDag();
+    EXPECT_EQ(dag.inputs().size(), 8u);
+    EXPECT_EQ(dag.outputs().size(), 4u);
+    int muls = 0;
+    for (const auto &op : dag.ops())
+        muls += op.isMul();
+    EXPECT_EQ(muls, 14) << "Algorithm 1 uses 14 modular multiplies";
+}
+
+TEST(Dag, PaccShape)
+{
+    const OpDag dag = makePaccDag();
+    EXPECT_EQ(dag.inputs().size(), 6u);
+    EXPECT_EQ(dag.outputs().size(), 4u);
+    int muls = 0;
+    for (const auto &op : dag.ops())
+        muls += op.isMul();
+    EXPECT_EQ(muls, 10) << "Algorithm 4 uses 10 modular multiplies";
+}
+
+TEST(Dag, StraightforwardPeaksMatchPaper)
+{
+    // Section 4.2: "the peak register pressures for straightforward
+    // PADD and PACC implementations are 11 and 9 big integers".
+    EXPECT_EQ(makePaddDag().peakLiveReferenceOrder(), 11);
+    EXPECT_EQ(makePaccDag().peakLiveReferenceOrder(), 9);
+}
+
+TEST(Dag, ValidOrderChecks)
+{
+    const OpDag dag = makePaccDag();
+    auto order = referenceOrder(dag);
+    EXPECT_TRUE(dag.isValidOrder(order));
+    std::swap(order[0], order[4]); // PP before P: dependency broken
+    EXPECT_FALSE(dag.isValidOrder(order));
+    order = referenceOrder(dag);
+    order.pop_back();
+    EXPECT_FALSE(dag.isValidOrder(order));
+    order = referenceOrder(dag);
+    order[0] = order[1]; // duplicate
+    EXPECT_FALSE(dag.isValidOrder(order));
+}
+
+TEST(Search, OptimalPaccPeakMatchesPaper)
+{
+    // Section 4.2.1: optimal order reduces PACC from 9 to 7.
+    const OpDag dag = makePaccDag();
+    const ScheduleResult result = findOptimalOrder(dag);
+    EXPECT_EQ(result.peak, 7);
+    EXPECT_TRUE(dag.isValidOrder(result.order));
+    EXPECT_EQ(dag.peakLive(result.order), result.peak);
+}
+
+TEST(Search, OptimalPaddPeakMatchesPaper)
+{
+    // Section 4.2.1: optimal order reduces PADD from 11 to 9.
+    const OpDag dag = makePaddDag();
+    const ScheduleResult result = findOptimalOrder(dag);
+    EXPECT_EQ(result.peak, 9);
+    EXPECT_TRUE(dag.isValidOrder(result.order));
+}
+
+TEST(Search, NoOrderBeatsTheOptimum)
+{
+    // Property check: many random topological orders never go below
+    // the exhaustive optimum.
+    const OpDag dag = makePaccDag();
+    const int best = findOptimalOrder(dag).peak;
+    Prng prng(0x5EA3C4);
+    for (int i = 0; i < 200; ++i) {
+        const auto order = randomOrder(dag, prng);
+        ASSERT_TRUE(dag.isValidOrder(order));
+        EXPECT_GE(dag.peakLive(order), best);
+    }
+}
+
+TEST(Search, FusedUnitsPreserveOptimum)
+{
+    // The paper's fusion insight: scheduling (mul, dependent sub)
+    // pairs atomically keeps the optimum reachable while shrinking
+    // the search space.
+    for (const OpDag &dag : {makePaccDag(), makePaddDag()}) {
+        const auto units = fuseUnits(dag);
+        EXPECT_LE(units.size(), dag.numOps());
+        const ScheduleResult full = findOptimalOrder(dag);
+        const ScheduleResult fused = findOptimalUnitOrder(dag, units);
+        EXPECT_EQ(fused.peak, full.peak);
+        EXPECT_LE(fused.statesExplored, full.statesExplored);
+        EXPECT_TRUE(dag.isValidOrder(fused.order));
+    }
+}
+
+TEST(Search, PaccFusionFindsThePaperPairs)
+{
+    // The paper's example pairs (U2 -> P and S2 -> R) are exactly the
+    // constraint-free fusions available in PACC.
+    const OpDag dag = makePaccDag();
+    const auto units = fuseUnits(dag);
+    EXPECT_EQ(units.size(), dag.numOps() - 2);
+    int pairs = 0;
+    for (const auto &u : units)
+        pairs += u.ops.size() == 2;
+    EXPECT_EQ(pairs, 2);
+}
+
+TEST(Search, TopologicalOrderCountBelowFactorialBound)
+{
+    // The paper caps the search at 12! and notes the actual count is
+    // far smaller due to data dependencies.
+    const std::uint64_t pacc_orders =
+        countTopologicalOrders(makePaccDag());
+    EXPECT_GT(pacc_orders, 0u);
+    constexpr std::uint64_t kTwelveFactorial = 479001600;
+    EXPECT_LT(pacc_orders, kTwelveFactorial);
+}
+
+TEST(Spill, MinimumFeasibleFloor)
+{
+    const OpDag dag = makePaccDag();
+    const auto order = findOptimalOrder(dag).order;
+    // A multiply needs its two operands plus the scratch register.
+    EXPECT_EQ(minimumFeasibleRegisters(dag, order), 3);
+}
+
+TEST(Spill, PaccToFiveRegistersMatchesPaper)
+{
+    // Section 4.2.2: spilling brings PACC from 7 to 5 registers at
+    // the cost of 4 big-integer transfers, with at most 3 big
+    // integers in shared memory at any point.
+    const OpDag dag = makePaccDag();
+    const auto order = findOptimalOrder(dag).order;
+    const SpillPlan plan = planSpills(dag, order, 5);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_LE(plan.peakRegisters, 5);
+    EXPECT_LE(plan.peakShared, 3);
+    EXPECT_LE(plan.transfers, 8);
+    EXPECT_GT(plan.transfers, 0);
+}
+
+TEST(Spill, NoSpillsWhenBudgetSuffices)
+{
+    const OpDag dag = makePaccDag();
+    const auto order = findOptimalOrder(dag).order;
+    const SpillPlan plan = planSpills(dag, order, 7);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.transfers, 0);
+}
+
+TEST(Spill, InfeasibleBelowFloor)
+{
+    const OpDag dag = makePaccDag();
+    const auto order = referenceOrder(dag);
+    EXPECT_FALSE(planSpills(dag, order, 2).feasible);
+}
+
+TEST(Spill, TransfersGrowAsBudgetShrinks)
+{
+    const OpDag dag = makePaddDag();
+    const auto order = findOptimalOrder(dag).order;
+    int prev = 0;
+    for (int target = 9; target >= 4; --target) {
+        const SpillPlan plan = planSpills(dag, order, target);
+        ASSERT_TRUE(plan.feasible) << target;
+        EXPECT_GE(plan.transfers, prev);
+        prev = plan.transfers;
+    }
+}
+
+TEST(Dag, PdblShapes)
+{
+    const OpDag short_form = makePdblDag(true);
+    const OpDag general = makePdblDag(false);
+    int muls_short = 0, muls_general = 0;
+    for (const auto &op : short_form.ops())
+        muls_short += op.isMul();
+    for (const auto &op : general.ops())
+        muls_general += op.isMul();
+    EXPECT_EQ(muls_short, 9);
+    EXPECT_EQ(muls_general, 11);
+    EXPECT_EQ(short_form.outputs().size(), 4u);
+}
+
+TEST(Search, PdblOptimalNoWorseThanReference)
+{
+    for (bool a_zero : {true, false}) {
+        const OpDag dag = makePdblDag(a_zero);
+        const auto opt = findOptimalOrder(dag);
+        EXPECT_LE(opt.peak, dag.peakLiveReferenceOrder());
+        EXPECT_TRUE(dag.isValidOrder(opt.order));
+        // Doubling touches fewer values than PADD: it must need
+        // fewer live big integers than PADD's 9.
+        EXPECT_LT(opt.peak, 9);
+    }
+}
+
+TEST(Spill, PdblSpillsFeasibly)
+{
+    const OpDag dag = makePdblDag(true);
+    const auto opt = findOptimalOrder(dag);
+    const SpillPlan plan =
+        planSpills(dag, opt.order,
+                   std::max(3, opt.peak - 2));
+    EXPECT_TRUE(plan.feasible);
+}
+
+template <typename Curve>
+class SchedSemanticsTest : public ::testing::Test
+{
+  protected:
+    using Fq = typename Curve::Fq;
+    using Xyzz = XYZZPoint<Curve>;
+
+    Prng prng_{0x5C4ED};
+
+    Xyzz
+    randPoint()
+    {
+        const auto k = BigInt<1>::fromU64(2 + prng_.below(1 << 18));
+        return pmul(Xyzz::fromAffine(Curve::generator()), k);
+    }
+};
+
+using SemanticsCurves = ::testing::Types<Bn254, Mnt4753>;
+TYPED_TEST_SUITE(SchedSemanticsTest, SemanticsCurves);
+
+TYPED_TEST(SchedSemanticsTest, ScheduledPaddMatchesReference)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePaddDag();
+    const auto optimal = findOptimalOrder(dag);
+    for (int iter = 0; iter < 3; ++iter) {
+        const auto p1 = this->randPoint();
+        const auto p2 = this->randPoint();
+        const std::vector<Fq> inputs = {p1.x,  p1.y, p1.zz, p1.zzz,
+                                        p2.x,  p2.y, p2.zz, p2.zzz};
+        const auto outs =
+            executeSchedule<Fq>(dag, optimal.order, inputs);
+        const auto want = padd(p1, p2);
+        ASSERT_EQ(outs.size(), 4u);
+        EXPECT_EQ(outs[0], want.x);
+        EXPECT_EQ(outs[1], want.y);
+        EXPECT_EQ(outs[2], want.zz);
+        EXPECT_EQ(outs[3], want.zzz);
+    }
+}
+
+TYPED_TEST(SchedSemanticsTest, ScheduledPaccWithSpillsMatchesReference)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePaccDag();
+    const auto optimal = findOptimalOrder(dag);
+    const SpillPlan plan = planSpills(dag, optimal.order, 5);
+    ASSERT_TRUE(plan.feasible);
+    for (int iter = 0; iter < 3; ++iter) {
+        const auto acc = this->randPoint();
+        const auto p = this->randPoint().toAffine();
+        const std::vector<Fq> inputs = {acc.x, acc.y, acc.zz,
+                                        acc.zzz, p.x, p.y};
+        const auto outs =
+            executeSchedule<Fq>(dag, optimal.order, inputs, &plan);
+        const auto want = pacc(acc, p);
+        ASSERT_EQ(outs.size(), 4u);
+        EXPECT_EQ(outs[0], want.x);
+        EXPECT_EQ(outs[1], want.y);
+        EXPECT_EQ(outs[2], want.zz);
+        EXPECT_EQ(outs[3], want.zzz);
+    }
+}
+
+TYPED_TEST(SchedSemanticsTest, ScheduledPdblMatchesReference)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePdblDag(TypeParam::kAIsZero);
+    const auto optimal = findOptimalOrder(dag);
+    for (int iter = 0; iter < 3; ++iter) {
+        const auto p = this->randPoint();
+        std::vector<Fq> inputs = {p.x, p.y, p.zz, p.zzz};
+        if (!TypeParam::kAIsZero)
+            inputs.push_back(TypeParam::a());
+        const auto outs =
+            executeSchedule<Fq>(dag, optimal.order, inputs);
+        const auto want = pdbl(p);
+        ASSERT_EQ(outs.size(), 4u);
+        EXPECT_EQ(outs[0], want.x);
+        EXPECT_EQ(outs[1], want.y);
+        EXPECT_EQ(outs[2], want.zz);
+        EXPECT_EQ(outs[3], want.zzz);
+    }
+}
+
+TYPED_TEST(SchedSemanticsTest, ReferenceOrderAlsoExecutesCorrectly)
+{
+    using Fq = typename TypeParam::Fq;
+    const OpDag dag = makePaccDag();
+    std::vector<int> order(dag.numOps());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    const auto acc = this->randPoint();
+    const auto p = this->randPoint().toAffine();
+    const std::vector<Fq> inputs = {acc.x, acc.y, acc.zz,
+                                    acc.zzz, p.x, p.y};
+    const auto outs = executeSchedule<Fq>(dag, order, inputs);
+    const auto want = pacc(acc, p);
+    EXPECT_EQ(outs[0], want.x);
+    EXPECT_EQ(outs[1], want.y);
+}
+
+} // namespace
+} // namespace distmsm::sched

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the support utilities: PRNG, hex codec, table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/hex.h"
+#include "src/support/prng.h"
+#include "src/support/table.h"
+
+namespace distmsm {
+namespace {
+
+TEST(Prng, Deterministic)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, SeedsDiffer)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    Prng prng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(prng.below(17), 17u);
+}
+
+TEST(Prng, BelowCoversRange)
+{
+    Prng prng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(prng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Hex, RoundTripSmall)
+{
+    std::uint64_t limbs[2] = {0x1234abcd, 0};
+    EXPECT_EQ(hexFromLimbs(limbs, 2), "0x1234abcd");
+    std::uint64_t parsed[2];
+    ASSERT_TRUE(hexToLimbs("0x1234abcd", parsed, 2));
+    EXPECT_EQ(parsed[0], 0x1234abcdu);
+    EXPECT_EQ(parsed[1], 0u);
+}
+
+TEST(Hex, RoundTripMultiLimb)
+{
+    Prng prng(3);
+    for (int i = 0; i < 50; ++i) {
+        std::uint64_t limbs[4];
+        for (auto &l : limbs)
+            l = prng();
+        std::uint64_t parsed[4];
+        ASSERT_TRUE(hexToLimbs(hexFromLimbs(limbs, 4), parsed, 4));
+        for (int j = 0; j < 4; ++j)
+            EXPECT_EQ(parsed[j], limbs[j]);
+    }
+}
+
+TEST(Hex, Zero)
+{
+    std::uint64_t limbs[3] = {0, 0, 0};
+    EXPECT_EQ(hexFromLimbs(limbs, 3), "0x0");
+    std::uint64_t parsed[3] = {1, 2, 3};
+    ASSERT_TRUE(hexToLimbs("0x0", parsed, 3));
+    for (auto l : parsed)
+        EXPECT_EQ(l, 0u);
+}
+
+TEST(Hex, RejectsMalformed)
+{
+    std::uint64_t limbs[1];
+    EXPECT_FALSE(hexToLimbs("", limbs, 1));
+    EXPECT_FALSE(hexToLimbs("0x", limbs, 1));
+    EXPECT_FALSE(hexToLimbs("xyz", limbs, 1));
+    EXPECT_FALSE(hexToLimbs("12 34", limbs, 1));
+}
+
+TEST(Hex, RejectsOverflow)
+{
+    std::uint64_t limbs[1];
+    EXPECT_FALSE(hexToLimbs("0x10000000000000000", limbs, 1));
+    EXPECT_TRUE(hexToLimbs("0x0ffffffffffffffff", limbs, 1));
+    EXPECT_EQ(limbs[0], ~0ull);
+}
+
+TEST(Hex, UpperCaseAccepted)
+{
+    std::uint64_t limbs[1];
+    ASSERT_TRUE(hexToLimbs("0XDEADBEEF", limbs, 1));
+    EXPECT_EQ(limbs[0], 0xdeadbeefull);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"cccc", "d"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a   "), std::string::npos);
+    EXPECT_NE(out.find("cccc"), std::string::npos);
+}
+
+TEST(Table, PaperMsFormat)
+{
+    EXPECT_EQ(TextTable::paperMs(2.04), "2.040");
+    EXPECT_EQ(TextTable::paperMs(29.04), "29.04");
+    EXPECT_EQ(TextTable::paperMs(115.1), "115.1");
+    EXPECT_EQ(TextTable::paperMs(1578.0), "1578");
+    EXPECT_EQ(TextTable::paperMs(11700.0), "11.7K");
+}
+
+} // namespace
+} // namespace distmsm

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the tensor-core Montgomery model (paper Section 4.3):
+ * digit decomposition, the constant matrix product, the 23-bit lane
+ * bound, fragment ownership after the matB column shuffle, on-the-fly
+ * compaction, and end-to-end Montgomery equivalence on all fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/field/field_params.h"
+#include "src/support/prng.h"
+#include "src/tcmul/compaction.h"
+#include "src/tcmul/digit_matrix.h"
+#include "src/tcmul/fragment.h"
+#include "src/tcmul/mont_tc.h"
+
+namespace distmsm::tcmul {
+namespace {
+
+TEST(Digits, RoundTrip)
+{
+    Prng prng(0xD161);
+    for (int i = 0; i < 30; ++i) {
+        const auto v = BigInt<6>::random(prng);
+        EXPECT_EQ(fromDigits<6>(toDigits(v)), v);
+    }
+}
+
+TEST(Digits, LittleEndianOrder)
+{
+    const auto v = BigInt<4>::fromU64(0x0403020100u * 256 + 0xAB);
+    const auto d = toDigits(v);
+    EXPECT_EQ(d[0], 0xAB);
+    EXPECT_EQ(d[1], 0x00);
+    EXPECT_EQ(d[2], 0x01);
+}
+
+TEST(ConstantMatrixTest, EncodesShiftedDigits)
+{
+    // n = 0x0201 -> digits {1, 2}; column i of row j holds n_(i-j).
+    const std::vector<std::uint8_t> n = {1, 2};
+    const ConstantMatrix b(n, 3);
+    EXPECT_EQ(b.rows(), 3u);
+    EXPECT_EQ(b.cols(), 5u);
+    EXPECT_EQ(b.entry(0, 0), 1);
+    EXPECT_EQ(b.entry(0, 1), 2);
+    EXPECT_EQ(b.entry(1, 1), 1);
+    EXPECT_EQ(b.entry(1, 2), 2);
+    EXPECT_EQ(b.entry(2, 2), 1);
+    EXPECT_EQ(b.entry(0, 2), 0);
+    EXPECT_EQ(b.entry(2, 0), 0);
+}
+
+TEST(ColumnSums, SmallProductExact)
+{
+    // x = 0x0105, n = 0x0203: column sums reassemble to x * n.
+    const std::vector<std::uint8_t> x = {5, 1};
+    const std::vector<std::uint8_t> n = {3, 2};
+    const ConstantMatrix b(n, x.size());
+    const auto sums = columnSums(x, b);
+    const auto wide = accumulateColumns<2>(sums);
+    EXPECT_TRUE(wide.isU64(0x0105u * 0x0203u));
+}
+
+TEST(ColumnSums, MatchesMulFullOnRandomInputs)
+{
+    Prng prng(0x7C01);
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto x = BigInt<6>::random(prng);
+        const auto n = BigInt<6>::random(prng);
+        const ConstantMatrix b(toDigits(n), 48);
+        const auto sums = columnSums(toDigits(x), b);
+        const auto got = accumulateColumns<13>(sums);
+        const auto want = mulFull(x, n);
+        for (std::size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(got.limb[i], want[i]);
+        EXPECT_EQ(got.limb[12], 0u);
+    }
+}
+
+TEST(ColumnSums, LaneBitBoundMatchesPaper)
+{
+    // "up to ceil(753/8) = 95 such uint16 values are accumulated,
+    // giving a result with no more than 23 significant bits."
+    EXPECT_EQ(columnSumBits(95), 23u);
+    // And the worst case is actually attained by all-0xff operands.
+    const std::vector<std::uint8_t> x(95, 0xFF), n(95, 0xFF);
+    const ConstantMatrix b(n, x.size());
+    const auto sums = columnSums(x, b);
+    std::uint32_t max_sum = 0;
+    for (auto s : sums)
+        max_sum = std::max(max_sum, s);
+    EXPECT_LT(max_sum, 1u << 23);
+    EXPECT_GE(max_sum, 1u << 22);
+}
+
+TEST(Compaction, GroupsOfFourWithStagger)
+{
+    const std::vector<std::uint32_t> sums = {1, 2, 3, 4, 5};
+    const auto groups = compactColumns(sums);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0],
+              1u + (2ull << 8) + (3ull << 16) + (4ull << 24));
+    EXPECT_EQ(groups[1], 5u);
+}
+
+TEST(Compaction, FortyFiveBitBoundFor256BitOperands)
+{
+    // Figure 7's example: 256-bit products (32 rows) compact into
+    // 45-bit integers.
+    EXPECT_LE(compactedBits(32), 46u);
+    EXPECT_GE(compactedBits(32), 45u);
+}
+
+TEST(Compaction, ResolvesToExactProduct)
+{
+    Prng prng(0xC0FAC7);
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto x = BigInt<4>::random(prng);
+        const auto n = BigInt<4>::random(prng);
+        const ConstantMatrix b(toDigits(n), 32);
+        const auto sums = columnSums(toDigits(x), b);
+        const auto direct = accumulateColumns<9>(sums);
+        const auto resolved =
+            resolveCompacted<9>(compactColumns(sums));
+        EXPECT_EQ(resolved, direct);
+    }
+}
+
+TEST(Compaction, TrafficSavingIsFourX)
+{
+    // "it incurs a memory transfer overhead that is 4x the optimal."
+    EXPECT_EQ(rawTrafficBytes(64), 4 * compactedTrafficBytes(64));
+}
+
+TEST(Fragment, OwnershipMatchesMmaLayout)
+{
+    // Figure 7b: thread0 holds C0, C1; thread1 holds C2, C3; row r
+    // is owned by threads 4r .. 4r+3.
+    EXPECT_EQ(owningThread(0, 0), 0);
+    EXPECT_EQ(owningThread(0, 1), 0);
+    EXPECT_EQ(owningThread(0, 2), 1);
+    EXPECT_EQ(owningThread(0, 7), 3);
+    EXPECT_EQ(owningThread(1, 0), 4);
+    EXPECT_EQ(owningThread(7, 6), 31);
+    // Slots repeat per 8-column tile.
+    EXPECT_EQ(owningThread(0, 8), 0);
+    EXPECT_EQ(owningThread(0, 9), 0);
+}
+
+TEST(Fragment, PaperExampleSwapPairs)
+{
+    // "by swapping columns {2, 3, 18, 19} with {8, 9, 24, 25},
+    // C_i0 ~ C_i3 and C_iG ~ C_iJ are all allocated to thread0."
+    const auto perm = compactionPermutation(32);
+    EXPECT_EQ(perm[8], 2);
+    EXPECT_EQ(perm[9], 3);
+    EXPECT_EQ(perm[2], 8);
+    EXPECT_EQ(perm[3], 9);
+    EXPECT_EQ(perm[24], 18);
+    EXPECT_EQ(perm[25], 19);
+    EXPECT_EQ(perm[18], 24);
+    EXPECT_EQ(perm[19], 25);
+}
+
+TEST(Fragment, EveryThreadOwnsConsecutiveRunsOfFour)
+{
+    for (int cols : {16, 32, 64, 96, 192}) {
+        const auto perm = compactionPermutation(cols);
+        for (int row = 0; row < kTileRows; ++row) {
+            const auto owned = ownedColumns(row, cols, perm);
+            for (const auto &cols_of_thread : owned) {
+                ASSERT_EQ(cols_of_thread.size() % 4, 0u);
+                for (std::size_t g = 0; g + 4 <= cols_of_thread.size();
+                     g += 4) {
+                    for (int k = 1; k < 4; ++k) {
+                        EXPECT_EQ(cols_of_thread[g + k],
+                                  cols_of_thread[g] + k)
+                            << "cols=" << cols << " row=" << row;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Fragment, WithoutPermutationRunsAreOnlyTwoWide)
+{
+    // The motivation for the shuffle: identity layout leaves each
+    // thread with scattered pairs.
+    std::vector<int> identity(32);
+    for (int i = 0; i < 32; ++i)
+        identity[i] = i;
+    const auto owned = ownedColumns(0, 32, identity);
+    // Thread 0 holds {0, 1, 8, 9, 16, 17, 24, 25}: no run of 4.
+    ASSERT_EQ(owned[0].size(), 8u);
+    EXPECT_EQ(owned[0][1], owned[0][0] + 1);
+    EXPECT_NE(owned[0][2], owned[0][1] + 1);
+}
+
+TEST(Fragment, PermutationIsAPermutation)
+{
+    const auto perm = compactionPermutation(96);
+    std::set<int> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), perm.size());
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 95);
+}
+
+template <typename P>
+class MontTcTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t N = P::kLimbs;
+    using B = BigInt<N>;
+
+    B mod_ = B::fromLimbs(P::kModulus);
+    TcMontgomeryContext<N> ctx_{mod_, P::kInv64};
+    Prng prng_{0x7C};
+};
+
+using AllFieldParams =
+    ::testing::Types<Bn254FqParams, Bn254FrParams, Bls377FqParams,
+                     Bls377FrParams, Bls381FqParams, Bls381FrParams,
+                     Mnt4753FqParams, Mnt4753FrParams>;
+TYPED_TEST_SUITE(MontTcTest, AllFieldParams);
+
+TYPED_TEST(MontTcTest, MatchesCiosExactly)
+{
+    using B = BigInt<TypeParam::kLimbs>;
+    for (int iter = 0; iter < 15; ++iter) {
+        const B a = B::randomBelow(this->prng_, this->mod_);
+        const B b = B::randomBelow(this->prng_, this->mod_);
+        EXPECT_EQ(montMulTC(a, b, this->ctx_),
+                  montMulCIOS(a, b, this->mod_, TypeParam::kInv64));
+    }
+}
+
+TYPED_TEST(MontTcTest, EdgeOperands)
+{
+    using B = BigInt<TypeParam::kLimbs>;
+    B pm1 = this->mod_;
+    pm1.subInPlace(B::fromU64(1));
+    for (const B &a : {B::zero(), B::fromU64(1), pm1}) {
+        for (const B &b : {B::zero(), B::fromU64(1), pm1}) {
+            EXPECT_EQ(montMulTC(a, b, this->ctx_),
+                      montMulCIOS(a, b, this->mod_,
+                                  TypeParam::kInv64));
+        }
+    }
+}
+
+TYPED_TEST(MontTcTest, WideProductIsExact)
+{
+    using B = BigInt<TypeParam::kLimbs>;
+    const B m = B::randomBelow(this->prng_, this->mod_);
+    const auto got = this->ctx_.wideProduct(m);
+    const auto want = mulFull(m, this->mod_);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]);
+}
+
+} // namespace
+} // namespace distmsm::tcmul

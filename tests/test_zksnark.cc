@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the zkSNARK pipeline: R1CS satisfaction, the QAP
+ * reduction and quotient polynomial, Groth16 setup / prove / verify
+ * with the trapdoor oracle, and the synthetic workload circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ec/curves.h"
+#include "src/zksnark/groth16.h"
+#include "src/zksnark/workloads.h"
+
+namespace distmsm::zksnark {
+namespace {
+
+using F = Bn254Fr;
+
+BuiltCircuit<F>
+smallCircuit(std::size_t constraints = 30, std::uint64_t seed = 0x21)
+{
+    Prng prng(seed);
+    return buildMulChainCircuit<F>(constraints, 3, prng);
+}
+
+TEST(R1csTest, SatisfactionDetectsTampering)
+{
+    auto built = smallCircuit();
+    EXPECT_TRUE(built.r1cs.isSatisfied(built.wires));
+    auto bad = built.wires;
+    bad[5] += F::one();
+    EXPECT_FALSE(built.r1cs.isSatisfied(bad));
+    // The constant-one wire is mandatory.
+    auto no_one = built.wires;
+    no_one[0] = F::fromU64(2);
+    EXPECT_FALSE(built.r1cs.isSatisfied(no_one));
+}
+
+TEST(R1csTest, LinearCombinationEvaluates)
+{
+    LinearCombination<F> lc;
+    lc.add(0, F::fromU64(7));
+    lc.add(2, F::fromU64(3));
+    const std::vector<F> wires = {F::one(), F::fromU64(100),
+                                  F::fromU64(5)};
+    EXPECT_EQ(lc.evaluate(wires), F::fromU64(22));
+}
+
+TEST(Qap, DomainSizeIsNextPowerOfTwo)
+{
+    auto c30 = smallCircuit(30);
+    EXPECT_EQ(qapDomainSize(c30.r1cs), 32u);
+    auto c32 = smallCircuit(32);
+    EXPECT_EQ(qapDomainSize(c32.r1cs), 32u);
+    auto c33 = smallCircuit(33);
+    EXPECT_EQ(qapDomainSize(c33.r1cs), 64u);
+}
+
+TEST(Qap, QuotientIdentityHoldsAtRandomPoints)
+{
+    // A_w(t) * B_w(t) - C_w(t) == h(t) * Z(t) for satisfied
+    // witnesses — the QAP identity the quotient computation must
+    // realize exactly.
+    const auto built = smallCircuit(25);
+    const auto h = computeQuotientH(built.r1cs, built.wires);
+    Prng prng(0x9A9);
+    for (int iter = 0; iter < 4; ++iter) {
+        const F t = F::random(prng);
+        const auto ev = evaluateQapAt(built.r1cs, t);
+        F aw = F::zero(), bw = F::zero(), cw = F::zero();
+        for (std::size_t j = 0; j < built.wires.size(); ++j) {
+            aw += built.wires[j] * ev.a[j];
+            bw += built.wires[j] * ev.b[j];
+            cw += built.wires[j] * ev.c[j];
+        }
+        EXPECT_EQ(aw * bw - cw,
+                  ntt::evaluatePoly(h, t) * ev.zt);
+    }
+}
+
+TEST(Qap, WirePolynomialsInterpolateRows)
+{
+    // A_j(w^i) must equal the coefficient of wire j in row i; check
+    // via the QAP evaluation at a domain-adjacent... random point by
+    // comparing against direct Lagrange interpolation of one wire.
+    const auto built = smallCircuit(8);
+    const std::size_t n = qapDomainSize(built.r1cs);
+    const ntt::EvaluationDomain<F> domain(n);
+    Prng prng(0x9AA);
+    const F t = F::random(prng);
+    const auto ev = evaluateQapAt(built.r1cs, t);
+
+    // Wire z0 (index 4 = 1 + 3 public) appears in constraint 0 of
+    // the chain circuit with coefficient 1 in A.
+    // Reconstruct A_j(t) for that wire by direct interpolation.
+    const std::uint32_t wire = 4;
+    std::vector<F> evals(n, F::zero());
+    const auto &cs = built.r1cs.constraints();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        for (const auto &[w, coeff] : cs[i].a.terms) {
+            if (w == wire)
+                evals[i] += coeff;
+        }
+    }
+    auto coeffs = evals;
+    domain.inverse(coeffs);
+    EXPECT_EQ(ntt::evaluatePoly(coeffs, t), ev.a[wire]);
+}
+
+class Groth16Test : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        built_ = smallCircuit(20);
+        Prng prng(0x6789);
+        trapdoor_ = Trapdoor<F>::random(prng);
+        keys_ = setup<Bn254>(built_.r1cs, trapdoor_);
+    }
+
+    std::vector<F>
+    publicInputs() const
+    {
+        return {built_.wires.begin() + 1,
+                built_.wires.begin() + 1 + built_.r1cs.numPublic()};
+    }
+
+    BuiltCircuit<F> built_{R1cs<F>(2, 1), {}};
+    Trapdoor<F> trapdoor_;
+    KeyPair<Bn254> keys_;
+};
+
+TEST_F(Groth16Test, HonestProofVerifies)
+{
+    Prng prng(0x1111);
+    ProverTiming timing;
+    const auto proof = prove<Bn254>(keys_.pk, built_.r1cs,
+                                    built_.wires, prng, &timing);
+    EXPECT_TRUE(verify<Bn254>(keys_.vk, proof, publicInputs()));
+    EXPECT_GT(timing.msmPoints, 0u);
+    EXPECT_EQ(timing.domainSize, 32u);
+}
+
+TEST_F(Groth16Test, ProofsAreRandomizedButBothVerify)
+{
+    Prng prng_a(1), prng_b(2);
+    const auto pa = prove<Bn254>(keys_.pk, built_.r1cs, built_.wires,
+                                 prng_a);
+    const auto pb = prove<Bn254>(keys_.pk, built_.r1cs, built_.wires,
+                                 prng_b);
+    EXPECT_FALSE(pa.a == pb.a); // zero-knowledge blinding differs
+    EXPECT_TRUE(verify<Bn254>(keys_.vk, pa, publicInputs()));
+    EXPECT_TRUE(verify<Bn254>(keys_.vk, pb, publicInputs()));
+}
+
+TEST_F(Groth16Test, TamperedProofRejected)
+{
+    Prng prng(0x2222);
+    auto proof = prove<Bn254>(keys_.pk, built_.r1cs, built_.wires,
+                              prng);
+    auto bad = proof;
+    bad.cScalar += F::one();
+    EXPECT_FALSE(verify<Bn254>(keys_.vk, bad, publicInputs()));
+    bad = proof;
+    bad.a = pdbl(bad.a); // point no longer matches its shadow
+    EXPECT_FALSE(verify<Bn254>(keys_.vk, bad, publicInputs()));
+}
+
+TEST_F(Groth16Test, WrongPublicInputRejected)
+{
+    Prng prng(0x3333);
+    const auto proof = prove<Bn254>(keys_.pk, built_.r1cs,
+                                    built_.wires, prng);
+    auto inputs = publicInputs();
+    inputs[0] += F::one();
+    EXPECT_FALSE(verify<Bn254>(keys_.vk, proof, inputs));
+    inputs = publicInputs();
+    inputs.pop_back();
+    EXPECT_FALSE(verify<Bn254>(keys_.vk, proof, inputs));
+}
+
+TEST_F(Groth16Test, ProofSizeIsConstant)
+{
+    // Succinctness: the proof is three group elements regardless of
+    // circuit size (the paper quotes 127 bytes / O(1)).
+    const auto big = smallCircuit(60, 0x44);
+    Prng prng(0x4444);
+    const auto keys2 = setup<Bn254>(big.r1cs, trapdoor_);
+    const auto p2 = prove<Bn254>(keys2.pk, big.r1cs, big.wires, prng);
+    EXPECT_EQ(sizeof(p2.a) + sizeof(p2.b) + sizeof(p2.c),
+              3 * sizeof(XYZZPoint<Bn254>));
+    EXPECT_TRUE(verify<Bn254>(
+        keys2.vk, p2,
+        {big.wires.begin() + 1,
+         big.wires.begin() + 1 + big.r1cs.numPublic()}));
+}
+
+TEST(Workloads, Table4Descriptors)
+{
+    const auto &specs = table4Workloads();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_STREQ(specs[0].name, "Zcash-Sprout");
+    EXPECT_EQ(specs[0].constraints, 2585747u);
+    EXPECT_DOUBLE_EQ(specs[2].libsnarkSeconds, 5036.7);
+    // Paper speedups are ~25x.
+    for (const auto &s : specs) {
+        const double speedup =
+            s.libsnarkSeconds / s.paperDistMsmSeconds;
+        EXPECT_GT(speedup, 24.0);
+        EXPECT_LT(speedup, 27.0);
+    }
+}
+
+TEST(Workloads, StageFractionsSumToOne)
+{
+    const StageFractions f;
+    EXPECT_NEAR(f.msm + f.ntt + f.others, 1.0, 1e-9);
+}
+
+TEST(Workloads, CircuitSizesScale)
+{
+    Prng prng(0x55);
+    const auto c = buildMulChainCircuit<F>(100, 5, prng);
+    EXPECT_EQ(c.r1cs.numConstraints(), 100u);
+    EXPECT_EQ(c.r1cs.numPublic(), 5u);
+    EXPECT_TRUE(c.r1cs.isSatisfied(c.wires));
+}
+
+} // namespace
+} // namespace distmsm::zksnark

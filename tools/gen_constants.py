@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Generate src/field/curve_constants.h.
+
+Every numeric constant used by the field and curve layers is derived here
+from the (primality-checked) moduli, so no constant is hand-transcribed.
+Run from the repository root:
+
+    python3 tools/gen_constants.py > src/field/curve_constants.h
+"""
+
+import random
+import sys
+
+
+def is_prime(n, k=48):
+    if n < 2:
+        return False
+    for p in [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(0xD15713)
+    for _ in range(k):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def legendre(a, p):
+    return pow(a, (p - 1) // 2, p)
+
+
+def tonelli(n, p):
+    """Square root of n mod p (p odd prime, n a QR)."""
+    assert legendre(n, p) == 1
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    if s == 1:
+        return pow(n, (p + 1) // 4, p)
+    z = 2
+    while legendre(z, p) != p - 1:
+        z += 1
+    m, c, t, r = s, pow(z, q, p), pow(n, q, p), pow(n, (q + 1) // 2, p)
+    while t != 1:
+        t2i, i = t, 0
+        for i in range(1, m):
+            t2i = t2i * t2i % p
+            if t2i == 1:
+                break
+        b = pow(c, 1 << (m - i - 1), p)
+        m, c = i, b * b % p
+        t, r = t * c % p, r * b % p
+    return r
+
+
+def smallest_qnr(p):
+    """Smallest quadratic non-residue of GF(p).
+
+    A QNR z suffices everywhere a full group generator would be used:
+    Tonelli-Shanks needs a QNR, and w = z^((p-1)/2^s) has exact
+    multiplicative order 2^s because z^((p-1)/2) = -1.
+    """
+    z = 2
+    while legendre(z, p) != p - 1:
+        z += 1
+    return z
+
+
+def limbs(x, n):
+    out = []
+    for _ in range(n):
+        out.append(x & 0xFFFFFFFFFFFFFFFF)
+        x >>= 64
+    assert x == 0
+    return out
+
+
+def fmt_limbs(x, n):
+    ls = limbs(x, n)
+    return ", ".join("0x%016xull" % l for l in ls)
+
+
+FIELDS = {
+    # name: (modulus, limbs)
+    "bn254_fq": (
+        21888242871839275222246405745257275088696311157297823662689037894645226208583,
+        4,
+    ),
+    "bn254_fr": (
+        21888242871839275222246405745257275088548364400416034343698204186575808495617,
+        4,
+    ),
+    "bls377_fq": (
+        0x01AE3A4617C510EAC63B05C06CA1493B1A22D9F300F5138F1EF3622FBA094800170B5D44300000008508C00000000001,
+        6,
+    ),
+    "bls377_fr": (
+        0x12AB655E9A2CA55660B44D1E5C37B00159AA76FED00000010A11800000000001,
+        4,
+    ),
+    "bls381_fq": (
+        0x1A0111EA397FE69A4B1BA7B6434BACD764774B84F38512BF6730D2A0F6B0F6241EABFFFEB153FFFFB9FEFFFFFFFFAAAB,
+        6,
+    ),
+    "bls381_fr": (
+        0x73EDA753299D7D483339D80809A1D80553BDA402FFFE5BFEFFFFFFFF00000001,
+        4,
+    ),
+    "mnt4753_fq": (
+        41898490967918953402344214791240637128170709919953949071783502921025352812571106773058893763790338921418070971888253786114353726529584385201591605722013126468931404347949840543007986327743462853720628051692141265303114721689601,
+        12,
+    ),
+    "mnt4753_fr": (
+        41898490967918953402344214791240637128170709919953949071783502921025352812571106773058893763790338921418070971888458477323173057491593855069696241854796396165721416325350064441470418137846398469611935719059908164220784476160001,
+        12,
+    ),
+}
+
+# curve name: (fq field, fr field, a, b, scalar_bits)
+CURVES = {
+    "bn254": ("bn254_fq", "bn254_fr", 0, 3, 254),
+    "bls377": ("bls377_fq", "bls377_fr", 0, 1, 253),
+    "bls381": ("bls381_fq", "bls381_fr", 0, 4, 255),
+    "mnt4753": ("mnt4753_fq", "mnt4753_fr", 2, 1, 753),
+}
+
+
+def emit_field(name, p, n, out):
+    assert is_prime(p), name
+    bits = p.bit_length()
+    r = pow(2, 64 * n, p)
+    r2 = r * r % p
+    inv64 = (-pow(p, -1, 1 << 64)) % (1 << 64)
+    t, s = p - 1, 0
+    while t % 2 == 0:
+        t //= 2
+        s += 1
+    z = smallest_qnr(p)
+    w = pow(z, (p - 1) >> s, p)
+    out.append("namespace %s {" % name)
+    out.append("inline constexpr std::size_t kLimbs = %d;" % n)
+    out.append("inline constexpr unsigned kBits = %d;" % bits)
+    out.append("inline constexpr unsigned kTwoAdicity = %d;" % s)
+    out.append("inline constexpr std::uint64_t kInv64 = 0x%016xull;" % inv64)
+    out.append("inline constexpr std::uint64_t kQnrSmall = %d;" % z)
+    for cname, val in [
+        ("kModulus", p),
+        ("kR", r),
+        ("kR2", r2),
+        ("kRootOfUnity", w),
+    ]:
+        out.append(
+            "inline constexpr std::uint64_t %s[%d] = {%s};"
+            % (cname, n, fmt_limbs(val, n))
+        )
+    out.append("} // namespace %s" % name)
+    out.append("")
+
+
+def emit_curve(name, fq, fr, a, b, sbits, out):
+    p = FIELDS[fq][0]
+    n = FIELDS[fq][1]
+    # Derive a generator point: smallest x >= 1 with x^3 + ax + b a QR.
+    x = 1
+    while True:
+        rhs = (x * x * x + a * x + b) % p
+        if rhs != 0 and legendre(rhs, p) == 1:
+            y = tonelli(rhs, p)
+            y = min(y, p - y)
+            break
+        x += 1
+    assert (y * y - (x * x * x + a * x + b)) % p == 0
+    out.append("namespace %s {" % name)
+    out.append("inline constexpr unsigned kScalarBits = %d;" % sbits)
+    for cname, val in [("kA", a), ("kB", b), ("kGx", x), ("kGy", y)]:
+        out.append(
+            "inline constexpr std::uint64_t %s[%d] = {%s};"
+            % (cname, n, fmt_limbs(val, n))
+        )
+    out.append("} // namespace %s" % name)
+    out.append("")
+
+
+def main():
+    out = []
+    out.append("// Generated by tools/gen_constants.py -- do not edit.")
+    out.append("//")
+    out.append("// Field and curve constants for BN254, BLS12-377,")
+    out.append("// BLS12-381 and MNT4753 (stand-in curve coefficients for")
+    out.append("// MNT4753; see DESIGN.md). All limbs little-endian base")
+    out.append("// 2^64; values are raw (not Montgomery form).")
+    out.append("#ifndef DISTMSM_FIELD_CURVE_CONSTANTS_H")
+    out.append("#define DISTMSM_FIELD_CURVE_CONSTANTS_H")
+    out.append("")
+    out.append("#include <cstddef>")
+    out.append("#include <cstdint>")
+    out.append("")
+    out.append("namespace distmsm::constants {")
+    out.append("")
+    for name, (p, n) in FIELDS.items():
+        emit_field(name, p, n, out)
+    for name, (fq, fr, a, b, sbits) in CURVES.items():
+        emit_curve(name, fq, fr, a, b, sbits, out)
+    out.append("} // namespace distmsm::constants")
+    out.append("")
+    out.append("#endif // DISTMSM_FIELD_CURVE_CONSTANTS_H")
+    sys.stdout.write("\n".join(out) + "\n")
+
+
+if __name__ == "__main__":
+    main()

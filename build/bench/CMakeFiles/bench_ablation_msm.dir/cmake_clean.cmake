@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_msm.dir/bench_ablation_msm.cc.o"
+  "CMakeFiles/bench_ablation_msm.dir/bench_ablation_msm.cc.o.d"
+  "bench_ablation_msm"
+  "bench_ablation_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

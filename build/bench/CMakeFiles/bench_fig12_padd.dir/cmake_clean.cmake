@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_padd.dir/bench_fig12_padd.cc.o"
+  "CMakeFiles/bench_fig12_padd.dir/bench_fig12_padd.cc.o.d"
+  "bench_fig12_padd"
+  "bench_fig12_padd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_padd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

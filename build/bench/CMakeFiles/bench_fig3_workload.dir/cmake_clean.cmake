@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_workload.dir/bench_fig3_workload.cc.o"
+  "CMakeFiles/bench_fig3_workload.dir/bench_fig3_workload.cc.o.d"
+  "bench_fig3_workload"
+  "bench_fig3_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gpus.dir/bench_fig9_gpus.cc.o"
+  "CMakeFiles/bench_fig9_gpus.dir/bench_fig9_gpus.cc.o.d"
+  "bench_fig9_gpus"
+  "bench_fig9_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

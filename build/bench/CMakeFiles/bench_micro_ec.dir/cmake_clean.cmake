@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ec.dir/bench_micro_ec.cc.o"
+  "CMakeFiles/bench_micro_ec.dir/bench_micro_ec.cc.o.d"
+  "bench_micro_ec"
+  "bench_micro_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

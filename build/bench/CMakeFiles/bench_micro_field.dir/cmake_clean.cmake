@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_field.dir/bench_micro_field.cc.o"
+  "CMakeFiles/bench_micro_field.dir/bench_micro_field.cc.o.d"
+  "bench_micro_field"
+  "bench_micro_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

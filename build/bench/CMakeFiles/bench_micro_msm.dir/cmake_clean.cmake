@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_msm.dir/bench_micro_msm.cc.o"
+  "CMakeFiles/bench_micro_msm.dir/bench_micro_msm.cc.o.d"
+  "bench_micro_msm"
+  "bench_micro_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ntt.dir/bench_micro_ntt.cc.o"
+  "CMakeFiles/bench_micro_ntt.dir/bench_micro_ntt.cc.o.d"
+  "bench_micro_ntt"
+  "bench_micro_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tcmul.dir/bench_micro_tcmul.cc.o"
+  "CMakeFiles/bench_micro_tcmul.dir/bench_micro_tcmul.cc.o.d"
+  "bench_micro_tcmul"
+  "bench_micro_tcmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tcmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_curves.dir/bench_table1_curves.cc.o"
+  "CMakeFiles/bench_table1_curves.dir/bench_table1_curves.cc.o.d"
+  "bench_table1_curves"
+  "bench_table1_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_endtoend.dir/bench_table4_endtoend.cc.o"
+  "CMakeFiles/bench_table4_endtoend.dir/bench_table4_endtoend.cc.o.d"
+  "bench_table4_endtoend"
+  "bench_table4_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_listing.dir/kernel_listing.cpp.o"
+  "CMakeFiles/kernel_listing.dir/kernel_listing.cpp.o.d"
+  "kernel_listing"
+  "kernel_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

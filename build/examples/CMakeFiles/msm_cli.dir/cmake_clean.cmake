@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msm_cli.dir/msm_cli.cpp.o"
+  "CMakeFiles/msm_cli.dir/msm_cli.cpp.o.d"
+  "msm_cli"
+  "msm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

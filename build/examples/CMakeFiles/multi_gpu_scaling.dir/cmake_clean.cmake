@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_scaling.dir/multi_gpu_scaling.cpp.o"
+  "CMakeFiles/multi_gpu_scaling.dir/multi_gpu_scaling.cpp.o.d"
+  "multi_gpu_scaling"
+  "multi_gpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

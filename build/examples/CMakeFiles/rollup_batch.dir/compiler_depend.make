@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rollup_batch.
+# This may be replaced when dependencies are built.

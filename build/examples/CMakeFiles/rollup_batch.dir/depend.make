@@ -1,0 +1,2 @@
+# Empty dependencies file for rollup_batch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_tuner.dir/window_tuner.cpp.o"
+  "CMakeFiles/window_tuner.dir/window_tuner.cpp.o.d"
+  "window_tuner"
+  "window_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

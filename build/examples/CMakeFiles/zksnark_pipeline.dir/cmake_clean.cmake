@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zksnark_pipeline.dir/zksnark_pipeline.cpp.o"
+  "CMakeFiles/zksnark_pipeline.dir/zksnark_pipeline.cpp.o.d"
+  "zksnark_pipeline"
+  "zksnark_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zksnark_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cluster.cc" "src/CMakeFiles/distmsm.dir/gpusim/cluster.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/gpusim/cluster.cc.o.d"
+  "/root/repo/src/gpusim/cost_model.cc" "src/CMakeFiles/distmsm.dir/gpusim/cost_model.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/gpusim/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "src/CMakeFiles/distmsm.dir/gpusim/device.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/gpusim/device.cc.o.d"
+  "/root/repo/src/gpusim/executor.cc" "src/CMakeFiles/distmsm.dir/gpusim/executor.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/gpusim/executor.cc.o.d"
+  "/root/repo/src/msm/baseline_profiles.cc" "src/CMakeFiles/distmsm.dir/msm/baseline_profiles.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/msm/baseline_profiles.cc.o.d"
+  "/root/repo/src/msm/pipeline.cc" "src/CMakeFiles/distmsm.dir/msm/pipeline.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/msm/pipeline.cc.o.d"
+  "/root/repo/src/msm/planner.cc" "src/CMakeFiles/distmsm.dir/msm/planner.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/msm/planner.cc.o.d"
+  "/root/repo/src/msm/scatter.cc" "src/CMakeFiles/distmsm.dir/msm/scatter.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/msm/scatter.cc.o.d"
+  "/root/repo/src/msm/workload_model.cc" "src/CMakeFiles/distmsm.dir/msm/workload_model.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/msm/workload_model.cc.o.d"
+  "/root/repo/src/sched/codegen.cc" "src/CMakeFiles/distmsm.dir/sched/codegen.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/sched/codegen.cc.o.d"
+  "/root/repo/src/sched/dag.cc" "src/CMakeFiles/distmsm.dir/sched/dag.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/sched/dag.cc.o.d"
+  "/root/repo/src/sched/schedule_search.cc" "src/CMakeFiles/distmsm.dir/sched/schedule_search.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/sched/schedule_search.cc.o.d"
+  "/root/repo/src/sched/spill.cc" "src/CMakeFiles/distmsm.dir/sched/spill.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/sched/spill.cc.o.d"
+  "/root/repo/src/support/hex.cc" "src/CMakeFiles/distmsm.dir/support/hex.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/support/hex.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/distmsm.dir/support/table.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/support/table.cc.o.d"
+  "/root/repo/src/tcmul/compaction.cc" "src/CMakeFiles/distmsm.dir/tcmul/compaction.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/tcmul/compaction.cc.o.d"
+  "/root/repo/src/tcmul/digit_matrix.cc" "src/CMakeFiles/distmsm.dir/tcmul/digit_matrix.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/tcmul/digit_matrix.cc.o.d"
+  "/root/repo/src/tcmul/fragment.cc" "src/CMakeFiles/distmsm.dir/tcmul/fragment.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/tcmul/fragment.cc.o.d"
+  "/root/repo/src/zksnark/workloads.cc" "src/CMakeFiles/distmsm.dir/zksnark/workloads.cc.o" "gcc" "src/CMakeFiles/distmsm.dir/zksnark/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_verify.dir/test_batch_verify.cc.o"
+  "CMakeFiles/test_batch_verify.dir/test_batch_verify.cc.o.d"
+  "test_batch_verify"
+  "test_batch_verify.pdb"
+  "test_batch_verify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encoding.dir/test_encoding.cc.o"
+  "CMakeFiles/test_encoding.dir/test_encoding.cc.o.d"
+  "test_encoding"
+  "test_encoding.pdb"
+  "test_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_pipeline.dir/test_engine_pipeline.cc.o"
+  "CMakeFiles/test_engine_pipeline.dir/test_engine_pipeline.cc.o.d"
+  "test_engine_pipeline"
+  "test_engine_pipeline.pdb"
+  "test_engine_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field.dir/test_field.cc.o"
+  "CMakeFiles/test_field.dir/test_field.cc.o.d"
+  "test_field"
+  "test_field.pdb"
+  "test_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_g2.dir/test_g2.cc.o"
+  "CMakeFiles/test_g2.dir/test_g2.cc.o.d"
+  "test_g2"
+  "test_g2.pdb"
+  "test_g2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_g2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_montgomery.dir/test_montgomery.cc.o"
+  "CMakeFiles/test_montgomery.dir/test_montgomery.cc.o.d"
+  "test_montgomery"
+  "test_montgomery.pdb"
+  "test_montgomery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_montgomery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msm.dir/test_msm.cc.o"
+  "CMakeFiles/test_msm.dir/test_msm.cc.o.d"
+  "test_msm"
+  "test_msm.pdb"
+  "test_msm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msm_extensions.dir/test_msm_extensions.cc.o"
+  "CMakeFiles/test_msm_extensions.dir/test_msm_extensions.cc.o.d"
+  "test_msm_extensions"
+  "test_msm_extensions.pdb"
+  "test_msm_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msm_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msm_scatter.dir/test_msm_scatter.cc.o"
+  "CMakeFiles/test_msm_scatter.dir/test_msm_scatter.cc.o.d"
+  "test_msm_scatter"
+  "test_msm_scatter.pdb"
+  "test_msm_scatter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msm_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

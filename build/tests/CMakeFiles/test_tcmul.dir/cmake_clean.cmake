@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcmul.dir/test_tcmul.cc.o"
+  "CMakeFiles/test_tcmul.dir/test_tcmul.cc.o.d"
+  "test_tcmul"
+  "test_tcmul.pdb"
+  "test_tcmul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tcmul.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zksnark.dir/test_zksnark.cc.o"
+  "CMakeFiles/test_zksnark.dir/test_zksnark.cc.o.d"
+  "test_zksnark"
+  "test_zksnark.pdb"
+  "test_zksnark[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zksnark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_montgomery[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_tcmul[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_msm_scatter[1]_include.cmake")
+include("/root/repo/build/tests/test_msm[1]_include.cmake")
+include("/root/repo/build/tests/test_msm_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_encoding[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_g2[1]_include.cmake")
+include("/root/repo/build/tests/test_groth16_g2[1]_include.cmake")
+include("/root/repo/build/tests/test_gadgets[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_batch_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_ntt[1]_include.cmake")
+include("/root/repo/build/tests/test_zksnark[1]_include.cmake")

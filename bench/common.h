@@ -13,11 +13,13 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/gpusim/cluster.h"
 #include "src/gpusim/cost_model.h"
 #include "src/support/table.h"
+#include "src/support/thread_pool.h"
 
 namespace distmsm::bench {
 
@@ -31,7 +33,22 @@ paperCurves()
             gpusim::CurveProfile::mnt4753()};
 }
 
-/** Print the experiment banner. */
+/**
+ * One machine-readable context line per benchmark run: experiment
+ * name plus the host-parallelism configuration, so sweep logs are
+ * comparable across thread counts (results themselves are
+ * bit-identical by design; only wall-clock changes).
+ */
+inline void
+jsonContext(const char *experiment)
+{
+    std::printf("{\"experiment\":\"%s\",\"host_threads\":%d,"
+                "\"hardware_concurrency\":%u}\n",
+                experiment, support::resolveHostThreads(0),
+                std::thread::hardware_concurrency());
+}
+
+/** Print the experiment banner (includes the JSON context line). */
 inline void
 banner(const char *experiment, const char *what, const char *method)
 {
@@ -39,6 +56,7 @@ banner(const char *experiment, const char *what, const char *method)
                 "=============\n");
     std::printf("%s — %s\n", experiment, what);
     std::printf("methodology: %s\n", method);
+    jsonContext(experiment);
     std::printf("================================================="
                 "=============\n\n");
 }

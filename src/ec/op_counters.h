@@ -28,11 +28,16 @@ struct OpCounters
     }
 };
 
-/** The single global counter instance (the library is single-threaded). */
+/**
+ * The calling thread's counter instance. Thread-local so EC
+ * arithmetic executed on support::ThreadPool workers never races:
+ * calibration and tests reset/read the counters around serial code
+ * on their own thread.
+ */
 inline OpCounters &
 opCounters()
 {
-    static OpCounters counters;
+    static thread_local OpCounters counters;
     return counters;
 }
 

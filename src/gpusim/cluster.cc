@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/check.h"
+#include "src/support/thread_pool.h"
 
 namespace distmsm::gpusim {
 
@@ -21,6 +22,18 @@ Cluster::makespanNs(const std::vector<double> &per_gpu_ns)
     for (double t : per_gpu_ns)
         makespan = std::max(makespan, t);
     return makespan;
+}
+
+void
+Cluster::forEachDevice(int tasks, const std::function<void(int)> &fn,
+                       int host_threads) const
+{
+    if (tasks <= 0)
+        return;
+    support::ThreadPool::global().parallelFor(
+        0, static_cast<std::size_t>(tasks),
+        [&](std::size_t i) { fn(static_cast<int>(i)); },
+        support::resolveHostThreads(host_threads));
 }
 
 int

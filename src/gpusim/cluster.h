@@ -12,6 +12,7 @@
 #ifndef DISTMSM_GPUSIM_CLUSTER_H
 #define DISTMSM_GPUSIM_CLUSTER_H
 
+#include <functional>
 #include <vector>
 
 #include "src/gpusim/cost_model.h"
@@ -55,6 +56,30 @@ class Cluster
 
     /** Number of DGX nodes covering the GPUs. */
     int numNodes() const;
+
+    /**
+     * Execute @p fn(i) for i in [0, tasks) — one task per simulated
+     * device (or device group) — concurrently on the host thread
+     * pool. The real GPUs of the testbed run independently, so their
+     * simulations may too; @p fn must only write state owned by task
+     * i (e.g. slot i of a result vector), and the caller merges the
+     * slots in index order so results are bit-identical to a
+     * sequential run.
+     *
+     * @param host_threads support::resolveHostThreads convention
+     *        (0 = auto, 1 = strictly sequential in ascending order).
+     */
+    void forEachDevice(int tasks,
+                       const std::function<void(int)> &fn,
+                       int host_threads = 0) const;
+
+    /** forEachDevice over exactly the cluster's GPUs. */
+    void
+    forEachGpu(const std::function<void(int)> &fn,
+               int host_threads = 0) const
+    {
+        forEachDevice(num_gpus_, fn, host_threads);
+    }
 
   private:
     DeviceSpec device_;

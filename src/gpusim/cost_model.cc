@@ -150,8 +150,8 @@ CostModel::ecOpCudaOps(const CurveProfile &curve,
                        const EcKernelVariant &v, EcOp op) const
 {
     const double L = curve.limbs64();
-    int modmuls;
-    int modadds;
+    int modmuls = 0;
+    int modadds = 0;
     switch (op) {
       case EcOp::Pacc:
         modmuls = v.dedicatedPacc ? 10 : 14;

@@ -2,17 +2,21 @@
 
 #include <algorithm>
 
+#include "src/support/thread_pool.h"
+
 namespace distmsm::gpusim {
 
 KernelLaunch::KernelLaunch(int grid_dim, int block_dim,
-                           std::size_t shared_words)
-    : grid_dim_(grid_dim), block_dim_(block_dim)
+                           std::size_t shared_words, int host_threads)
+    : grid_dim_(grid_dim), block_dim_(block_dim),
+      host_threads_(support::resolveHostThreads(host_threads))
 {
     DISTMSM_REQUIRE(grid_dim > 0 && block_dim > 0,
                     "empty kernel launch");
     shared_.reserve(grid_dim);
     for (int b = 0; b < grid_dim; ++b)
         shared_.emplace_back(shared_words, WordArray::Space::Shared);
+    block_stats_.resize(static_cast<std::size_t>(grid_dim));
 }
 
 WordArray &
@@ -23,16 +27,38 @@ KernelLaunch::shared(int bid)
 }
 
 void
+KernelLaunch::runBlock(int bid,
+                       const std::function<void(ThreadCtx &)> &fn)
+{
+    for (int tid = 0; tid < block_dim_; ++tid) {
+        ThreadCtx ctx{tid, bid, block_dim_, grid_dim_};
+        fn(ctx);
+    }
+}
+
+void
 KernelLaunch::phase(const std::function<void(ThreadCtx &)> &fn)
 {
     ++stats_.phases;
-    for (int bid = 0; bid < grid_dim_; ++bid) {
-        for (int tid = 0; tid < block_dim_; ++tid) {
-            ThreadCtx ctx{tid, bid, block_dim_, grid_dim_};
-            fn(ctx);
-        }
+    if (host_threads_ <= 1 || grid_dim_ == 1) {
+        for (int bid = 0; bid < grid_dim_; ++bid)
+            runBlock(bid, fn);
+    } else {
+        support::ThreadPool::global().parallelFor(
+            0, static_cast<std::size_t>(grid_dim_),
+            [&](std::size_t bid) {
+                runBlock(static_cast<int>(bid), fn);
+            },
+            host_threads_);
     }
-    // Fold this phase's per-address writer counts into the stats.
+    // Barrier reached: merge the per-block tallies in block index
+    // order (all fields are sums or maxima, so the totals equal the
+    // sequential execution's), then fold this phase's per-address
+    // writer counts into the stats.
+    for (auto &bs : block_stats_) {
+        stats_.merge(bs);
+        bs = KernelStats{};
+    }
     for (WordArray *arr : touched_)
         foldPhaseContention(*arr);
     touched_.clear();
@@ -43,24 +69,42 @@ KernelLaunch::atomicAdd(WordArray &arr, std::size_t i, std::uint64_t v,
                         const ThreadCtx &ctx)
 {
     DISTMSM_ASSERT(i < arr.words_.size());
-    const std::uint64_t old = arr.words_[i];
-    arr.words_[i] += v;
+    const bool is_shared = arr.space_ == WordArray::Space::Shared;
 
     // Shared-memory conflicts only arise within a block; salt the
     // key so different blocks' writes to the same index of their own
     // copies do not alias.
     const std::uint64_t key =
-        arr.space_ == WordArray::Space::Shared
-            ? (static_cast<std::uint64_t>(ctx.bid) << 40) | i
-            : i;
-    if (arr.phase_writers_.empty())
-        touched_.push_back(&arr);
-    ++arr.phase_writers_[key];
+        is_shared ? (static_cast<std::uint64_t>(ctx.bid) << 40) | i
+                  : i;
 
-    if (arr.space_ == WordArray::Space::Shared) {
-        ++stats_.sharedAtomics;
+    std::uint64_t old;
+    bool first_writer;
+    if (!is_shared && host_threads_ > 1) {
+        // Concurrent host threads model the atomic unit: serialize
+        // global-space updates. fetch-add commutes, so the final
+        // words and writer counts are schedule-independent.
+        std::lock_guard<std::mutex> lock(*arr.mutex_);
+        old = arr.words_[i];
+        arr.words_[i] += v;
+        first_writer = arr.phase_writers_.empty();
+        ++arr.phase_writers_[key];
     } else {
-        ++stats_.globalAtomics;
+        old = arr.words_[i];
+        arr.words_[i] += v;
+        first_writer = arr.phase_writers_.empty();
+        ++arr.phase_writers_[key];
+    }
+    if (first_writer) {
+        std::lock_guard<std::mutex> lock(touched_mutex_);
+        touched_.push_back(&arr);
+    }
+
+    KernelStats &bs = blockStats(ctx);
+    if (is_shared) {
+        ++bs.sharedAtomics;
+    } else {
+        ++bs.globalAtomics;
     }
     return old;
 }

@@ -15,6 +15,18 @@
  * Per-thread "registers" live in caller-managed arrays indexed by
  * global thread id; per-block shared memory is allocated by the
  * launch and persists across its phases.
+ *
+ * Host parallelism: a launch constructed with host_threads != 1 runs
+ * the independent thread *blocks* of each phase concurrently on the
+ * support::ThreadPool; threads within a block stay sequential in tid
+ * order. Statistics are accumulated per block and merged in block
+ * index order after the barrier, and simulated atomics stay modeled
+ * (global WordArrays serialize behind a per-array mutex), so every
+ * counter and every simulated memory word is bit-identical to the
+ * sequential execution. Kernel callbacks must follow the same rules
+ * real CUDA kernels do: only touch shared memory of their own block,
+ * use atomicAdd() for cross-block global writes, and never depend on
+ * the *ordering* of other blocks' global atomics within a phase.
  */
 
 #ifndef DISTMSM_GPUSIM_EXECUTOR_H
@@ -22,6 +34,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -57,7 +71,8 @@ class WordArray
     enum class Space { Global, Shared };
 
     WordArray(std::size_t size, Space space)
-        : words_(size, 0), space_(space)
+        : words_(size, 0), space_(space),
+          mutex_(space == Space::Global ? new std::mutex : nullptr)
     {
     }
 
@@ -86,6 +101,10 @@ class WordArray
     // Per-phase contention accounting, keyed by word index with a
     // block-id salt for shared arrays (conflicts are per block).
     std::unordered_map<std::uint64_t, std::uint32_t> phase_writers_;
+    // Models the hardware atomic unit when blocks run on concurrent
+    // host threads: global-space updates serialize here. Shared
+    // arrays are only touched by their owning block and need none.
+    std::unique_ptr<std::mutex> mutex_;
 };
 
 /**
@@ -98,13 +117,18 @@ class KernelLaunch
      * @param grid_dim blocks in the grid.
      * @param block_dim threads per block.
      * @param shared_words 64-bit words of shared memory per block.
+     * @param host_threads host threads executing blocks of one phase
+     *        concurrently (resolveHostThreads convention; default 1
+     *        keeps the legacy strictly-sequential execution).
      */
     KernelLaunch(int grid_dim, int block_dim,
-                 std::size_t shared_words);
+                 std::size_t shared_words, int host_threads = 1);
 
     int gridDim() const { return grid_dim_; }
     int blockDim() const { return block_dim_; }
     int gridThreads() const { return grid_dim_ * block_dim_; }
+    /** Effective host threads this launch may use per phase. */
+    int hostThreads() const { return host_threads_; }
 
     /** Per-block shared memory (valid for the whole launch). */
     WordArray &shared(int bid);
@@ -112,40 +136,55 @@ class KernelLaunch
     /**
      * Execute one bulk-synchronous phase: @p fn runs for every
      * thread; an implicit barrier follows. Atomic contention is
-     * accounted per phase.
+     * accounted per phase. Blocks may execute on concurrent host
+     * threads (see the file comment); threads of one block run
+     * sequentially in tid order.
      */
     void phase(const std::function<void(ThreadCtx &)> &fn);
 
     /**
      * Atomic fetch-add on a word array from thread context; records
-     * contention in this launch's stats.
+     * contention in this launch's stats. As on real hardware, the
+     * returned reservation is ordered within a block but carries no
+     * cross-block ordering guarantee when blocks run concurrently.
      */
     std::uint64_t atomicAdd(WordArray &arr, std::size_t i,
                             std::uint64_t v, const ThreadCtx &ctx);
 
     /** Plain (non-atomic) shared/global access accounting. */
     void
-    countSharedAccess(std::uint64_t n = 1)
+    countSharedAccess(const ThreadCtx &ctx, std::uint64_t n = 1)
     {
-        stats_.sharedAccesses += n;
+        blockStats(ctx).sharedAccesses += n;
     }
 
     void
-    countGmemBytes(std::uint64_t bytes)
+    countGmemBytes(const ThreadCtx &ctx, std::uint64_t bytes)
     {
-        stats_.gmemBytes += bytes;
+        blockStats(ctx).gmemBytes += bytes;
     }
 
     const KernelStats &stats() const { return stats_; }
     KernelStats &stats() { return stats_; }
 
   private:
+    KernelStats &
+    blockStats(const ThreadCtx &ctx)
+    {
+        return block_stats_[static_cast<std::size_t>(ctx.bid)];
+    }
+
+    void runBlock(int bid, const std::function<void(ThreadCtx &)> &fn);
     void foldPhaseContention(WordArray &arr);
 
     int grid_dim_;
     int block_dim_;
+    int host_threads_;
     std::vector<WordArray> shared_;
     std::vector<WordArray *> touched_;
+    std::mutex touched_mutex_;
+    /** Per-block tallies of the running phase, merged in bid order. */
+    std::vector<KernelStats> block_stats_;
     KernelStats stats_;
 };
 

@@ -49,6 +49,12 @@ struct KernelStats
     std::uint64_t paccOps = 0;
     std::uint64_t pdblOps = 0;
 
+    /**
+     * Field-wise equality; the determinism tests assert measured
+     * statistics do not drift across host-thread counts.
+     */
+    bool operator==(const KernelStats &) const = default;
+
     void
     merge(const KernelStats &o)
     {

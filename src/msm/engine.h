@@ -13,6 +13,7 @@
 #ifndef DISTMSM_MSM_ENGINE_H
 #define DISTMSM_MSM_ENGINE_H
 
+#include <algorithm>
 #include <vector>
 
 #include "src/ec/point.h"
@@ -22,6 +23,7 @@
 #include "src/msm/scatter.h"
 #include "src/msm/signed_digits.h"
 #include "src/support/check.h"
+#include "src/support/thread_pool.h"
 
 namespace distmsm::msm {
 
@@ -106,12 +108,16 @@ toAffineBatch(const std::vector<XYZZPoint<Curve>> &points)
 /**
  * Precomputation table (Section 2.3.1): row j holds 2^(j*s) P_i for
  * every input point, so points of different windows sum directly.
+ * The per-point doubling chains are independent, so each table row
+ * is built with @p host_threads cooperating threads; point i's chain
+ * only ever touches slot i, so the table is bit-identical to the
+ * sequential construction.
  */
 template <typename Curve>
 std::vector<std::vector<AffinePoint<Curve>>>
 precomputeWindowMultiples(
     const std::vector<AffinePoint<Curve>> &points, unsigned windows,
-    unsigned window_bits)
+    unsigned window_bits, int host_threads = 1)
 {
     using Xyzz = XYZZPoint<Curve>;
     std::vector<std::vector<AffinePoint<Curve>>> table;
@@ -122,10 +128,13 @@ precomputeWindowMultiples(
     for (const auto &p : points)
         current.push_back(Xyzz::fromAffine(p));
     for (unsigned j = 1; j < windows; ++j) {
-        for (auto &p : current) {
-            for (unsigned b = 0; b < window_bits; ++b)
-                p = pdbl(p);
-        }
+        support::ThreadPool::global().parallelFor(
+            0, current.size(),
+            [&](std::size_t i) {
+                for (unsigned b = 0; b < window_bits; ++b)
+                    current[i] = pdbl(current[i]);
+            },
+            host_threads);
         table.push_back(toAffineBatch<Curve>(current));
     }
     return table;
@@ -146,6 +155,9 @@ class MsmEngine
         : points_(std::move(points)), cluster_(cluster),
           options_(options)
     {
+        // The engine-level knob governs every layer below it: the
+        // scatter kernels inherit the same host-thread budget.
+        options_.scatter.hostThreads = options_.hostThreads;
         const auto curve_profile = gpusim::CurveProfile{
             Curve::kName, Curve::Fq::Params::kBits,
             Curve::kScalarBits, Curve::kAIsZero};
@@ -153,14 +165,27 @@ class MsmEngine
                         options_);
         if (options_.precompute) {
             table_ = detail::precomputeWindowMultiples<Curve>(
-                points_, plan_.numWindows, plan_.windowBits);
+                points_, plan_.numWindows, plan_.windowBits,
+                support::resolveHostThreads(options_.hostThreads));
         }
     }
 
     const MsmPlan &plan() const { return plan_; }
     std::size_t numPoints() const { return points_.size(); }
 
-    /** Run one MSM against the staged points. */
+    /**
+     * Run one MSM against the staged points.
+     *
+     * Host parallelism (options.hostThreads): the signed-digit
+     * decomposition, the windows, the per-device bucket groups of a
+     * window and the simulated scatter blocks all run concurrently
+     * on the support::ThreadPool. Every parallel unit writes only
+     * its own slot and the slots are merged in the exact order of
+     * the sequential algorithm (windows high-to-low, buckets
+     * ascending, devices ascending), so the returned point, the
+     * KernelStats and hostOps are bit-identical for every thread
+     * count — hostThreads == 1 is the legacy serial execution.
+     */
     MsmResult<Curve>
     compute(const std::vector<Scalar> &scalars) const
     {
@@ -174,15 +199,22 @@ class MsmEngine
             options_.signedDigits
                 ? (std::size_t{1} << (s - 1)) + 1
                 : std::size_t{1} << s;
+        const int host_threads =
+            support::resolveHostThreads(options_.hostThreads);
+        auto &pool = support::ThreadPool::global();
 
-        // Signed-digit decomposition up front.
+        // Signed-digit decomposition up front; scalar i only writes
+        // digits[i].
         std::vector<std::vector<std::int32_t>> digits;
         if (options_.signedDigits) {
-            digits.reserve(scalars.size());
-            for (const auto &k : scalars) {
-                digits.push_back(signedWindowDigits(
-                    k, Curve::kScalarBits, s));
-            }
+            digits.resize(scalars.size());
+            pool.parallelFor(
+                0, scalars.size(),
+                [&](std::size_t i) {
+                    digits[i] = signedWindowDigits(
+                        scalars[i], Curve::kScalarBits, s);
+                },
+                host_threads);
         }
 
         auto window_ids = [&](unsigned w,
@@ -204,23 +236,32 @@ class MsmEngine
             }
         };
 
-        std::vector<Xyzz> merged(
-            options_.precompute ? n_buckets : 0, Xyzz::identity());
-
-        Xyzz total = Xyzz::identity();
-        std::vector<std::uint32_t> ids;
-        std::vector<std::uint8_t> negs;
-        for (unsigned w = plan_.numWindows; w-- > 0;) {
+        // Scatter + bucket sums of one window, fully independent of
+        // every other window. Bucket groups map to the simulated
+        // devices of the bucket-split distribution (Section 3.2.2)
+        // and run as one task per device.
+        struct WindowPartial
+        {
+            bool scatterOk = false;
+            gpusim::KernelStats scatterStats;
+            gpusim::KernelStats ecStats;
+            std::vector<Xyzz> bucketSums;
+            Xyzz windowPoint = Xyzz::identity();
+            ReduceStats reduceStats;
+        };
+        auto run_window = [&](unsigned w, WindowPartial &wp) {
+            std::vector<std::uint32_t> ids;
+            std::vector<std::uint8_t> negs;
             window_ids(w, ids, negs);
 
             ScatterResult scattered =
                 options_.hierarchicalScatter
                     ? hierarchicalScatter(ids, s, options_.scatter)
                     : naiveScatter(ids, s, options_.scatter);
-            DISTMSM_REQUIRE(scattered.ok,
-                            "scatter kernel cannot run at this "
-                            "window size; use naive scatter");
-            result.stats.merge(scattered.stats);
+            wp.scatterOk = scattered.ok;
+            if (!scattered.ok)
+                return;
+            wp.scatterStats = scattered.stats;
 
             auto point_of = [&](std::uint32_t idx) {
                 const auto &base = options_.precompute
@@ -231,46 +272,91 @@ class MsmEngine
                            : base;
             };
 
-            std::vector<Xyzz> bucket_sums(n_buckets,
-                                          Xyzz::identity());
+            wp.bucketSums.assign(n_buckets, Xyzz::identity());
             const int groups = plan_.bucketsSplitAcrossGpus
                                    ? plan_.gpusPerWindow
                                    : 1;
-            for (int g = 0; g < groups; ++g) {
-                const std::size_t lo =
-                    1 + (n_buckets - 1) * g / groups;
-                const std::size_t hi =
-                    1 + (n_buckets - 1) * (g + 1) / groups;
-                for (std::size_t b = lo;
-                     b < hi && b < scattered.buckets.size(); ++b) {
-                    if (scattered.buckets[b].empty())
-                        continue;
-                    bucket_sums[b] = bucketSumTree<Curve>(
-                        scattered.buckets[b], point_of,
-                        plan_.threadsPerBucket, result.stats);
-                }
-            }
+            std::vector<gpusim::KernelStats> group_stats(groups);
+            cluster_.forEachDevice(
+                groups,
+                [&](int g) {
+                    const std::size_t lo =
+                        1 + (n_buckets - 1) * g / groups;
+                    const std::size_t hi =
+                        1 + (n_buckets - 1) * (g + 1) / groups;
+                    for (std::size_t b = lo;
+                         b < hi && b < scattered.buckets.size();
+                         ++b) {
+                        if (scattered.buckets[b].empty())
+                            continue;
+                        wp.bucketSums[b] = bucketSumTree<Curve>(
+                            scattered.buckets[b], point_of,
+                            plan_.threadsPerBucket, group_stats[g]);
+                    }
+                },
+                options_.hostThreads);
+            for (const auto &gs : group_stats)
+                wp.ecStats.merge(gs);
 
-            if (options_.precompute) {
-                for (std::size_t b = 1; b < n_buckets; ++b) {
-                    if (bucket_sums[b].isIdentity())
-                        continue;
-                    merged[b] = padd(merged[b], bucket_sums[b]);
-                    ++result.stats.paddOps;
-                }
-                continue;
+            if (!options_.precompute) {
+                wp.windowPoint = bucketReduceSerial<Curve>(
+                    wp.bucketSums, &wp.reduceStats);
+                wp.bucketSums.clear();
+                wp.bucketSums.shrink_to_fit();
             }
+        };
 
-            if (!total.isIdentity()) {
-                for (unsigned b = 0; b < s; ++b) {
-                    total = pdbl(total);
-                    ++result.hostOps;
+        std::vector<Xyzz> merged(
+            options_.precompute ? n_buckets : 0, Xyzz::identity());
+        Xyzz total = Xyzz::identity();
+
+        // Windows execute concurrently in descending stripes (the
+        // stripe bounds live per-window state), then merge strictly
+        // high-to-low exactly like the serial Horner recurrence.
+        const unsigned stripe = static_cast<unsigned>(std::max(
+            1, std::min<int>(static_cast<int>(plan_.numWindows),
+                             4 * host_threads)));
+        for (unsigned win_hi = plan_.numWindows; win_hi > 0;) {
+            const unsigned win_lo =
+                win_hi > stripe ? win_hi - stripe : 0;
+            std::vector<WindowPartial> partials(win_hi - win_lo);
+            pool.parallelFor(
+                win_lo, win_hi,
+                [&](std::size_t w) {
+                    run_window(static_cast<unsigned>(w),
+                               partials[w - win_lo]);
+                },
+                host_threads);
+
+            for (unsigned w = win_hi; w-- > win_lo;) {
+                WindowPartial &wp = partials[w - win_lo];
+                DISTMSM_REQUIRE(wp.scatterOk,
+                                "scatter kernel cannot run at this "
+                                "window size; use naive scatter");
+                result.stats.merge(wp.scatterStats);
+                result.stats.merge(wp.ecStats);
+
+                if (options_.precompute) {
+                    for (std::size_t b = 1; b < n_buckets; ++b) {
+                        if (wp.bucketSums[b].isIdentity())
+                            continue;
+                        merged[b] =
+                            padd(merged[b], wp.bucketSums[b]);
+                        ++result.stats.paddOps;
+                    }
+                    continue;
                 }
+
+                if (!total.isIdentity()) {
+                    for (unsigned b = 0; b < s; ++b) {
+                        total = pdbl(total);
+                        ++result.hostOps;
+                    }
+                }
+                total = padd(total, wp.windowPoint);
+                result.hostOps += wp.reduceStats.padds + 1;
             }
-            ReduceStats reduce_stats;
-            total = padd(total, bucketReduceSerial<Curve>(
-                                    bucket_sums, &reduce_stats));
-            result.hostOps += reduce_stats.padds + 1;
+            win_hi = win_lo;
         }
 
         if (options_.precompute) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/check.h"
+#include "src/support/thread_pool.h"
 
 namespace distmsm::msm {
 
@@ -45,6 +46,37 @@ estimateProvingPipeline(const gpusim::CurveProfile &curve,
 
     ProvingPipelineEstimate estimate;
     estimate.tasks.assign(num_msms, task);
+    estimate.pipelinedNs = pipelineMakespanNs(estimate.tasks);
+    estimate.serialNs = serialMakespanNs(estimate.tasks);
+    return estimate;
+}
+
+ProvingPipelineEstimate
+estimateProvingPipeline(const gpusim::CurveProfile &curve,
+                        const std::vector<std::uint64_t> &msm_sizes,
+                        const gpusim::Cluster &cluster,
+                        const MsmOptions &options)
+{
+    DISTMSM_REQUIRE(!msm_sizes.empty(), "need at least one MSM");
+    MsmOptions opts = options;
+    opts.overlapReduce = false; // overlap handled here, per task
+
+    ProvingPipelineEstimate estimate;
+    estimate.tasks.resize(msm_sizes.size());
+    // Each size's timeline is a pure function of (curve, n,
+    // cluster, options): estimate them concurrently, one slot per
+    // task, assembled in input order.
+    support::ThreadPool::global().parallelFor(
+        0, msm_sizes.size(),
+        [&](std::size_t i) {
+            const MsmTimeline t =
+                estimateDistMsm(curve, msm_sizes[i], cluster, opts);
+            estimate.tasks[i].gpuNs = t.gpuNs() + t.transferNs;
+            estimate.tasks[i].hostNs =
+                (t.cpuReduce ? t.bucketReduceNs : 0.0) +
+                t.windowReduceNs;
+        },
+        support::resolveHostThreads(options.hostThreads));
     estimate.pipelinedNs = pipelineMakespanNs(estimate.tasks);
     estimate.serialNs = serialMakespanNs(estimate.tasks);
     return estimate;

@@ -62,6 +62,20 @@ estimateProvingPipeline(const gpusim::CurveProfile &curve,
                         const gpusim::Cluster &cluster,
                         const MsmOptions &options, int num_msms);
 
+/**
+ * Heterogeneous form: one pipelined task per entry of @p msm_sizes
+ * (real proofs mix MSM lengths — e.g. Groth16's A/B1/B2/C differ
+ * once the QAP is pruned). The per-size timelines are independent,
+ * so they are estimated concurrently on the host thread pool
+ * (options.hostThreads convention) and assembled in input order;
+ * the returned estimate is deterministic.
+ */
+ProvingPipelineEstimate
+estimateProvingPipeline(const gpusim::CurveProfile &curve,
+                        const std::vector<std::uint64_t> &msm_sizes,
+                        const gpusim::Cluster &cluster,
+                        const MsmOptions &options);
+
 } // namespace distmsm::msm
 
 #endif // DISTMSM_MSM_PIPELINE_H

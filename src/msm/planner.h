@@ -49,6 +49,14 @@ struct MsmOptions
     gpusim::EcKernelVariant kernel = gpusim::EcKernelVariant::full();
     /** Scatter launch geometry. */
     ScatterConfig scatter;
+    /**
+     * Host threads driving the functional execution (simulated
+     * devices, kernel blocks, windows, bucket groups). Follows
+     * support::resolveHostThreads: 0 = DISTMSM_HOST_THREADS env or
+     * hardware_concurrency, 1 = the exact legacy sequential path,
+     * n = at most n threads. Results are bit-identical either way.
+     */
+    int hostThreads = 0;
 };
 
 /** A concrete execution plan. */

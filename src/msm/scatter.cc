@@ -1,6 +1,7 @@
 #include "src/msm/scatter.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/support/check.h"
 
@@ -20,6 +21,41 @@ elemsPerThread(std::size_t n, const ScatterConfig &config)
         static_cast<std::size_t>(config.blockDim) * config.gridDim;
     return static_cast<int>((n + threads - 1) / threads);
 }
+
+/**
+ * Host-side landing zone for scattered (bucket, point-id) pairs.
+ * Blocks of a phase may run on concurrent host threads, so each
+ * block appends to its own staging vector; drain() empties them into
+ * the result buckets in block index order, which reproduces exactly
+ * the bid-major/tid-minor order of the sequential execution.
+ */
+class BlockStaging
+{
+  public:
+    explicit BlockStaging(int grid_dim) : per_block_(grid_dim) {}
+
+    void
+    push(const ThreadCtx &ctx, std::uint32_t bucket,
+         std::uint32_t addr)
+    {
+        per_block_[static_cast<std::size_t>(ctx.bid)].emplace_back(
+            bucket, addr);
+    }
+
+    void
+    drain(std::vector<std::vector<std::uint32_t>> &buckets)
+    {
+        for (auto &blk : per_block_) {
+            for (const auto &[bucket, addr] : blk)
+                buckets[bucket].push_back(addr);
+            blk.clear();
+        }
+    }
+
+  private:
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        per_block_;
+};
 
 } // namespace
 
@@ -52,9 +88,11 @@ naiveScatter(const std::vector<std::uint32_t> &bucket_ids,
     result.ok = true;
     result.buckets.assign(n_buckets, {});
 
-    KernelLaunch launch(config.gridDim, config.blockDim, 0);
+    KernelLaunch launch(config.gridDim, config.blockDim, 0,
+                        config.hostThreads);
     WordArray counters(n_buckets, WordArray::Space::Global);
     const int k = elemsPerThread(bucket_ids.size(), config);
+    BlockStaging staging(config.gridDim);
 
     // One element per thread per phase: atomics within a phase are
     // the concurrent ones.
@@ -70,12 +108,14 @@ naiveScatter(const std::vector<std::uint32_t> &bucket_ids,
             if (bucket == 0)
                 return; // zero chunk contributes nothing
             launch.atomicAdd(counters, bucket, 1, ctx);
-            result.buckets[bucket].push_back(
-                static_cast<std::uint32_t>(addr));
+            staging.push(ctx, bucket,
+                         static_cast<std::uint32_t>(addr));
             launch.countGmemBytes(
+                ctx,
                 static_cast<std::uint64_t>(config.globalIdBytes) *
-                config.uncoalescedWriteFactor);
+                    config.uncoalescedWriteFactor);
         });
+        staging.drain(result.buckets);
     }
     result.stats = launch.stats();
     return result;
@@ -112,7 +152,7 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
     const std::size_t tile_words =
         static_cast<std::size_t>(k_tile) * config.blockDim;
     KernelLaunch launch(config.gridDim, config.blockDim,
-                        tile_base + tile_words);
+                        tile_base + tile_words, config.hostThreads);
     WordArray global_counters(n_buckets, WordArray::Space::Global);
 
     const int k_total = elemsPerThread(bucket_ids.size(), config);
@@ -120,6 +160,7 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
     // refilled every tile.
     std::vector<std::uint32_t> reg_cache(
         static_cast<std::size_t>(k_tile) * launch.gridThreads());
+    BlockStaging staging(config.gridDim);
 
     for (int tile = 0; tile * k_tile < k_total; ++tile) {
         const int reg_lo = tile * k_tile;
@@ -165,7 +206,7 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
             for (std::size_t b = 0; b < n_buckets; ++b) {
                 shm.write(n_buckets + b, running);
                 running += shm.read(b);
-                launch.countSharedAccess(2);
+                launch.countSharedAccess(ctx, 2);
             }
         });
 
@@ -187,7 +228,7 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
                     (static_cast<std::uint64_t>(reg_idx) << 16) |
                     ctx.tid;
                 shm.write(tile_base + pos, local_id);
-                launch.countSharedAccess(1);
+                launch.countSharedAccess(ctx, 1);
             });
         }
 
@@ -218,12 +259,15 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
                         static_cast<std::size_t>(ctx.bid) *
                             ctx.blockDim +
                         tid;
-                    result.buckets[b].push_back(
+                    staging.push(
+                        ctx, static_cast<std::uint32_t>(b),
                         static_cast<std::uint32_t>(addr));
                 }
-                launch.countGmemBytes(count * config.globalIdBytes);
+                launch.countGmemBytes(ctx,
+                                      count * config.globalIdBytes);
             }
         });
+        staging.drain(result.buckets);
     }
 
     result.stats = launch.stats();

@@ -50,6 +50,14 @@ struct ScatterConfig
      * hierarchical flush streams coalesced ranges instead.
      */
     int uncoalescedWriteFactor = 10;
+    /**
+     * Host threads executing simulated blocks concurrently
+     * (support::resolveHostThreads convention: 0 = auto from
+     * DISTMSM_HOST_THREADS / hardware_concurrency, 1 = sequential).
+     * Either way the scattered buckets and stats are bit-identical:
+     * per-block output is staged locally and drained in block order.
+     */
+    int hostThreads = 0;
 };
 
 /** Output of a scatter: per-bucket point-id lists plus stats. */

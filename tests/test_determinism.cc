@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Host-parallelism determinism harness.
+ *
+ * The contract of MsmOptions::hostThreads is that every observable
+ * output — the MSM point (bit-for-bit, not just as a group element),
+ * the aggregated KernelStats, hostOps, the scattered buckets and the
+ * simulated memory words — is identical for every thread count.
+ * These tests run the same computation with hostThreads in {1, 2, 8}
+ * and compare at the representation level: XYZZ coordinates are
+ * checked limb-by-limb via Fq::operator== (XYZZPoint::operator== is
+ * only group equality and would hide a divergent-but-equivalent
+ * representation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ec/curves.h"
+#include "src/gpusim/cluster.h"
+#include "src/gpusim/executor.h"
+#include "src/msm/engine.h"
+#include "src/msm/reference.h"
+#include "src/msm/scatter.h"
+#include "src/msm/workload.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+using gpusim::Cluster;
+using gpusim::DeviceSpec;
+using gpusim::KernelLaunch;
+using gpusim::KernelStats;
+using gpusim::ThreadCtx;
+using gpusim::WordArray;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/** Representation-level equality: every coordinate, every limb. */
+template <typename Curve>
+::testing::AssertionResult
+bitIdentical(const XYZZPoint<Curve> &a, const XYZZPoint<Curve> &b)
+{
+    if (a.x == b.x && a.y == b.y && a.zz == b.zz && a.zzz == b.zzz)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "XYZZ representations differ (group-equal: "
+           << (a == b ? "yes" : "no") << ")";
+}
+
+// ---------------------------------------------------------------
+// End-to-end MsmEngine::compute across thread counts and curves.
+// ---------------------------------------------------------------
+
+struct EngineVariant
+{
+    const char *name;
+    bool hierarchical;
+    bool signedDigits;
+    bool precompute;
+};
+
+constexpr EngineVariant kVariants[] = {
+    {"naive_plain", false, false, false},
+    {"hier_signed", true, true, false},
+    {"hier_signed_precompute", true, true, true},
+};
+
+template <typename Curve>
+void
+checkEngineDeterminism(std::uint64_t seed, int gpus)
+{
+    Prng prng(seed);
+    const auto points = msm::generatePoints<Curve>(220, prng);
+    const auto scalars = msm::generateScalars<Curve>(220, prng);
+    const Cluster cluster(DeviceSpec::a100(), gpus);
+    const auto reference = msm::msmNaive<Curve>(points, scalars);
+
+    for (const auto &variant : kVariants) {
+        SCOPED_TRACE(variant.name);
+        msm::MsmOptions options;
+        options.windowBitsOverride = 5;
+        options.hierarchicalScatter = variant.hierarchical;
+        options.signedDigits = variant.signedDigits;
+        options.precompute = variant.precompute;
+        options.scatter.blockDim = 64;
+        options.scatter.gridDim = 4;
+        options.scatter.sharedBytesPerBlock = 64 * 1024;
+
+        options.hostThreads = 1;
+        const msm::MsmEngine<Curve> sequential(points, cluster,
+                                               options);
+        const auto base = sequential.compute(scalars);
+        // The sequential path is also *correct*, not just a fixed
+        // point of the comparison.
+        EXPECT_EQ(base.value, reference);
+
+        for (const int threads : kThreadCounts) {
+            SCOPED_TRACE("hostThreads=" + std::to_string(threads));
+            options.hostThreads = threads;
+            const msm::MsmEngine<Curve> engine(points, cluster,
+                                               options);
+            const auto got = engine.compute(scalars);
+            EXPECT_TRUE(bitIdentical(got.value, base.value));
+            EXPECT_EQ(got.stats, base.stats);
+            EXPECT_EQ(got.hostOps, base.hostOps);
+        }
+    }
+}
+
+TEST(Determinism, MsmEngineBn254AcrossHostThreads)
+{
+    checkEngineDeterminism<Bn254>(0x5EED0254, /*gpus=*/8);
+}
+
+TEST(Determinism, MsmEngineBls381AcrossHostThreads)
+{
+    checkEngineDeterminism<Bls381>(0x5EED0381, /*gpus=*/4);
+}
+
+TEST(Determinism, MsmEngineSingleGpuAcrossHostThreads)
+{
+    checkEngineDeterminism<Bn254>(0x5EED0001, /*gpus=*/1);
+}
+
+// ---------------------------------------------------------------
+// Scatter kernels: exact bucket contents and stats.
+// ---------------------------------------------------------------
+
+std::vector<std::uint32_t>
+randomBucketIds(std::size_t n, unsigned window_bits,
+                std::uint64_t seed)
+{
+    Prng prng(seed);
+    std::vector<std::uint32_t> ids(n);
+    for (auto &id : ids)
+        id = static_cast<std::uint32_t>(
+            prng.below(std::uint64_t{1} << window_bits));
+    return ids;
+}
+
+TEST(Determinism, ScatterBucketsIdenticalAcrossHostThreads)
+{
+    const unsigned s = 6;
+    const auto ids = randomBucketIds(5000, s, 0xB0CCE7);
+    msm::ScatterConfig config;
+    config.blockDim = 128;
+    config.gridDim = 8;
+    config.sharedBytesPerBlock = 64 * 1024;
+
+    for (const bool hierarchical : {false, true}) {
+        SCOPED_TRACE(hierarchical ? "hierarchical" : "naive");
+        config.hostThreads = 1;
+        const auto base = hierarchical
+                              ? msm::hierarchicalScatter(ids, s,
+                                                         config)
+                              : msm::naiveScatter(ids, s, config);
+        ASSERT_TRUE(base.ok);
+        for (const int threads : kThreadCounts) {
+            SCOPED_TRACE("hostThreads=" + std::to_string(threads));
+            config.hostThreads = threads;
+            const auto got =
+                hierarchical
+                    ? msm::hierarchicalScatter(ids, s, config)
+                    : msm::naiveScatter(ids, s, config);
+            ASSERT_TRUE(got.ok);
+            // Exact per-bucket id sequences, not just multisets:
+            // per-block staging must reproduce the sequential
+            // (block-major, tid-minor) push order.
+            EXPECT_EQ(got.buckets, base.buckets);
+            EXPECT_EQ(got.stats, base.stats);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Executor: simulated memory and contention accounting.
+// ---------------------------------------------------------------
+
+struct ExecutorRun
+{
+    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> perThread;
+    KernelStats stats;
+};
+
+/**
+ * A two-phase kernel exercising everything the executor counts:
+ * contended global atomics (with the old-value reservations consumed
+ * block-locally), shared-memory traffic and gmem byte accounting.
+ */
+ExecutorRun
+runContendedKernel(int host_threads)
+{
+    constexpr int kGrid = 8;
+    constexpr int kBlock = 32;
+    constexpr std::size_t kWords = 24;
+    KernelLaunch launch(kGrid, kBlock, /*shared_words=*/64,
+                        host_threads);
+    WordArray global(kWords, WordArray::Space::Global);
+    ExecutorRun run;
+    run.perThread.assign(
+        static_cast<std::size_t>(kGrid) * kBlock, 0);
+
+    launch.phase([&](ThreadCtx &ctx) {
+        // Hot addresses: ~11 writers per word per phase.
+        const std::size_t slot =
+            static_cast<std::size_t>(ctx.gid()) % kWords;
+        launch.atomicAdd(global, slot, 1 + ctx.tid, ctx);
+        launch.atomicAdd(launch.shared(ctx.bid),
+                         static_cast<std::size_t>(ctx.tid) % 8, 1,
+                         ctx);
+        launch.countSharedAccess(ctx, 2);
+        launch.countGmemBytes(ctx, 16);
+    });
+    launch.phase([&](ThreadCtx &ctx) {
+        // Reservation counters: one word per block, so the returned
+        // old values are block-local and deterministic.
+        const auto old = launch.atomicAdd(
+            global, kWords - 1 - ctx.bid % kWords, 0, ctx);
+        run.perThread[static_cast<std::size_t>(ctx.gid())] = old;
+    });
+
+    run.words.reserve(kWords);
+    for (std::size_t i = 0; i < kWords; ++i)
+        run.words.push_back(global.read(i));
+    run.stats = launch.stats();
+    return run;
+}
+
+TEST(Determinism, ExecutorMemoryAndStatsAcrossHostThreads)
+{
+    const auto base = runContendedKernel(1);
+    EXPECT_EQ(base.stats.phases, 2u);
+    EXPECT_GT(base.stats.globalConflictWeight,
+              base.stats.globalAtomics); // contention was measured
+    for (const int threads : kThreadCounts) {
+        SCOPED_TRACE("hostThreads=" + std::to_string(threads));
+        const auto got = runContendedKernel(threads);
+        EXPECT_EQ(got.words, base.words);
+        EXPECT_EQ(got.perThread, base.perThread);
+        EXPECT_EQ(got.stats, base.stats);
+    }
+}
+
+// ---------------------------------------------------------------
+// Cluster device fan-out: per-slot writes land exactly once.
+// ---------------------------------------------------------------
+
+TEST(Determinism, ClusterForEachGpuSlotWrites)
+{
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    auto run = [&](int threads) {
+        std::vector<std::uint64_t> slots(
+            static_cast<std::size_t>(cluster.numGpus()), 0);
+        cluster.forEachGpu(
+            [&](int g) {
+                slots[static_cast<std::size_t>(g)] =
+                    0xC0FFEEull * (g + 1);
+            },
+            threads);
+        return slots;
+    };
+    const auto base = run(1);
+    for (const int threads : kThreadCounts)
+        EXPECT_EQ(run(threads), base)
+            << "hostThreads=" << threads;
+}
+
+} // namespace
+} // namespace distmsm

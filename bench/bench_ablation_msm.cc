@@ -78,6 +78,23 @@ main()
     }
     {
         msm::MsmOptions o;
+        o.glv = true;
+        rows.push_back({"+ GLV decomposition", o});
+    }
+    {
+        msm::MsmOptions o;
+        o.batchAffine = true;
+        rows.push_back({"+ batched-affine acc", o});
+    }
+    {
+        msm::MsmOptions o;
+        o.glv = true;
+        o.batchAffine = true;
+        o.signedDigits = true;
+        rows.push_back({"+ GLV + batch + signed", o});
+    }
+    {
+        msm::MsmOptions o;
         o.windowBitsOverride = 20;
         rows.push_back({"s pinned to 20", o});
     }

@@ -307,6 +307,27 @@ mulFull(const BigInt<N> &a, const BigInt<N> &b)
     return t;
 }
 
+/**
+ * Low N limbs of a * b (wrapping, i.e. the product mod 2^(64N)).
+ * With values read as two's complement this is exact signed
+ * arithmetic mod 2^(64N) — the representation the GLV decomposition
+ * uses for its short lattice coordinates.
+ */
+template <std::size_t N>
+constexpr BigInt<N>
+mulLow(const BigInt<N> &a, const BigInt<N> &b)
+{
+    BigInt<N> t{};
+    for (std::size_t i = 0; i < N; ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; i + j < N; ++j)
+            t.limb[i + j] =
+                mac(a.limb[i], b.limb[j], t.limb[i + j], carry,
+                    carry);
+    }
+    return t;
+}
+
 /** (a + b) mod m, assuming a, b < m. */
 template <std::size_t N>
 constexpr BigInt<N>

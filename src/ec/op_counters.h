@@ -19,12 +19,14 @@ struct OpCounters
 {
     std::uint64_t mul = 0;
     std::uint64_t add = 0; ///< additions and subtractions
+    std::uint64_t inv = 0; ///< full modular inversions
 
     void
     reset()
     {
         mul = 0;
         add = 0;
+        inv = 0;
     }
 };
 

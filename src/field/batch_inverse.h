@@ -4,12 +4,16 @@
  *
  * Inverts n field elements with one modular inversion and 3(n-1)
  * multiplications; used to normalize large point arrays to affine
- * form when generating MSM workloads.
+ * form and to amortize the inversion of the batched-affine bucket
+ * accumulator's slope denominators. The hot-path callers loop over
+ * many small batches, so every variant takes a caller-owned scratch
+ * buffer that is grown once and reused across calls.
  */
 
 #ifndef DISTMSM_FIELD_BATCH_INVERSE_H
 #define DISTMSM_FIELD_BATCH_INVERSE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "src/support/check.h"
@@ -17,31 +21,83 @@
 namespace distmsm {
 
 /**
- * Replace every element of @p values with its inverse. All elements
- * must be non-zero.
+ * Replace every element of @p values with its inverse, reusing
+ * @p scratch for the prefix products (resized as needed, capacity
+ * kept across calls). All elements must be non-zero.
  */
 template <typename Fq>
 void
-batchInverse(std::vector<Fq> &values)
+batchInverse(std::vector<Fq> &values, std::vector<Fq> &scratch)
 {
     if (values.empty())
         return;
-    // prefix[i] = values[0] * ... * values[i]
-    std::vector<Fq> prefix(values.size());
+    // scratch[i] = values[0] * ... * values[i]
+    scratch.resize(values.size());
     Fq acc = Fq::one();
     for (std::size_t i = 0; i < values.size(); ++i) {
         DISTMSM_REQUIRE(!values[i].isZero(),
                         "batchInverse of zero element");
         acc *= values[i];
-        prefix[i] = acc;
+        scratch[i] = acc;
     }
     Fq inv = acc.inverse();
     for (std::size_t i = values.size(); i-- > 1;) {
-        const Fq this_inv = inv * prefix[i - 1];
+        const Fq this_inv = inv * scratch[i - 1];
         inv *= values[i];
         values[i] = this_inv;
     }
     values[0] = inv;
+}
+
+/** Convenience overload with a call-local scratch buffer. */
+template <typename Fq>
+void
+batchInverse(std::vector<Fq> &values)
+{
+    std::vector<Fq> scratch;
+    batchInverse(values, scratch);
+}
+
+/**
+ * Zero-tolerant batch inversion: zero elements are left as zero and
+ * flagged in @p skipped (resized to values.size(); 1 = skipped).
+ * Every non-zero element is replaced with its inverse. Returns the
+ * number of skipped slots. Used where zeros encode routed-out edge
+ * cases (identity points, equal-x additions) rather than errors.
+ */
+template <typename Fq>
+std::size_t
+batchInverseSkipZero(std::vector<Fq> &values,
+                     std::vector<Fq> &scratch,
+                     std::vector<std::uint8_t> &skipped)
+{
+    skipped.assign(values.size(), 0);
+    if (values.empty())
+        return 0;
+    // scratch[i] = product of the non-zero values[0..i].
+    scratch.resize(values.size());
+    std::size_t n_skipped = 0;
+    Fq acc = Fq::one();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i].isZero()) {
+            skipped[i] = 1;
+            ++n_skipped;
+        } else {
+            acc *= values[i];
+        }
+        scratch[i] = acc;
+    }
+    Fq inv = acc.inverse();
+    for (std::size_t i = values.size(); i-- > 1;) {
+        if (skipped[i])
+            continue;
+        const Fq this_inv = inv * scratch[i - 1];
+        inv *= values[i];
+        values[i] = this_inv;
+    }
+    if (!skipped[0])
+        values[0] = inv;
+    return n_skipped;
 }
 
 } // namespace distmsm

@@ -66,12 +66,31 @@ schedNumbers()
     return numbers;
 }
 
+/** Modular multiplications of one EC op under kernel variant @p v. */
+int
+ecOpModmuls(const EcKernelVariant &v, EcOp op, bool a_is_zero)
+{
+    switch (op) {
+      case EcOp::Pacc:
+        return v.dedicatedPacc ? 10 : 14;
+      case EcOp::Padd:
+        return 14;
+      case EcOp::Pdbl:
+        return a_is_zero ? 9 : 11;
+      case EcOp::AffineAdd:
+        // 3 intrinsic muls + 3 amortized batch-inversion muls + ~1
+        // for the inversion share itself.
+        return 7;
+    }
+    return 14;
+}
+
 } // namespace
 
 CurveProfile
 CurveProfile::bn254()
 {
-    return CurveProfile{"BN254", 254, 254, true};
+    return CurveProfile{"BN254", 254, 254, true, 128};
 }
 
 CurveProfile
@@ -83,7 +102,7 @@ CurveProfile::bls377()
 CurveProfile
 CurveProfile::bls381()
 {
-    return CurveProfile{"BLS12-381", 381, 255, true};
+    return CurveProfile{"BLS12-381", 381, 255, true, 128};
 }
 
 CurveProfile
@@ -106,7 +125,11 @@ CostModel::peakLiveBigints(const EcKernelVariant &v, EcOp op) const
             return n.pdblSpilled;
         return v.optimalOrder ? n.pdblOptimal : n.pdblReference;
     }
-    const bool pacc_like = op == EcOp::Pacc;
+    // The batched-affine accumulation's register footprint is the
+    // pacc kernel's (fewer live temporaries, plus the slope batch
+    // staged in memory), so it shares the pacc schedule numbers.
+    const bool pacc_like =
+        op == EcOp::Pacc || op == EcOp::AffineAdd;
     if (v.explicitSpill && v.optimalOrder)
         return pacc_like ? n.paccSpilled : n.paddSpilled;
     if (v.optimalOrder)
@@ -150,22 +173,8 @@ CostModel::ecOpCudaOps(const CurveProfile &curve,
                        const EcKernelVariant &v, EcOp op) const
 {
     const double L = curve.limbs64();
-    int modmuls = 0;
-    int modadds = 0;
-    switch (op) {
-      case EcOp::Pacc:
-        modmuls = v.dedicatedPacc ? 10 : 14;
-        modadds = 7;
-        break;
-      case EcOp::Padd:
-        modmuls = 14;
-        modadds = 7;
-        break;
-      case EcOp::Pdbl:
-        modmuls = curve.aIsZero ? 9 : 11;
-        modadds = 6;
-        break;
-    }
+    const int modmuls = ecOpModmuls(v, op, curve.aIsZero);
+    const int modadds = op == EcOp::Pdbl ? 6 : 7;
     // CIOS: 2L^2 + L 64-bit MACs per modular multiplication.
     double macs = modmuls * (2 * L * L + L);
     double marshal_ops = 0.0;
@@ -217,9 +226,8 @@ CostModel::ecThroughputNs(const CurveProfile &curve,
     if (v.tensorCoreMont) {
         if (spec_.tensorInt8Tops > 0) {
             const double L = curve.limbs64();
-            const int modmuls = op == EcOp::Padd
-                                    ? 14
-                                    : (v.dedicatedPacc ? 10 : 14);
+            const int modmuls =
+                ecOpModmuls(v, op, curve.aIsZero);
             // Digit-matrix product: (8L)^2 byte MACs per modmul.
             const double tc_ops = total_ops * modmuls * 64 * L * L *
                                   params_.tcOpsPerByteMac;
@@ -228,9 +236,8 @@ CostModel::ecThroughputNs(const CurveProfile &curve,
             // No tensor unit (RX 6900XT): the work stays on the
             // vector ALUs; fold it back.
             const double L = curve.limbs64();
-            const int modmuls = op == EcOp::Padd
-                                    ? 14
-                                    : (v.dedicatedPacc ? 10 : 14);
+            const int modmuls =
+                ecOpModmuls(v, op, curve.aIsZero);
             const double macs = total_ops * modmuls * L * L;
             tc_ns = macs * params_.opsPerMac / cuda_rate * 1e9;
         }

@@ -44,6 +44,9 @@ struct CurveProfile
     unsigned fieldBits;  ///< base-field width (Table 1)
     unsigned scalarBits; ///< scalar width (Table 1)
     bool aIsZero;        ///< curve coefficient a == 0
+    /** Half-scalar width of the GLV decomposition (0 = no GLV
+     *  constants for this curve; the planner falls back). */
+    unsigned glvScalarBits = 0;
 
     unsigned limbs64() const { return (fieldBits + 63) / 64; }
     /** 32-bit registers per big integer (24 for MNT4753, Sec. 5.1). */
@@ -118,8 +121,12 @@ struct CostParams
     double tcRawStoreOpsPerLimb = 39.0;
 };
 
-/** EC operation kinds for the kernel model. */
-enum class EcOp { Pacc, Padd, Pdbl };
+/** EC operation kinds for the kernel model. AffineAdd is one
+ *  batched-affine bucket accumulation: 3 intrinsic multiplications
+ *  plus the amortized share of the shared batch inversion (~3 more
+ *  muls and epsilon inversions), priced at 7 modmuls against pacc's
+ *  10 with pacc-like register pressure. */
+enum class EcOp { Pacc, Padd, Pdbl, AffineAdd };
 
 /**
  * Timing model bound to one device.

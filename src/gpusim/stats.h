@@ -48,6 +48,10 @@ struct KernelStats
     std::uint64_t paddOps = 0;
     std::uint64_t paccOps = 0;
     std::uint64_t pdblOps = 0;
+    /** Batched-affine bucket accumulations (~6 muls amortized). */
+    std::uint64_t affineAddOps = 0;
+    /** Shared Montgomery batch inversions amortized over the above. */
+    std::uint64_t batchInvOps = 0;
 
     /**
      * Field-wise equality; the determinism tests assert measured
@@ -76,6 +80,8 @@ struct KernelStats
         paddOps += o.paddOps;
         paccOps += o.paccOps;
         pdblOps += o.pdblOps;
+        affineAddOps += o.affineAddOps;
+        batchInvOps += o.batchInvOps;
     }
 };
 

@@ -18,7 +18,9 @@
 
 #include "src/ec/point.h"
 #include "src/field/batch_inverse.h"
+#include "src/msm/batch_affine.h"
 #include "src/msm/bucket_reduce.h"
+#include "src/msm/glv.h"
 #include "src/msm/planner.h"
 #include "src/msm/scatter.h"
 #include "src/msm/signed_digits.h"
@@ -81,7 +83,11 @@ bucketSumTree(const std::vector<std::uint32_t> &ids,
 
 namespace detail {
 
-/** Batch-normalize XYZZ points to affine form. */
+/**
+ * Batch-normalize XYZZ points to affine form. Identity points have
+ * zz == zzz == 0, which the zero-skipping batch inversion routes
+ * around; the corresponding outputs stay the affine identity.
+ */
 template <typename Curve>
 std::vector<AffinePoint<Curve>>
 toAffineBatch(const std::vector<XYZZPoint<Curve>> &points)
@@ -90,13 +96,15 @@ toAffineBatch(const std::vector<XYZZPoint<Curve>> &points)
     std::vector<Fq> denoms;
     denoms.reserve(2 * points.size());
     for (const auto &p : points) {
-        denoms.push_back(p.isIdentity() ? Fq::one() : p.zz);
-        denoms.push_back(p.isIdentity() ? Fq::one() : p.zzz);
+        denoms.push_back(p.zz);
+        denoms.push_back(p.zzz);
     }
-    batchInverse(denoms);
+    std::vector<Fq> scratch;
+    std::vector<std::uint8_t> skipped;
+    batchInverseSkipZero(denoms, scratch, skipped);
     std::vector<AffinePoint<Curve>> out(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
-        if (!points[i].isIdentity()) {
+        if (!skipped[2 * i]) {
             out[i] = AffinePoint<Curve>::fromXY(
                 points[i].x * denoms[2 * i],
                 points[i].y * denoms[2 * i + 1]);
@@ -160,13 +168,33 @@ class MsmEngine
         options_.scatter.hostThreads = options_.hostThreads;
         const auto curve_profile = gpusim::CurveProfile{
             Curve::kName, Curve::Fq::Params::kBits,
-            Curve::kScalarBits, Curve::kAIsZero};
+            Curve::kScalarBits, Curve::kAIsZero,
+            glv::CurveGlv<Curve>::kSupported ? glv::kHalfScalarBits
+                                             : 0};
         plan_ = planMsm(curve_profile, points_.size(), cluster_,
                         options_);
+        const int host_threads =
+            support::resolveHostThreads(options_.hostThreads);
+        if (plan_.glv) {
+            // The endomorphism images phi(P_i) = (beta * x_i, y_i)
+            // are scalar-independent: staged once, like the points.
+            phi_points_.resize(points_.size());
+            support::ThreadPool::global().parallelFor(
+                0, points_.size(),
+                [&](std::size_t i) {
+                    phi_points_[i] =
+                        glv::endomorphismIfSupported<Curve>(
+                            points_[i]);
+                },
+                host_threads);
+        }
         if (options_.precompute) {
+            std::vector<AffinePoint<Curve>> bases = points_;
+            bases.insert(bases.end(), phi_points_.begin(),
+                         phi_points_.end());
             table_ = detail::precomputeWindowMultiples<Curve>(
-                points_, plan_.numWindows, plan_.windowBits,
-                support::resolveHostThreads(options_.hostThreads));
+                bases, plan_.numWindows, plan_.windowBits,
+                host_threads);
         }
     }
 
@@ -202,17 +230,46 @@ class MsmEngine
         const int host_threads =
             support::resolveHostThreads(options_.hostThreads);
         auto &pool = support::ThreadPool::global();
+        const std::size_t n_base = points_.size();
+
+        // GLV: rewrite the n full-width scalars as 2n half-width
+        // magnitudes with per-half sign flags; half i drives P_i,
+        // half n + i drives phi(P_i). Scalar i only writes its own
+        // two slots.
+        std::vector<Scalar> half_scalars;
+        std::vector<std::uint8_t> glv_neg;
+        if constexpr (glv::CurveGlv<Curve>::kSupported) {
+            if (plan_.glv) {
+                half_scalars.resize(2 * n_base);
+                glv_neg.assign(2 * n_base, 0);
+                pool.parallelFor(
+                    0, n_base,
+                    [&](std::size_t i) {
+                        const auto split =
+                            glv::decompose<Curve>(scalars[i]);
+                        half_scalars[i] = split.k1;
+                        half_scalars[n_base + i] = split.k2;
+                        glv_neg[i] = split.neg1;
+                        glv_neg[n_base + i] = split.neg2;
+                    },
+                    host_threads);
+            }
+        }
+        const std::vector<Scalar> &eff_scalars =
+            plan_.glv ? half_scalars : scalars;
+        const std::size_t n_eff = eff_scalars.size();
 
         // Signed-digit decomposition up front; scalar i only writes
-        // digits[i].
+        // digits[i]. The window passes cover plan_.scalarBits — the
+        // GLV half width when active.
         std::vector<std::vector<std::int32_t>> digits;
         if (options_.signedDigits) {
-            digits.resize(scalars.size());
+            digits.resize(n_eff);
             pool.parallelFor(
-                0, scalars.size(),
+                0, n_eff,
                 [&](std::size_t i) {
                     digits[i] = signedWindowDigits(
-                        scalars[i], Curve::kScalarBits, s);
+                        eff_scalars[i], plan_.scalarBits, s);
                 },
                 host_threads);
         }
@@ -220,9 +277,9 @@ class MsmEngine
         auto window_ids = [&](unsigned w,
                               std::vector<std::uint32_t> &ids,
                               std::vector<std::uint8_t> &negs) {
-            ids.resize(scalars.size());
-            negs.assign(scalars.size(), 0);
-            for (std::size_t i = 0; i < scalars.size(); ++i) {
+            ids.resize(n_eff);
+            negs.assign(n_eff, 0);
+            for (std::size_t i = 0; i < n_eff; ++i) {
                 if (options_.signedDigits) {
                     const std::int32_t d = digits[i][w];
                     ids[i] =
@@ -230,9 +287,13 @@ class MsmEngine
                     negs[i] = d < 0;
                 } else {
                     ids[i] = static_cast<std::uint32_t>(
-                        scalars[i].bits(
+                        eff_scalars[i].bits(
                             static_cast<std::size_t>(w) * s, s));
                 }
+                // A negative half-scalar flips its contribution;
+                // composes with the signed-digit flip.
+                if (plan_.glv)
+                    negs[i] ^= glv_neg[i];
             }
         };
 
@@ -264,12 +325,13 @@ class MsmEngine
             wp.scatterStats = scattered.stats;
 
             auto point_of = [&](std::uint32_t idx) {
-                const auto &base = options_.precompute
-                                       ? table_[w][idx]
-                                       : points_[idx];
-                return options_.signedDigits && negs[idx]
-                           ? base.negated()
-                           : base;
+                const auto &base =
+                    options_.precompute
+                        ? table_[w][idx]
+                        : (idx < n_base
+                               ? points_[idx]
+                               : phi_points_[idx - n_base]);
+                return negs[idx] ? base.negated() : base;
             };
 
             wp.bucketSums.assign(n_buckets, Xyzz::identity());
@@ -284,6 +346,13 @@ class MsmEngine
                         1 + (n_buckets - 1) * g / groups;
                     const std::size_t hi =
                         1 + (n_buckets - 1) * (g + 1) / groups;
+                    if (options_.batchAffine) {
+                        BatchAffineScratch<Curve> scratch;
+                        batchAffineAccumulate<Curve>(
+                            scattered.buckets, lo, hi, point_of,
+                            wp.bucketSums, group_stats[g], scratch);
+                        return;
+                    }
                     for (std::size_t b = lo;
                          b < hi && b < scattered.buckets.size();
                          ++b) {
@@ -370,6 +439,8 @@ class MsmEngine
 
   private:
     std::vector<AffinePoint<Curve>> points_;
+    /** phi(P_i) images when the plan enabled GLV (else empty). */
+    std::vector<AffinePoint<Curve>> phi_points_;
     gpusim::Cluster cluster_;
     MsmOptions options_;
     MsmPlan plan_;

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * GLV endomorphism scalar decomposition (Gallant-Lambert-Vanstone).
+ *
+ * The a == 0 curves carry the cube-root-of-unity endomorphism
+ * phi(x, y) = (beta * x, y) with beta^3 = 1 in Fq; on the order-r
+ * subgroup phi acts as multiplication by lambda, lambda^3 = 1 in Fr
+ * (the constants are generated and cross-validated by
+ * tools/gen_constants.py). Writing k = k1 + k2 * lambda (mod r) with
+ * |k1|, |k2| < 2^128 turns k * P into k1 * P + k2 * phi(P): the MSM
+ * doubles its point count but halves the scalar width, so the window
+ * passes over the scalar — and with them the bucket-reduce tails and
+ * the Horner doubling chain — halve for the same bucket count.
+ *
+ * The decomposition follows the classic lattice method (Guide to
+ * ECC, Alg. 3.74): a short basis v1 = (a1, b1), v2 = (a2, b2) of
+ * {(c, d) : c + d*lambda = 0 mod r} is precomputed, the rational
+ * coordinates of (k, 0) in that basis are rounded using fixed-point
+ * multipliers g_i = round(b_j * 2^384 / r) (one 512-bit multiply and
+ * a shift, no division), and (k1, k2) = (k, 0) - c1*v1 - c2*v2 is
+ * evaluated in wrapping two's-complement arithmetic mod 2^256 —
+ * exact because the final magnitudes are far below 2^255.
+ */
+
+#ifndef DISTMSM_MSM_GLV_H
+#define DISTMSM_MSM_GLV_H
+
+#include <cstdint>
+
+#include "src/bigint/bigint.h"
+#include "src/ec/curves.h"
+#include "src/ec/point.h"
+#include "src/field/curve_constants.h"
+
+namespace distmsm::msm::glv {
+
+/** Bound (bits) on |k1|, |k2|; asserted by the generator script. */
+inline constexpr unsigned kHalfScalarBits = 128;
+
+/**
+ * Per-curve GLV constants. The primary template marks a curve as
+ * unsupported (MNT4753 has a != 0; BLS12-377 has no generated
+ * constants yet); planMsm silently falls back to the plain path.
+ */
+template <typename Curve>
+struct CurveGlv
+{
+    static constexpr bool kSupported = false;
+};
+
+#define DISTMSM_GLV_CURVE(CurveT, ns)                                   \
+    template <>                                                         \
+    struct CurveGlv<CurveT>                                             \
+    {                                                                   \
+        static constexpr bool kSupported = true;                        \
+        static constexpr const std::uint64_t *kBeta =                   \
+            constants::ns::kBeta;                                       \
+        static constexpr const std::uint64_t *kLambda =                 \
+            constants::ns::kLambda;                                     \
+        static constexpr const std::uint64_t *kA1 =                     \
+            constants::ns::kA1;                                         \
+        static constexpr const std::uint64_t *kB1 =                     \
+            constants::ns::kB1;                                         \
+        static constexpr const std::uint64_t *kA2 =                     \
+            constants::ns::kA2;                                         \
+        static constexpr const std::uint64_t *kB2 =                     \
+            constants::ns::kB2;                                         \
+        static constexpr bool kA1Neg = constants::ns::kA1Neg;           \
+        static constexpr bool kB1Neg = constants::ns::kB1Neg;           \
+        static constexpr bool kA2Neg = constants::ns::kA2Neg;           \
+        static constexpr bool kB2Neg = constants::ns::kB2Neg;           \
+        static constexpr const std::uint64_t *kG1 =                     \
+            constants::ns::kG1;                                         \
+        static constexpr const std::uint64_t *kG2 =                     \
+            constants::ns::kG2;                                         \
+        static constexpr bool kG1Neg = constants::ns::kG1Neg;           \
+        static constexpr bool kG2Neg = constants::ns::kG2Neg;           \
+    }
+
+DISTMSM_GLV_CURVE(Bn254, bn254_glv);
+DISTMSM_GLV_CURVE(Bls381, bls381_glv);
+
+#undef DISTMSM_GLV_CURVE
+
+/** beta as an Fq element. */
+template <typename Curve>
+typename Curve::Fq
+beta()
+{
+    using Fq = typename Curve::Fq;
+    return Fq::fromRaw(Fq::Base::fromLimbs(CurveGlv<Curve>::kBeta));
+}
+
+/** lambda as a raw scalar (for k * P known-answer checks). */
+template <typename Curve>
+BigInt<Curve::Fr::kLimbs>
+lambda()
+{
+    return BigInt<Curve::Fr::kLimbs>::fromLimbs(
+        CurveGlv<Curve>::kLambda);
+}
+
+/** phi(P) = (beta * x, y): one field multiplication. */
+template <typename Curve>
+AffinePoint<Curve>
+endomorphism(const AffinePoint<Curve> &p)
+{
+    if (p.infinity)
+        return p;
+    return AffinePoint<Curve>::fromXY(beta<Curve>() * p.x, p.y);
+}
+
+/**
+ * phi(P) on supported curves, identity mapping otherwise — lets
+ * generic code (the engine is instantiated for every curve) compile
+ * without constants; callers only reach it when the plan enabled GLV,
+ * which planMsm refuses for unsupported curves.
+ */
+template <typename Curve>
+AffinePoint<Curve>
+endomorphismIfSupported(const AffinePoint<Curve> &p)
+{
+    if constexpr (CurveGlv<Curve>::kSupported)
+        return endomorphism<Curve>(p);
+    else
+        return p;
+}
+
+/** Signed half-width decomposition: k = s1*k1 + s2*k2*lambda mod r. */
+template <typename Curve>
+struct Split
+{
+    BigInt<Curve::Fr::kLimbs> k1, k2; ///< magnitudes, < 2^128
+    bool neg1 = false, neg2 = false;
+};
+
+/**
+ * Decompose @p scalar (any value < 2^256; reduced mod r first, so
+ * the engine's truncated-but-unreduced scalars are accepted).
+ */
+template <typename Curve>
+Split<Curve>
+decompose(const BigInt<Curve::Fr::kLimbs> &scalar)
+{
+    using G = CurveGlv<Curve>;
+    static_assert(G::kSupported, "curve has no GLV constants");
+    constexpr std::size_t N = Curve::Fr::kLimbs;
+    static_assert(N == 4, "GLV multipliers assume 4-limb scalars");
+
+    const BigInt<N> r = Curve::Fr::modulus();
+    BigInt<N> k = scalar;
+    while (k >= r)
+        k.subInPlace(r);
+
+    // c_i = round(k * |g_i| / 2^384), sign from the multiplier. The
+    // 4x8-limb product fits in 16 limbs; the rounding bit is bit 383.
+    auto round_mul = [&k](const std::uint64_t *g) {
+        BigInt<8> a{}, b = BigInt<8>::fromLimbs(g);
+        for (std::size_t i = 0; i < N; ++i)
+            a.limb[i] = k.limb[i];
+        const auto t = mulFull<8>(a, b);
+        BigInt<N> c{};
+        std::uint64_t carry = (t[5] >> 63) & 1;
+        for (std::size_t i = 0; i < N; ++i)
+            c.limb[i] = addc(t[6 + i], 0, carry);
+        return c;
+    };
+    const BigInt<N> c1 = round_mul(G::kG1);
+    const BigInt<N> c2 = round_mul(G::kG2);
+
+    // (k1, k2) = (k, 0) - c1*v1 - c2*v2 in two's complement mod
+    // 2^256; |c_i|, |a_i|, |b_i| < 2^129 so intermediate wraps are
+    // harmless and the final values decode by their top bit.
+    auto acc_signed = [](BigInt<N> &acc, const BigInt<N> &c,
+                         bool c_neg, const std::uint64_t *v,
+                         bool v_neg) {
+        const BigInt<N> term = mulLow(c, BigInt<N>::fromLimbs(v));
+        if (c_neg != v_neg)
+            acc.addInPlace(term);
+        else
+            acc.subInPlace(term);
+    };
+    Split<Curve> out;
+    BigInt<N> k1 = k;
+    acc_signed(k1, c1, G::kG1Neg, G::kA1, G::kA1Neg);
+    acc_signed(k1, c2, G::kG2Neg, G::kA2, G::kA2Neg);
+    BigInt<N> k2{};
+    acc_signed(k2, c1, G::kG1Neg, G::kB1, G::kB1Neg);
+    acc_signed(k2, c2, G::kG2Neg, G::kB2, G::kB2Neg);
+
+    auto decode = [](BigInt<N> v, bool &neg) {
+        if ((v.limb[N - 1] >> 63) != 0) {
+            neg = true;
+            BigInt<N> z{};
+            z.subInPlace(v);
+            return z;
+        }
+        neg = false;
+        return v;
+    };
+    out.k1 = decode(k1, out.neg1);
+    out.k2 = decode(k2, out.neg2);
+    return out;
+}
+
+} // namespace distmsm::msm::glv
+
+#endif // DISTMSM_MSM_GLV_H

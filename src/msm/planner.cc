@@ -29,16 +29,23 @@ planMsm(const CurveProfile &curve, std::uint64_t n,
         const gpusim::Cluster &cluster, const MsmOptions &options)
 {
     MsmPlan plan;
+    // GLV rewrites the problem before planning: 2n points against
+    // half-width scalars (silently off without curve constants).
+    plan.glv = options.glv && curve.glvScalarBits != 0;
+    plan.scalarBits =
+        plan.glv ? curve.glvScalarBits : curve.scalarBits;
+    const std::uint64_t n_eff = plan.glv ? 2 * n : n;
+
     WorkloadConfig wc;
-    wc.numPoints = n;
-    wc.scalarBits = curve.scalarBits;
+    wc.numPoints = n_eff;
+    wc.scalarBits = plan.scalarBits;
     wc.numGpus = cluster.numGpus();
     wc.threadsPerGpu = cluster.device().maxConcurrentThreads();
 
     plan.windowBits = options.windowBitsOverride != 0
                           ? options.windowBitsOverride
                           : optimalWindowSize(wc);
-    plan.numWindows = windowCount(curve.scalarBits, plan.windowBits);
+    plan.numWindows = windowCount(plan.scalarBits, plan.windowBits);
     plan.signedDigits = options.signedDigits;
     if (options.signedDigits) {
         // One extra window absorbs the final carry; buckets halve.
@@ -73,7 +80,7 @@ planMsm(const CurveProfile &curve, std::uint64_t n,
     // thread per bucket suffices when buckets already cover the
     // device (the traditional large-window allocation).
     const double points_per_bucket =
-        static_cast<double>(n) /
+        static_cast<double>(n_eff) /
         std::max<double>(1.0, static_cast<double>(plan.numBuckets));
     int tpb = 1;
     while (tpb < want && tpb < 1024 && tpb < 2 * points_per_bucket)
@@ -160,6 +167,9 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     const CostModel &model = cluster.model();
     const auto &spec = cluster.device();
     const double buckets = static_cast<double>(plan.numBuckets);
+    // GLV: twice the points flow through scatter and accumulation,
+    // but the windows (computed by planMsm) already halved.
+    const std::uint64_t n_eff = plan.glv ? 2 * n : n;
 
     // Flexible fractional distribution (Section 3.2.2): a GPU may
     // own whole windows, or a fraction of one window's buckets —
@@ -174,8 +184,8 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     // --- Scatter (per GPU, concurrent across GPUs) ---
     // A GPU scans the N coefficients of every window it touches; in
     // the sub-window regime it inserts only its bucket slice.
-    const double scanned = std::max(1.0, windows_per_gpu) * n;
-    const double inserted = windows_per_gpu * n;
+    const double scanned = std::max(1.0, windows_per_gpu) * n_eff;
+    const double inserted = windows_per_gpu * n_eff;
     // The hierarchical kernel needs 2^s counters plus a tile in
     // shared memory; above that (s > 14 on the A100) DistMSM falls
     // back to the naive scatter, which single-GPU window sizes
@@ -201,16 +211,20 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     // Each GPU sums the buckets it owns, then (precomputed points,
     // Section 2.3.1) merges its windows bucket-wise so at most one
     // 2^s-bucket set leaves each GPU.
-    const std::uint64_t pacc_ops =
+    const std::uint64_t acc_ops =
         static_cast<std::uint64_t>(inserted);
+    // Batched-affine accumulation replaces the 10-mul pacc with the
+    // ~7-modmul amortized affine add.
+    const EcOp acc_op =
+        options.batchAffine ? EcOp::AffineAdd : EcOp::Pacc;
     const double buckets_per_gpu = buckets * windows_per_gpu;
     const std::uint64_t tree_padds = static_cast<std::uint64_t>(
         buckets_per_gpu * (plan.threadsPerBucket - 1));
     const std::uint64_t merge_padds = static_cast<std::uint64_t>(
         buckets * std::max(0.0, windows_per_gpu - 1.0));
     t.bucketSumNs =
-        model.ecThroughputNs(curve, options.kernel, EcOp::Pacc,
-                             pacc_ops) +
+        model.ecThroughputNs(curve, options.kernel, acc_op,
+                             acc_ops) +
         model.ecThroughputNs(curve, options.kernel, EcOp::Padd,
                              tree_padds + merge_padds);
 

@@ -45,6 +45,15 @@ struct MsmOptions
     /** Precompute 2^(js) P_i so windows merge before bucket-reduce
      *  (Section 2.3.1). */
     bool precompute = false;
+    /** GLV endomorphism decomposition: each (scalar, point) pair
+     *  becomes two half-width pairs (P and phi(P) = (beta*x, y)),
+     *  halving the window passes for the same bucket count. Silently
+     *  ignored on curves without generated GLV constants. */
+    bool glv = false;
+    /** Batched-affine bucket accumulation: per-bucket affine running
+     *  sums whose addition slopes share one Montgomery batch
+     *  inversion per round (~6 muls per accumulation vs pacc's 10). */
+    bool batchAffine = false;
     /** EC kernel optimization set (Section 4). */
     gpusim::EcKernelVariant kernel = gpusim::EcKernelVariant::full();
     /** Scatter launch geometry. */
@@ -64,6 +73,11 @@ struct MsmPlan
 {
     unsigned windowBits = 0;
     unsigned numWindows = 0;
+    /** Effective scalar width the windows cover: the curve's scalar
+     *  bits, or the GLV half-scalar width when glv is active. */
+    unsigned scalarBits = 0;
+    /** GLV active: 2n half-width (scalar, point) pairs. */
+    bool glv = false;
     /** Buckets per window excluding bucket 0 (halved when signed). */
     std::uint64_t numBuckets = 0;
     bool signedDigits = false;

@@ -61,12 +61,18 @@ struct EngineVariant
     bool hierarchical;
     bool signedDigits;
     bool precompute;
+    bool glv = false;
+    bool batchAffine = false;
 };
 
 constexpr EngineVariant kVariants[] = {
     {"naive_plain", false, false, false},
     {"hier_signed", true, true, false},
     {"hier_signed_precompute", true, true, true},
+    {"hier_batch_affine", true, false, false, false, true},
+    {"hier_glv", true, false, false, true, false},
+    {"hier_signed_glv_batch", true, true, false, true, true},
+    {"hier_signed_pre_glv_batch", true, true, true, true, true},
 };
 
 template <typename Curve>
@@ -86,6 +92,8 @@ checkEngineDeterminism(std::uint64_t seed, int gpus)
         options.hierarchicalScatter = variant.hierarchical;
         options.signedDigits = variant.signedDigits;
         options.precompute = variant.precompute;
+        options.glv = variant.glv;
+        options.batchAffine = variant.batchAffine;
         options.scatter.blockDim = 64;
         options.scatter.gridDim = 4;
         options.scatter.sharedBytesPerBlock = 64 * 1024;

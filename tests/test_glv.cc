@@ -1,0 +1,238 @@
+/**
+ * @file
+ * GLV endomorphism known-answer and property tests: the eigenvalue
+ * relation lambda * P == phi(P) on both supported curves, the
+ * decomposition round trip k1 + lambda * k2 == k (mod r) over
+ * randomized and boundary scalars with the |k_i| < 2^128 bound, and
+ * end-to-end MSM agreement of the GLV engine path with the naive
+ * reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ec/curves.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/glv.h"
+#include "src/msm/reference.h"
+#include "src/msm/workload.h"
+#include "src/support/prng.h"
+
+namespace distmsm {
+namespace {
+
+using msm::glv::CurveGlv;
+using msm::glv::decompose;
+using msm::glv::endomorphism;
+using msm::glv::kHalfScalarBits;
+
+template <typename Curve>
+class GlvTest : public ::testing::Test
+{
+  protected:
+    using Fr = typename Curve::Fr;
+    using Scalar = BigInt<Fr::kLimbs>;
+
+    static Scalar
+    order()
+    {
+        return Fr::modulus();
+    }
+
+    static Fr
+    lambdaFr()
+    {
+        return Fr::fromRaw(msm::glv::lambda<Curve>());
+    }
+
+    /** Check k == s1*|k1| + s2*|k2|*lambda in Fr and the bound. */
+    static void
+    checkDecomposition(const Scalar &k)
+    {
+        const auto split = decompose<Curve>(k);
+        EXPECT_LE(split.k1.bitLength(), kHalfScalarBits)
+            << k.toHex();
+        EXPECT_LE(split.k2.bitLength(), kHalfScalarBits)
+            << k.toHex();
+        // Fr::fromRaw needs reduced input; k may exceed r (the
+        // magnitudes are < 2^128 < r already).
+        BigInt<Fr::kLimbs> k_red = k;
+        while (k_red >= Fr::modulus())
+            k_red.subInPlace(Fr::modulus());
+        const Fr k1 = Fr::fromRaw(split.k1);
+        const Fr k2 = Fr::fromRaw(split.k2);
+        const Fr lhs = Fr::fromRaw(k_red);
+        const Fr rhs = (split.neg1 ? -k1 : k1) +
+                       lambdaFr() * (split.neg2 ? -k2 : k2);
+        EXPECT_EQ(lhs, rhs) << k.toHex();
+    }
+};
+
+using GlvCurves = ::testing::Types<Bn254, Bls381>;
+TYPED_TEST_SUITE(GlvTest, GlvCurves);
+
+TYPED_TEST(GlvTest, LambdaTimesPointIsEndomorphism)
+{
+    // lambda * P == phi(P) = (beta * x, y): the known-answer pairing
+    // of the generated (beta, lambda) constants, on the generator
+    // and on a spread of random subgroup points.
+    using Xyzz = XYZZPoint<TypeParam>;
+    Prng prng(0x61B5001);
+    std::vector<AffinePoint<TypeParam>> pts = {
+        TypeParam::generator()};
+    const auto walk = msm::generatePoints<TypeParam>(8, prng);
+    pts.insert(pts.end(), walk.begin(), walk.end());
+    for (const auto &p : pts) {
+        const auto lhs =
+            pmul(Xyzz::fromAffine(p), msm::glv::lambda<TypeParam>());
+        const auto phi = endomorphism<TypeParam>(p);
+        EXPECT_TRUE(phi.isOnCurve());
+        EXPECT_EQ(lhs, Xyzz::fromAffine(phi));
+    }
+}
+
+TYPED_TEST(GlvTest, BetaAndLambdaAreNontrivialCubeRoots)
+{
+    using Fq = typename TypeParam::Fq;
+    using Fr = typename TypeParam::Fr;
+    const Fq beta = msm::glv::beta<TypeParam>();
+    EXPECT_NE(beta, Fq::one());
+    EXPECT_EQ(beta * beta * beta, Fq::one());
+    const Fr lam = this->lambdaFr();
+    EXPECT_NE(lam, Fr::one());
+    EXPECT_EQ(lam * lam * lam, Fr::one());
+}
+
+TYPED_TEST(GlvTest, DecomposeBoundaryScalars)
+{
+    using Scalar = typename TestFixture::Scalar;
+    const Scalar r = this->order();
+    Scalar r_minus_1 = r;
+    r_minus_1.subInPlace(Scalar::fromU64(1));
+    Scalar r_minus_lambda = r;
+    r_minus_lambda.subInPlace(msm::glv::lambda<TypeParam>());
+    // Unreduced values the engine's truncated scalars can produce.
+    Scalar top{};
+    for (auto &l : top.limb)
+        l = ~std::uint64_t{0};
+    top.truncateToBits(TypeParam::kScalarBits);
+    for (const Scalar &k :
+         {Scalar::zero(), Scalar::fromU64(1), r_minus_1,
+          r_minus_lambda, msm::glv::lambda<TypeParam>(), r, top}) {
+        this->checkDecomposition(k);
+    }
+}
+
+TYPED_TEST(GlvTest, DecomposeRandomScalars)
+{
+    using Scalar = typename TestFixture::Scalar;
+    Prng prng(0x61B5002);
+    for (int i = 0; i < 500; ++i) {
+        Scalar k = Scalar::random(prng);
+        k.truncateToBits(TypeParam::kScalarBits);
+        this->checkDecomposition(k);
+    }
+}
+
+TYPED_TEST(GlvTest, SplitScalarMultiplicationMatches)
+{
+    // k * P == s1*|k1| * P + s2*|k2| * phi(P) as curve points.
+    using Xyzz = XYZZPoint<TypeParam>;
+    using Scalar = typename TestFixture::Scalar;
+    Prng prng(0x61B5003);
+    const auto pts = msm::generatePoints<TypeParam>(4, prng);
+    for (const auto &p : pts) {
+        Scalar k = Scalar::random(prng);
+        k.truncateToBits(TypeParam::kScalarBits);
+        const auto split = decompose<TypeParam>(k);
+        const auto base = Xyzz::fromAffine(p);
+        const auto phi =
+            Xyzz::fromAffine(endomorphism<TypeParam>(p));
+        auto t1 = pmul(base, split.k1);
+        if (split.neg1)
+            t1 = t1.negated();
+        auto t2 = pmul(phi, split.k2);
+        if (split.neg2)
+            t2 = t2.negated();
+        EXPECT_EQ(padd(t1, t2), pmul(base, k));
+    }
+}
+
+TYPED_TEST(GlvTest, EngineGlvMatchesNaive)
+{
+    // End-to-end: every engine configuration with glv on agrees with
+    // the naive reference (signed and unsigned digits, with and
+    // without precompute and batched-affine accumulation).
+    Prng prng(0x61B5004);
+    const std::size_t n = 150;
+    const auto points = msm::generatePoints<TypeParam>(n, prng);
+    const auto scalars = msm::generateScalars<TypeParam>(n, prng);
+    const auto expected = msm::msmNaive<TypeParam>(points, scalars);
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), 4);
+
+    for (const bool use_signed : {false, true}) {
+        for (const bool precompute : {false, true}) {
+            for (const bool batch_affine : {false, true}) {
+                SCOPED_TRACE((use_signed ? "signed" : "plain") +
+                             std::string(precompute ? "+pre" : "") +
+                             (batch_affine ? "+batch" : ""));
+                msm::MsmOptions options;
+                options.windowBitsOverride = 7;
+                options.glv = true;
+                options.signedDigits = use_signed;
+                options.precompute = precompute;
+                options.batchAffine = batch_affine;
+                options.scatter.blockDim = 64;
+                options.scatter.gridDim = 4;
+                options.scatter.sharedBytesPerBlock = 64 * 1024;
+                const auto result = msm::computeDistMsm<TypeParam>(
+                    points, scalars, cluster, options);
+                EXPECT_TRUE(result.plan.glv);
+                EXPECT_EQ(result.plan.scalarBits, kHalfScalarBits);
+                EXPECT_EQ(result.value, expected);
+            }
+        }
+    }
+}
+
+TEST(GlvPlan, HalvesWindowPasses)
+{
+    // Same window size: GLV halves the number of window passes.
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), 1);
+    msm::MsmOptions options;
+    options.windowBitsOverride = 16;
+    const auto plain = msm::planMsm(gpusim::CurveProfile::bn254(),
+                                    1 << 18, cluster, options);
+    options.glv = true;
+    const auto with_glv = msm::planMsm(
+        gpusim::CurveProfile::bn254(), 1 << 18, cluster, options);
+    EXPECT_EQ(plain.numWindows, 16u);  // ceil(254 / 16)
+    EXPECT_EQ(with_glv.numWindows, 8u); // ceil(128 / 16)
+    EXPECT_FALSE(plain.glv);
+    EXPECT_TRUE(with_glv.glv);
+}
+
+TEST(GlvPlan, UnsupportedCurveFallsBack)
+{
+    // BLS12-377 has no generated GLV constants: the flag is a
+    // silent no-op and the plan keeps the full scalar width.
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), 1);
+    msm::MsmOptions options;
+    options.glv = true;
+    const auto plan = msm::planMsm(gpusim::CurveProfile::bls377(),
+                                   1 << 10, cluster, options);
+    EXPECT_FALSE(plan.glv);
+    EXPECT_EQ(plan.scalarBits, 253u);
+
+    // And the functional engine still computes the right answer.
+    Prng prng(0x61B5005);
+    const auto points = msm::generatePoints<Bls377>(40, prng);
+    const auto scalars = msm::generateScalars<Bls377>(40, prng);
+    const auto result = msm::computeDistMsm<Bls377>(
+        points, scalars, cluster, options);
+    EXPECT_EQ(result.value, msm::msmNaive<Bls377>(points, scalars));
+}
+
+} // namespace
+} // namespace distmsm

@@ -120,12 +120,16 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
         const int gpus = 1 + static_cast<int>(prng.below(8));
         const bool use_signed = prng.below(2) != 0;
         bool hierarchical = prng.below(2) != 0;
+        const bool use_glv = prng.below(2) != 0;
+        const bool batch_affine = prng.below(2) != 0;
         constexpr int kThreadChoices[] = {0, 1, 2, 8};
         const int host_threads = kThreadChoices[prng.below(4)];
 
         msm::MsmOptions options;
         options.windowBitsOverride = s;
         options.signedDigits = use_signed;
+        options.glv = use_glv;
+        options.batchAffine = batch_affine;
         options.hostThreads = host_threads;
         options.scatter.blockDim = 64;
         options.scatter.gridDim = 4;
@@ -150,6 +154,8 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
                      " gpus=" + std::to_string(gpus) +
                      (hierarchical ? " hier" : " naive") +
                      (use_signed ? " signed" : " plain") +
+                     (use_glv ? " glv" : "") +
+                     (batch_affine ? " batch" : "") +
                      " hostThreads=" + std::to_string(host_threads));
 
         const auto points = msm::generatePoints<Bn254>(n, prng);

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Run the MSM micro + ablation benches and write BENCH_msm.json at
+# the repo root.
+#
+# The acceptance rows are the four BM_EngineMsm* configurations of
+# bench/bench_micro_msm.cc (host wall-clock, BN254, s = 13, signed
+# digits, 8 simulated GPUs): legacy, +GLV, +batched-affine, and both
+# flags; the JSON reports each row and the both-flags-vs-legacy
+# speedup at the largest input size. The simulated one-knob ablation
+# table (bench/bench_ablation_msm.cc) rides along verbatim for
+# context.
+#
+# Usage: tools/run_benches.sh [--smoke] [build-dir]
+#   --smoke    CI mode: only the 2^14 rows, shorter min_time, and no
+#              speedup-threshold expectations.
+#   build-dir  Release build tree (default: build-rel; configured and
+#              built on demand).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+smoke=0
+build_dir=""
+for arg in "$@"; do
+    case "$arg" in
+    --smoke) smoke=1 ;;
+    *) build_dir="$arg" ;;
+    esac
+done
+build_dir="${build_dir:-${repo_root}/build-rel}"
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${build_dir}" -j "$(nproc)" \
+    --target bench_micro_msm bench_ablation_msm
+
+micro_json="${build_dir}/bench_micro_msm.json"
+ablation_txt="${build_dir}/bench_ablation_msm.txt"
+
+if [ "${smoke}" -eq 1 ]; then
+    filter='BM_EngineMsm[A-Za-z]*/16384$'
+    min_time=0.05
+else
+    filter='BM_EngineMsm'
+    min_time=0.2
+fi
+
+"${build_dir}/bench/bench_micro_msm" \
+    --benchmark_filter="${filter}" \
+    --benchmark_min_time="${min_time}" \
+    --benchmark_format=json \
+    --benchmark_out="${micro_json}" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+
+"${build_dir}/bench/bench_ablation_msm" | tee "${ablation_txt}"
+
+SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
+    ABLATION_TXT="${ablation_txt}" OUT="${repo_root}/BENCH_msm.json" \
+    python3 - <<'PY'
+import json
+import os
+
+with open(os.environ["MICRO_JSON"]) as f:
+    micro = json.load(f)
+with open(os.environ["ABLATION_TXT"]) as f:
+    ablation = [line.rstrip("\n") for line in f]
+
+CONFIGS = {
+    "BM_EngineMsmLegacy": ("legacy", {"glv": False, "batchAffine": False}),
+    "BM_EngineMsmGlv": ("glv", {"glv": True, "batchAffine": False}),
+    "BM_EngineMsmBatchAffine": (
+        "batch_affine", {"glv": False, "batchAffine": True}),
+    "BM_EngineMsmGlvBatchAffine": (
+        "glv_batch_affine", {"glv": True, "batchAffine": True}),
+}
+
+rows = []
+for b in micro.get("benchmarks", []):
+    base, _, n = b["name"].partition("/")
+    if base not in CONFIGS:
+        continue
+    label, flags = CONFIGS[base]
+    rows.append({
+        "config": label,
+        "options": flags,
+        "n": int(n),
+        "real_ms": b["real_time"],
+        "cpu_ms": b["cpu_time"],
+        "iterations": b["iterations"],
+    })
+
+def ms_at(label, n):
+    for r in rows:
+        if r["config"] == label and r["n"] == n:
+            return r["real_ms"]
+    return None
+
+sizes = sorted({r["n"] for r in rows})
+speedups = {}
+for n in sizes:
+    before, after = ms_at("legacy", n), ms_at("glv_batch_affine", n)
+    if before and after:
+        speedups[str(n)] = round(before / after, 3)
+
+doc = {
+    "bench": "msm_hot_path",
+    "curve": "BN254",
+    "geometry": {
+        "gpus": 8, "window_bits": 13, "signed_digits": True},
+    "mode": "smoke" if os.environ["SMOKE"] == "1" else "full",
+    "context": micro.get("context", {}),
+    "rows": rows,
+    "speedup_glv_batch_vs_legacy": speedups,
+    "ablation_simulated": ablation,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}")
+for n, s in speedups.items():
+    print(f"  n={n}: glv+batch vs legacy = {s}x")
+PY

@@ -24,6 +24,7 @@
 #include "src/msm/distmsm.h"
 #include "src/msm/workload.h"
 #include "src/support/table.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -110,6 +111,11 @@ main(int argc, char **argv)
             gpus = std::atoi(arg.c_str());
         }
     }
+
+    // DISTMSM_TRACE=path.json records the simulated timeline (and,
+    // with --functional, the engine's per-window spans) and flushes
+    // the Chrome trace plus metrics JSON at exit.
+    options.trace = support::globalTraceFromEnv();
 
     const auto curve = curveByName(curve_name);
     const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), gpus);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "src/support/check.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace distmsm::gpusim {
 
@@ -60,6 +63,44 @@ Cluster::gatherNs(std::uint64_t bytes_per_gpu) const
 
     return device_.transferLatencyUs * 1e3 +
            std::max(local_ns, remote_ns);
+}
+
+void
+Cluster::labelTraceLanes(support::TraceRecorder &trace) const
+{
+    namespace lane = support::tracelane;
+    trace.labelProcess(lane::kHostPid, "host cpu");
+    trace.labelThread(lane::kHostPid, lane::kComputeTid, "reduce");
+    for (int d = 0; d < num_gpus_; ++d) {
+        trace.labelProcess(lane::devicePid(d),
+                           "gpu" + std::to_string(d));
+        trace.labelThread(lane::devicePid(d), lane::kComputeTid,
+                          "compute");
+        trace.labelThread(lane::devicePid(d), lane::kTransferTid,
+                          "transfer");
+    }
+}
+
+double
+Cluster::traceGather(support::TraceRecorder &trace,
+                     const std::string &label,
+                     std::uint64_t bytes_per_gpu, double start_ns,
+                     std::uint64_t flow_id_base) const
+{
+    namespace lane = support::tracelane;
+    labelTraceLanes(trace);
+    const double dur_ns = gatherNs(bytes_per_gpu);
+    const double end_ns = start_ns + dur_ns;
+    support::TraceArgs args;
+    args.arg("bytes_per_gpu", static_cast<double>(bytes_per_gpu));
+    for (int d = 0; d < num_gpus_; ++d) {
+        trace.span(label, "transfer", lane::devicePid(d),
+                   lane::kTransferTid, start_ns, dur_ns, args);
+        trace.flow(label, flow_id_base + static_cast<std::uint64_t>(d),
+                   lane::devicePid(d), lane::kTransferTid, end_ns,
+                   lane::kHostPid, lane::kComputeTid, end_ns);
+    }
+    return end_ns;
 }
 
 } // namespace distmsm::gpusim

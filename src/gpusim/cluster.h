@@ -13,10 +13,15 @@
 #define DISTMSM_GPUSIM_CLUSTER_H
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/device.h"
+
+namespace distmsm::support {
+class TraceRecorder;
+}
 
 namespace distmsm::gpusim {
 
@@ -80,6 +85,27 @@ class Cluster
     {
         forEachDevice(num_gpus_, fn, host_threads);
     }
+
+    /**
+     * Name this cluster's trace lanes: the host-CPU process plus one
+     * process per GPU with compute and transfer tracks
+     * (support::tracelane layout). Idempotent; instrumentation sites
+     * call it before emitting device spans.
+     */
+    void labelTraceLanes(support::TraceRecorder &trace) const;
+
+    /**
+     * Emit the gather of @p bytes_per_gpu from every GPU as trace
+     * spans: one span named @p label on each device's transfer track
+     * starting at @p start_ns and lasting gatherNs(bytes_per_gpu),
+     * with a flow arrow from its end into the host-CPU lane.
+     * @p flow_id_base salts the arrow ids (caller keeps them unique
+     * per trace). Returns the gather's end time (ns).
+     */
+    double traceGather(support::TraceRecorder &trace,
+                       const std::string &label,
+                       std::uint64_t bytes_per_gpu, double start_ns,
+                       std::uint64_t flow_id_base) const;
 
   private:
     DeviceSpec device_;

@@ -19,6 +19,37 @@ KernelLaunch::KernelLaunch(int grid_dim, int block_dim,
     block_stats_.resize(static_cast<std::size_t>(grid_dim));
 }
 
+KernelLaunch::~KernelLaunch()
+{
+    if (trace_ == nullptr)
+        return;
+    // Logical time axis: one microsecond per bulk-synchronous phase,
+    // so a launch's span length reads as its phase count in Perfetto.
+    support::TraceArgs args;
+    args.arg("grid_dim", static_cast<double>(grid_dim_))
+        .arg("block_dim", static_cast<double>(block_dim_))
+        .arg("phases", static_cast<double>(stats_.phases))
+        .arg("global_atomics",
+             static_cast<double>(stats_.globalAtomics))
+        .arg("global_conflict_weight",
+             static_cast<double>(stats_.globalConflictWeight))
+        .arg("global_max_conflict",
+             static_cast<double>(stats_.globalMaxConflict))
+        .arg("shared_atomics",
+             static_cast<double>(stats_.sharedAtomics))
+        .arg("shared_conflict_weight",
+             static_cast<double>(stats_.sharedConflictWeight))
+        .arg("shared_max_conflict",
+             static_cast<double>(stats_.sharedMaxConflict))
+        .arg("shared_accesses",
+             static_cast<double>(stats_.sharedAccesses))
+        .arg("gmem_bytes", static_cast<double>(stats_.gmemBytes));
+    trace_->span(trace_label_, "kernel-launch",
+                 support::tracelane::kKernelsPid, trace_lane_, 0.0,
+                 static_cast<double>(stats_.phases) * 1000.0,
+                 std::move(args));
+}
+
 WordArray &
 KernelLaunch::shared(int bid)
 {

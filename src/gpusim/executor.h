@@ -36,11 +36,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/gpusim/stats.h"
 #include "src/support/check.h"
+#include "src/support/trace.h"
 
 namespace distmsm::gpusim {
 
@@ -124,6 +126,31 @@ class KernelLaunch
     KernelLaunch(int grid_dim, int block_dim,
                  std::size_t shared_words, int host_threads = 1);
 
+    /**
+     * Emits the launch's trace span on destruction (if tracing was
+     * attached): the per-launch record of phases and atomic
+     * contention.
+     */
+    ~KernelLaunch();
+
+    /**
+     * Attach structured tracing: when @p trace is non-null, the
+     * destructor emits one complete span named @p label on the
+     * kernel-launch lane @p lane (tracelane::kKernelsPid), with a
+     * logical time axis of one microsecond per bulk-synchronous
+     * phase and the full KernelStats — including the atomic
+     * contention counters — as args. Zero cost when @p trace is
+     * null.
+     */
+    void
+    setTrace(support::TraceRecorder *trace, std::string label,
+             int lane)
+    {
+        trace_ = trace;
+        trace_label_ = std::move(label);
+        trace_lane_ = lane;
+    }
+
     int gridDim() const { return grid_dim_; }
     int blockDim() const { return block_dim_; }
     int gridThreads() const { return grid_dim_ * block_dim_; }
@@ -180,6 +207,9 @@ class KernelLaunch
     int grid_dim_;
     int block_dim_;
     int host_threads_;
+    support::TraceRecorder *trace_ = nullptr;
+    std::string trace_label_;
+    int trace_lane_ = 0;
     std::vector<WordArray> shared_;
     std::vector<WordArray *> touched_;
     std::mutex touched_mutex_;

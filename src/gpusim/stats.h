@@ -12,13 +12,28 @@
 #define DISTMSM_GPUSIM_STATS_H
 
 #include <cstdint>
+#include <string>
+
+#include "src/support/metrics.h"
 
 namespace distmsm::gpusim {
 
 /** Tallies for one kernel launch (or one accumulation scope). */
 struct KernelStats
 {
-    /** Bulk-synchronous phases executed. */
+    /**
+     * Bulk-synchronous phases executed.
+     *
+     * Aggregation scope: phases count *launch* structure, not work,
+     * so the two merge directions treat them differently. merge()
+     * composes launches that run one after another (windows of one
+     * GPU, successive kernels) and SUMS phases. mergeLockstep()
+     * composes devices executing the same launch in lockstep (the
+     * bucket groups of one window, per-GPU replicas of a grid) and
+     * takes the MAX — the cost model must see per-launch phases,
+     * not a device-count multiple. Every other field is a work or
+     * traffic count and sums under both scopes.
+     */
     std::uint64_t phases = 0;
 
     /** Global-memory atomic operations issued. */
@@ -59,6 +74,8 @@ struct KernelStats
      */
     bool operator==(const KernelStats &) const = default;
 
+    /** Serial composition (launch after launch): sums everything,
+     *  including phases; maxima stay maxima. */
     void
     merge(const KernelStats &o)
     {
@@ -82,6 +99,60 @@ struct KernelStats
         pdblOps += o.pdblOps;
         affineAddOps += o.affineAddOps;
         batchInvOps += o.batchInvOps;
+    }
+
+    /**
+     * Parallel composition (devices running the same launch in
+     * lockstep): work and traffic counts sum across the devices,
+     * but the bulk-synchronous phase count is a property of the one
+     * launch they share, so it maxes (see the phases field).
+     */
+    void
+    mergeLockstep(const KernelStats &o)
+    {
+        const std::uint64_t launch_phases =
+            phases > o.phases ? phases : o.phases;
+        merge(o);
+        phases = launch_phases;
+    }
+
+    /**
+     * Feed every counter into @p metrics under @p prefix (e.g.
+     * "msm/dev0/w12/"). Integer counters commute exactly, so
+     * concurrent recording stays deterministic.
+     */
+    void
+    recordMetrics(support::MetricsRegistry &metrics,
+                  const std::string &prefix) const
+    {
+        metrics.add(prefix + "phases",
+                    static_cast<double>(phases));
+        metrics.add(prefix + "global_atomics",
+                    static_cast<double>(globalAtomics));
+        metrics.add(prefix + "global_conflict_weight",
+                    static_cast<double>(globalConflictWeight));
+        metrics.max(prefix + "global_max_conflict",
+                    static_cast<double>(globalMaxConflict));
+        metrics.add(prefix + "shared_atomics",
+                    static_cast<double>(sharedAtomics));
+        metrics.add(prefix + "shared_conflict_weight",
+                    static_cast<double>(sharedConflictWeight));
+        metrics.max(prefix + "shared_max_conflict",
+                    static_cast<double>(sharedMaxConflict));
+        metrics.add(prefix + "shared_accesses",
+                    static_cast<double>(sharedAccesses));
+        metrics.add(prefix + "gmem_bytes",
+                    static_cast<double>(gmemBytes));
+        metrics.add(prefix + "padd_ops",
+                    static_cast<double>(paddOps));
+        metrics.add(prefix + "pacc_ops",
+                    static_cast<double>(paccOps));
+        metrics.add(prefix + "pdbl_ops",
+                    static_cast<double>(pdblOps));
+        metrics.add(prefix + "affine_add_ops",
+                    static_cast<double>(affineAddOps));
+        metrics.add(prefix + "batch_inv_ops",
+                    static_cast<double>(batchInvOps));
     }
 };
 

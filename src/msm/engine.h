@@ -14,6 +14,8 @@
 #define DISTMSM_MSM_ENGINE_H
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 #include <vector>
 
 #include "src/ec/point.h"
@@ -26,6 +28,7 @@
 #include "src/msm/signed_digits.h"
 #include "src/support/check.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace distmsm::msm {
 
@@ -166,12 +169,16 @@ class MsmEngine
         // The engine-level knob governs every layer below it: the
         // scatter kernels inherit the same host-thread budget.
         options_.scatter.hostThreads = options_.hostThreads;
-        const auto curve_profile = gpusim::CurveProfile{
+        // DISTMSM_TRACE=path.json turns tracing on without touching
+        // call sites; an explicit MsmOptions::trace wins.
+        if (options_.trace == nullptr)
+            options_.trace = support::globalTraceFromEnv();
+        curve_profile_ = gpusim::CurveProfile{
             Curve::kName, Curve::Fq::Params::kBits,
             Curve::kScalarBits, Curve::kAIsZero,
             glv::CurveGlv<Curve>::kSupported ? glv::kHalfScalarBits
                                              : 0};
-        plan_ = planMsm(curve_profile, points_.size(), cluster_,
+        plan_ = planMsm(curve_profile_, points_.size(), cluster_,
                         options_);
         const int host_threads =
             support::resolveHostThreads(options_.hostThreads);
@@ -310,15 +317,34 @@ class MsmEngine
             Xyzz windowPoint = Xyzz::identity();
             ReduceStats reduceStats;
         };
+        const std::uint64_t msm_idx =
+            options_.trace != nullptr
+                ? msm_counter_.fetch_add(1,
+                                         std::memory_order_relaxed)
+                : 0;
+        const std::string trace_prefix =
+            "msm" + std::to_string(msm_idx) + "/";
+
         auto run_window = [&](unsigned w, WindowPartial &wp) {
             std::vector<std::uint32_t> ids;
             std::vector<std::uint8_t> negs;
             window_ids(w, ids, negs);
 
+            ScatterConfig scatter_cfg = options_.scatter;
+            if (options_.trace != nullptr) {
+                // One kernel-launch lane per window: the launch span
+                // (emitted by ~KernelLaunch) carries the measured
+                // contention of exactly this window's scatter.
+                scatter_cfg.trace = options_.trace;
+                scatter_cfg.traceLabel = trace_prefix + "w" +
+                                         std::to_string(w) +
+                                         "/scatter";
+                scatter_cfg.traceLane = static_cast<int>(w);
+            }
             ScatterResult scattered =
                 options_.hierarchicalScatter
-                    ? hierarchicalScatter(ids, s, options_.scatter)
-                    : naiveScatter(ids, s, options_.scatter);
+                    ? hierarchicalScatter(ids, s, scatter_cfg)
+                    : naiveScatter(ids, s, scatter_cfg);
             wp.scatterOk = scattered.ok;
             if (!scattered.ok)
                 return;
@@ -364,8 +390,13 @@ class MsmEngine
                     }
                 },
                 options_.hostThreads);
+            // The bucket groups are one launch running on
+            // plan_.gpusPerWindow devices in lockstep: work counts
+            // sum, the shared phase structure does not (see
+            // KernelStats::mergeLockstep; pinned by the 1-vs-4
+            // device stats test).
             for (const auto &gs : group_stats)
-                wp.ecStats.merge(gs);
+                wp.ecStats.mergeLockstep(gs);
 
             if (!options_.precompute) {
                 wp.windowPoint = bucketReduceSerial<Curve>(
@@ -373,6 +404,103 @@ class MsmEngine
                 wp.bucketSums.clear();
                 wp.bucketSums.shrink_to_fit();
             }
+        };
+
+        // Tracing: the serial merge loop below visits windows in a
+        // fixed order regardless of hostThreads, so the measured
+        // stats are mapped onto simulated time (via the cost model)
+        // and emitted from here — the spans are deterministic even
+        // though the windows executed concurrently. Each window
+        // lands on the device lane of the round-robin distribution.
+        support::TraceRecorder *const trace = options_.trace;
+        std::vector<double> dev_cursor;
+        double host_cursor = 0.0;
+        const auto &cost_model = cluster_.model();
+        const int scatter_threads =
+            static_cast<int>(std::min<std::uint64_t>(
+                cluster_.device().maxConcurrentThreads(),
+                static_cast<std::uint64_t>(
+                    options_.scatter.blockDim) *
+                    options_.scatter.gridDim));
+        if (trace != nullptr) {
+            namespace lane = support::tracelane;
+            dev_cursor.assign(
+                static_cast<std::size_t>(cluster_.numGpus()), 0.0);
+            for (int d = 0; d < cluster_.numGpus(); ++d) {
+                trace->labelProcess(lane::engineDevicePid(d),
+                                    "engine gpu" +
+                                        std::to_string(d));
+                trace->labelThread(lane::engineDevicePid(d),
+                                   lane::kComputeTid, "windows");
+            }
+            trace->labelProcess(lane::kEngineHostPid, "engine host");
+            trace->labelThread(lane::kEngineHostPid,
+                               lane::kComputeTid, "reduce");
+        }
+        auto emit_window = [&](unsigned w, const WindowPartial &wp) {
+            namespace lane = support::tracelane;
+            const int d =
+                static_cast<int>(w) % cluster_.numGpus();
+            const int pid = lane::engineDevicePid(d);
+            const double scatter_ns =
+                cost_model.scatterComputeNs(n_eff,
+                                            scatter_threads) +
+                cost_model.atomicNs(wp.scatterStats,
+                                    scatter_threads) +
+                cost_model.gmemNs(wp.scatterStats.gmemBytes);
+            const double sum_ns =
+                cost_model.ecThroughputNs(
+                    curve_profile_, options_.kernel,
+                    gpusim::EcOp::Pacc, wp.ecStats.paccOps) +
+                cost_model.ecThroughputNs(
+                    curve_profile_, options_.kernel,
+                    gpusim::EcOp::Padd, wp.ecStats.paddOps) +
+                cost_model.ecThroughputNs(
+                    curve_profile_, options_.kernel,
+                    gpusim::EcOp::Pdbl, wp.ecStats.pdblOps) +
+                cost_model.ecThroughputNs(
+                    curve_profile_, options_.kernel,
+                    gpusim::EcOp::AffineAdd,
+                    wp.ecStats.affineAddOps);
+            const std::string wl =
+                trace_prefix + "w" + std::to_string(w) + "/";
+            support::TraceArgs scatter_args;
+            scatter_args
+                .arg("global_atomics",
+                     static_cast<double>(
+                         wp.scatterStats.globalAtomics))
+                .arg("global_conflict_weight",
+                     static_cast<double>(
+                         wp.scatterStats.globalConflictWeight))
+                .arg("global_max_conflict",
+                     static_cast<double>(
+                         wp.scatterStats.globalMaxConflict));
+            trace->span(wl + "scatter", "phase", pid,
+                        lane::kComputeTid, dev_cursor[d],
+                        scatter_ns, std::move(scatter_args));
+            trace->span(wl + "bucket-sum", "phase", pid,
+                        lane::kComputeTid,
+                        dev_cursor[d] + scatter_ns, sum_ns);
+            dev_cursor[d] += scatter_ns + sum_ns;
+            const double reduce_ns = cost_model.hostEcNs(
+                curve_profile_,
+                wp.reduceStats.padds + wp.reduceStats.pdbls,
+                cluster_.host());
+            if (reduce_ns > 0.0) {
+                trace->span(wl + "bucket-reduce", "phase",
+                            lane::kEngineHostPid, lane::kComputeTid,
+                            host_cursor, reduce_ns);
+                host_cursor += reduce_ns;
+            }
+            auto &metrics = trace->metrics();
+            const std::string mp = "engine/" + trace_prefix + "dev" +
+                                   std::to_string(d) + "/w" +
+                                   std::to_string(w) + "/";
+            wp.scatterStats.recordMetrics(metrics, mp + "scatter/");
+            wp.ecStats.recordMetrics(metrics, mp + "ec/");
+            metrics.add(mp + "scatter_ns", scatter_ns);
+            metrics.add(mp + "bucket_sum_ns", sum_ns);
+            metrics.add(mp + "bucket_reduce_ns", reduce_ns);
         };
 
         std::vector<Xyzz> merged(
@@ -404,6 +532,8 @@ class MsmEngine
                                 "window size; use naive scatter");
                 result.stats.merge(wp.scatterStats);
                 result.stats.merge(wp.ecStats);
+                if (trace != nullptr)
+                    emit_window(w, wp);
 
                 if (options_.precompute) {
                     for (std::size_t b = 1; b < n_buckets; ++b) {
@@ -443,8 +573,11 @@ class MsmEngine
     std::vector<AffinePoint<Curve>> phi_points_;
     gpusim::Cluster cluster_;
     MsmOptions options_;
+    gpusim::CurveProfile curve_profile_;
     MsmPlan plan_;
     std::vector<std::vector<AffinePoint<Curve>>> table_;
+    /** Orders trace labels of successive compute() calls. */
+    mutable std::atomic<std::uint64_t> msm_counter_{0};
 };
 
 } // namespace distmsm::msm

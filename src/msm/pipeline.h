@@ -20,7 +20,17 @@
 
 namespace distmsm::msm {
 
-/** One pipelined task: GPU work followed by dependent host work. */
+/**
+ * One pipelined task: GPU work followed by dependent host work.
+ *
+ * For MSM tasks built by estimateProvingPipeline, gpuNs is the
+ * timeline's overlappable GPU stage (kernels + transfer,
+ * MsmTimeline::gpuStageNs()) and hostNs is the *exposed* host tail
+ * totalNs() - gpuStageNs(): the intra-MSM overlap of the host reduce
+ * behind its own GPU stage is already consumed, so the flow-shop
+ * recurrence only stacks the parts that genuinely serialize. A
+ * one-task pipeline's makespan therefore equals totalNs() exactly.
+ */
 struct PipelineTask
 {
     double gpuNs = 0.0;
@@ -38,11 +48,37 @@ double pipelineMakespanNs(const std::vector<PipelineTask> &tasks);
 /** Total time with no overlap, for comparison. */
 double serialMakespanNs(const std::vector<PipelineTask> &tasks);
 
+/** Scheduled interval of one task on each pipeline stage. */
+struct PipelineSlot
+{
+    double gpuStartNs = 0.0;
+    double gpuEndNs = 0.0;
+    double hostStartNs = 0.0;
+    double hostEndNs = 0.0;
+};
+
+/**
+ * The per-task schedule realizing pipelineMakespanNs: slot i's GPU
+ * interval is back to back after slot i-1's, and its host interval
+ * starts at max(own GPU end, previous host end). The last slot's
+ * hostEndNs is the makespan. Used by the trace emission to draw the
+ * task lanes, and useful for tools that visualize overlap.
+ */
+std::vector<PipelineSlot>
+pipelineSchedule(const std::vector<PipelineTask> &tasks);
+
 /** Simulated timing of a pipelined proof generation. */
 struct ProvingPipelineEstimate
 {
     std::vector<PipelineTask> tasks;
     double pipelinedNs = 0.0;
+    /**
+     * The no-overlap baseline: every MSM's full GPU stage plus its
+     * full host stage (MsmTimeline::hostStageNs()), with no hiding
+     * anywhere — the denominator of hiddenFraction(). Note this is
+     * *not* serialMakespanNs(tasks), whose hostNs is already the
+     * exposed tail.
+     */
     double serialNs = 0.0;
 
     double hiddenFraction() const

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/support/check.h"
+#include "src/support/trace.h"
 
 namespace distmsm::msm {
 
@@ -251,35 +252,138 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
                          static_cast<std::uint64_t>(
                              plan.windowBits + std::log2(nt)));
 
+    // Each placement implies its own transfer volume (the CPU reduce
+    // pulls every bucket sum to the host; the GPU reduce ships one
+    // partial result per GPU), so both are priced before the choice.
+    // Scalars and points are staged on the devices before the timed
+    // region, as in the baselines' MSM benchmarks, so their upload
+    // is not charged here.
+    const double transfer_cpu_ns = cluster.gatherNs(
+        static_cast<std::uint64_t>(sums_per_gpu * xyzzBytes(curve)));
+    const double transfer_gpu_ns = cluster.gatherNs(xyzzBytes(curve));
+
+    // The overlapped host reduce hides behind the GPU *stage* —
+    // kernels plus the transfer streaming the sums out (Section
+    // 3.2.3, mirrored by MsmTimeline::totalNs()).
     const double gpu_side_ns = t.scatterNs + t.bucketSumNs;
     const double effective_host_ns =
         options.overlapReduce
-            ? std::max(0.0, host_reduce_ns - gpu_side_ns)
+            ? std::max(0.0, host_reduce_ns -
+                                (gpu_side_ns + transfer_cpu_ns))
             : host_reduce_ns;
     const bool cpu_reduce = options.cpuBucketReduce &&
                             effective_host_ns < gpu_reduce_ns;
     t.cpuReduce = cpu_reduce;
     t.bucketReduceNs = cpu_reduce ? host_reduce_ns : gpu_reduce_ns;
-    const std::uint64_t sums_bytes_per_gpu =
-        static_cast<std::uint64_t>(
-            (cpu_reduce ? sums_per_gpu : 1.0) * xyzzBytes(curve));
+    t.transferNs = cpu_reduce ? transfer_cpu_ns : transfer_gpu_ns;
 
     // --- Window reduce (host; a handful of points per GPU) ---
     t.windowReduceNs = model.hostEcNs(
         curve, cluster.numGpus() + plan.numWindows, cluster.host());
-
-    // --- Transfers: bucket sums / partial results to the host.
-    // Scalars and points are staged on the devices before the timed
-    // region, as in the baselines' MSM benchmarks, so their upload
-    // is not charged here.
-    t.transferNs = cluster.gatherNs(sums_bytes_per_gpu);
 
     // Fixed pipeline overhead: the scatter / sum / merge / reduce
     // launches and their synchronization (the floor visible at
     // small N).
     t.windowReduceNs +=
         8.0 * model.params().kernelLaunchUs * 1e3;
+
+    if (options.trace != nullptr)
+        traceMsmTimeline(*options.trace, plan, t, cluster);
     return t;
+}
+
+namespace {
+
+/** Deterministic 64-bit FNV-1a, used to salt flow-arrow ids. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
+                 const MsmTimeline &t,
+                 const gpusim::Cluster &cluster,
+                 const std::string &label, double start_ns)
+{
+    namespace lane = support::tracelane;
+    const std::string prefix = label.empty() ? label : label + "/";
+
+    trace.labelProcess(lane::kHostPid, "host cpu");
+    trace.labelThread(lane::kHostPid, lane::kComputeTid, "reduce");
+    for (int d = 0; d < cluster.numGpus(); ++d) {
+        trace.labelProcess(lane::devicePid(d),
+                           "gpu" + std::to_string(d));
+        trace.labelThread(lane::devicePid(d), lane::kComputeTid,
+                          "compute");
+        trace.labelThread(lane::devicePid(d), lane::kTransferTid,
+                          "transfer");
+    }
+
+    // Span layout mirrors MsmTimeline::totalNs() exactly: the last
+    // span on any lane ends at start_ns + t.totalNs().
+    const double scatter_end = start_ns + t.scatterNs;
+    const double sum_end = scatter_end + t.bucketSumNs;
+    const double gpu_end = start_ns + t.gpuNs();
+    const double gpu_stage_end = start_ns + t.gpuStageNs();
+    const double total_end = start_ns + t.totalNs();
+
+    support::TraceArgs plan_args;
+    plan_args.arg("window_bits", static_cast<double>(plan.windowBits))
+        .arg("num_windows", static_cast<double>(plan.numWindows))
+        .arg("num_buckets", static_cast<double>(plan.numBuckets))
+        .arg("gpus_per_window",
+             static_cast<double>(plan.gpusPerWindow));
+
+    for (int d = 0; d < cluster.numGpus(); ++d) {
+        const int pid = lane::devicePid(d);
+        trace.span(prefix + "scatter", "phase", pid,
+                   lane::kComputeTid, start_ns, t.scatterNs,
+                   plan_args);
+        trace.span(prefix + "bucket-sum", "phase", pid,
+                   lane::kComputeTid, scatter_end, t.bucketSumNs);
+        if (!t.cpuReduce)
+            trace.span(prefix + "bucket-reduce", "phase", pid,
+                       lane::kComputeTid, sum_end, t.bucketReduceNs);
+        trace.span(prefix + "transfer", "transfer", pid,
+                   lane::kTransferTid, gpu_end, t.transferNs);
+        trace.flow(prefix + "sums", fnv1a(prefix) ^
+                       static_cast<std::uint64_t>(d),
+                   pid, lane::kTransferTid, gpu_stage_end,
+                   lane::kHostPid, lane::kComputeTid, gpu_stage_end);
+    }
+
+    if (t.cpuReduce) {
+        // Overlapped: the host reduce runs alongside the GPU stage
+        // and the makespan is max(gpuStage, reduce) + windowReduce.
+        const double reduce_start =
+            t.reduceOverlapped ? start_ns : gpu_stage_end;
+        trace.span(prefix + "bucket-reduce", "phase", lane::kHostPid,
+                   lane::kComputeTid, reduce_start, t.bucketReduceNs);
+    }
+    trace.span(prefix + "window-reduce", "phase", lane::kHostPid,
+               lane::kComputeTid, total_end - t.windowReduceNs,
+               t.windowReduceNs);
+
+    auto &metrics = trace.metrics();
+    const std::string mp = "timeline/" + prefix;
+    metrics.set(mp + "scatter_ns", t.scatterNs);
+    metrics.set(mp + "bucket_sum_ns", t.bucketSumNs);
+    metrics.set(mp + "bucket_reduce_ns", t.bucketReduceNs);
+    metrics.set(mp + "window_reduce_ns", t.windowReduceNs);
+    metrics.set(mp + "transfer_ns", t.transferNs);
+    metrics.set(mp + "total_ns", t.totalNs());
+    metrics.set(mp + "cpu_reduce", t.cpuReduce ? 1.0 : 0.0);
+    metrics.set(mp + "num_gpus",
+                static_cast<double>(cluster.numGpus()));
 }
 
 MsmTimeline

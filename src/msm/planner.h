@@ -15,12 +15,17 @@
 #define DISTMSM_MSM_PLANNER_H
 
 #include <cstdint>
+#include <string>
 
 #include "src/gpusim/cluster.h"
 #include "src/gpusim/cost_model.h"
 #include "src/msm/scatter.h"
 #include "src/msm/timeline.h"
 #include "src/msm/workload_model.h"
+
+namespace distmsm::support {
+class TraceRecorder;
+}
 
 namespace distmsm::msm {
 
@@ -66,6 +71,15 @@ struct MsmOptions
      * n = at most n threads. Results are bit-identical either way.
      */
     int hostThreads = 0;
+    /**
+     * Structured tracing sink (support/trace.h). When non-null, the
+     * analytic estimators emit per-device timeline lanes and the
+     * functional engine emits kernel-launch and simulated-phase
+     * spans plus flat metrics. Null (the default) keeps every
+     * instrumentation site zero-cost; MsmEngine additionally falls
+     * back to the DISTMSM_TRACE environment toggle.
+     */
+    support::TraceRecorder *trace = nullptr;
 };
 
 /** A concrete execution plan. */
@@ -120,6 +134,22 @@ MsmTimeline estimateDistMsm(const gpusim::CurveProfile &curve,
  * augments baselines without native multi-GPU support. The kernel
  * variant models the baseline's arithmetic maturity.
  */
+/**
+ * Emit the analytic timeline of one MSM as trace spans: per-device
+ * compute/transfer lanes plus the host-CPU lane, laid out on the
+ * simulated-time axis exactly as totalNs() accounts them (scatter,
+ * bucket-sum, reduce, transfer, window-reduce; overlap rules
+ * applied). The last span ends at @p timeline .totalNs(). @p label
+ * prefixes the span names ("msm0/scatter"), letting pipelined MSMs
+ * share the device lanes.
+ */
+void traceMsmTimeline(support::TraceRecorder &trace,
+                      const MsmPlan &plan,
+                      const MsmTimeline &timeline,
+                      const gpusim::Cluster &cluster,
+                      const std::string &label = {},
+                      double start_ns = 0.0);
+
 MsmTimeline
 estimateNdimBaseline(const gpusim::CurveProfile &curve,
                      std::uint64_t n, const gpusim::Cluster &cluster,

@@ -90,6 +90,12 @@ naiveScatter(const std::vector<std::uint32_t> &bucket_ids,
 
     KernelLaunch launch(config.gridDim, config.blockDim, 0,
                         config.hostThreads);
+    if (config.trace != nullptr)
+        launch.setTrace(config.trace,
+                        config.traceLabel.empty()
+                            ? "naive-scatter"
+                            : config.traceLabel,
+                        config.traceLane);
     WordArray counters(n_buckets, WordArray::Space::Global);
     const int k = elemsPerThread(bucket_ids.size(), config);
     BlockStaging staging(config.gridDim);
@@ -153,6 +159,12 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
         static_cast<std::size_t>(k_tile) * config.blockDim;
     KernelLaunch launch(config.gridDim, config.blockDim,
                         tile_base + tile_words, config.hostThreads);
+    if (config.trace != nullptr)
+        launch.setTrace(config.trace,
+                        config.traceLabel.empty()
+                            ? "hierarchical-scatter"
+                            : config.traceLabel,
+                        config.traceLane);
     WordArray global_counters(n_buckets, WordArray::Space::Global);
 
     const int k_total = elemsPerThread(bucket_ids.size(), config);

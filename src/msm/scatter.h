@@ -27,6 +27,7 @@
 #define DISTMSM_MSM_SCATTER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/gpusim/executor.h"
@@ -58,6 +59,15 @@ struct ScatterConfig
      * per-block output is staged locally and drained in block order.
      */
     int hostThreads = 0;
+    /**
+     * Structured tracing: when non-null, the scatter's KernelLaunch
+     * emits a per-launch span named @ref traceLabel on the
+     * kernel-launch lane @ref traceLane (see KernelLaunch::setTrace).
+     * Null keeps the kernels untraced at zero cost.
+     */
+    support::TraceRecorder *trace = nullptr;
+    std::string traceLabel;
+    int traceLane = 0;
 };
 
 /** Output of a scatter: per-bucket point-id lists plus stats. */

@@ -26,7 +26,7 @@ struct MsmTimeline
      */
     bool reduceOverlapped = false;
 
-    /** GPU-side time. */
+    /** GPU compute time (kernels only, no transfers). */
     double
     gpuNs() const
     {
@@ -34,23 +34,54 @@ struct MsmTimeline
                (cpuReduce ? 0.0 : bucketReduceNs);
     }
 
-    /** End-to-end simulated time with the overlap rules applied. */
+    /**
+     * The overlappable GPU stage: kernels plus the device-to-host
+     * transfer. Section 3.2.3 models transfers as overlapping the
+     * *host* reduce (the sums of window w stream out while the GPU
+     * scatters window w+1), so the transfer belongs to the GPU stage
+     * that the host reduce can hide behind — the same stage the
+     * pipeline estimator treats as one MSM's GPU occupancy.
+     */
+    double
+    gpuStageNs() const
+    {
+        return gpuNs() + transferNs;
+    }
+
+    /**
+     * Host-side work, ignoring overlap: the CPU bucket-reduce (when
+     * placed on the host) plus the final window reduce.
+     */
+    double
+    hostStageNs() const
+    {
+        return (cpuReduce ? bucketReduceNs : 0.0) + windowReduceNs;
+    }
+
+    /**
+     * End-to-end simulated time with the overlap rules applied.
+     *
+     * The host bucket-reduce hides behind the GPU stage —
+     * gpuStageNs(), *including* the transfer — except for its
+     * non-overlappable tail; the window reduce always serializes at
+     * the end. This is the same decomposition
+     * estimateProvingPipeline uses (gpu stage + exposed host tail),
+     * so a one-task pipeline's makespan equals totalNs() exactly.
+     */
     double
     totalNs() const
     {
         double host = windowReduceNs;
         if (cpuReduce) {
             if (reduceOverlapped) {
-                // The host reduce hides behind GPU work except for
-                // its non-overlappable tail after the last window.
-                host += bucketReduceNs > gpuNs()
-                            ? bucketReduceNs - gpuNs()
+                host += bucketReduceNs > gpuStageNs()
+                            ? bucketReduceNs - gpuStageNs()
                             : 0.0;
             } else {
                 host += bucketReduceNs;
             }
         }
-        return gpuNs() + host + transferNs;
+        return gpuStageNs() + host;
     }
 
     double totalMs() const { return totalNs() / 1e6; }

@@ -1,0 +1,86 @@
+#include "src/support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace distmsm::support {
+
+void
+MetricsRegistry::add(const std::string &key, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_[key] += v;
+}
+
+void
+MetricsRegistry::max(const std::string &key, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = values_.emplace(key, v);
+    if (!inserted)
+        it->second = std::max(it->second, v);
+}
+
+void
+MetricsRegistry::set(const std::string &key, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_[key] = v;
+}
+
+double
+MetricsRegistry::value(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = values_.find(key);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_.empty();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_.size();
+}
+
+std::string
+MetricsRegistry::formatValue(double v)
+{
+    // Exactly representable integers render as integers so traces
+    // and metrics stay stable across compilers' float formatting.
+    constexpr double kExact = 9007199254740992.0; // 2^53
+    if (std::nearbyint(v) == v && std::fabs(v) <= kExact) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n";
+    bool first = true;
+    for (const auto &[key, value] : values_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << key << "\": " << formatValue(value);
+    }
+    os << "\n}\n";
+}
+
+} // namespace distmsm::support

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Flat, deterministic metrics registry.
+ *
+ * Every claim this reproduction makes is a count or a simulated
+ * time; MetricsRegistry is the one sink they all flow into. A metric
+ * is a named double keyed by a scope string — by convention a
+ * "/"-joined path such as "msm/dev0/w12/scatter" so per-(device,
+ * window, phase) aggregation is a prefix walk. Values accumulate by
+ * addition (or maximum, for gauge-like counters such as peak
+ * contention).
+ *
+ * Determinism contract: storage is an ordered map and export renders
+ * with a fixed number format, so two registries fed the same
+ * (key, value) multiset in any order serialize byte-identically.
+ * Callers that accumulate floating-point values into the *same* key
+ * must do so in a deterministic order (the engine feeds the registry
+ * from its serial merge loop); integer-valued counters commute
+ * exactly.
+ *
+ * Thread safety: all mutation goes through one mutex. The intended
+ * use is coarse (one add per kernel launch / window / phase), so the
+ * lock is not on any hot path; when no registry is attached the
+ * instrumentation sites skip straight past (zero cost when off).
+ */
+
+#ifndef DISTMSM_SUPPORT_METRICS_H
+#define DISTMSM_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace distmsm::support {
+
+/** Ordered, thread-safe name -> value accumulator. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** values_[key] += v. */
+    void add(const std::string &key, double v);
+
+    /** values_[key] = max(values_[key], v). */
+    void max(const std::string &key, double v);
+
+    /** values_[key] = v (last write wins; use for plan facts). */
+    void set(const std::string &key, double v);
+
+    /** Value of @p key, or 0.0 when absent. */
+    double value(const std::string &key) const;
+
+    bool empty() const;
+    std::size_t size() const;
+
+    /**
+     * Render every metric as one flat JSON object, keys in lexical
+     * order, values formatted via formatValue(). The output is a
+     * pure function of the stored (key, value) map.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Deterministic number rendering shared with the trace export:
+     * integral values in [-2^53, 2^53] print without a decimal
+     * point, everything else with round-trip precision.
+     */
+    static std::string formatValue(double v);
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace distmsm::support
+
+#endif // DISTMSM_SUPPORT_METRICS_H

@@ -1,0 +1,274 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <tuple>
+
+namespace distmsm::support {
+
+namespace {
+
+/** Rendered-args comparison key (lexicographic over pairs). */
+int
+compareArgs(const std::vector<std::pair<std::string, std::string>> &a,
+            const std::vector<std::pair<std::string, std::string>> &b)
+{
+    if (a < b)
+        return -1;
+    return b < a ? 1 : 0;
+}
+
+/** The stable total order of the export (see trace.h). */
+bool
+eventLess(const TraceEvent &a, const TraceEvent &b)
+{
+    if (a.tsNs != b.tsNs)
+        return a.tsNs < b.tsNs;
+    const auto key = [](const TraceEvent &e) {
+        return std::tie(e.pid, e.tid, e.ph, e.name, e.durNs,
+                        e.flowId);
+    };
+    if (key(a) != key(b))
+        return key(a) < key(b);
+    return compareArgs(a.args, b.args) < 0;
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+void
+writeArgs(std::ostream &os,
+          const std::vector<std::pair<std::string, std::string>> &args)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"";
+        writeEscaped(os, key);
+        os << "\":" << value;
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+TraceRecorder::span(const std::string &name, const std::string &cat,
+                    int pid, int tid, double ts_ns, double dur_ns,
+                    TraceArgs args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.tsNs = ts_ns;
+    e.durNs = dur_ns;
+    e.pid = pid;
+    e.tid = tid;
+    e.args = args.rendered();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::instant(const std::string &name,
+                       const std::string &cat, int pid, int tid,
+                       double ts_ns, TraceArgs args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.tsNs = ts_ns;
+    e.pid = pid;
+    e.tid = tid;
+    e.args = args.rendered();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::flow(const std::string &name, std::uint64_t id,
+                    int from_pid, int from_tid, double from_ts_ns,
+                    int to_pid, int to_tid, double to_ts_ns)
+{
+    TraceEvent s;
+    s.name = name;
+    s.cat = "transfer";
+    s.ph = 's';
+    s.tsNs = from_ts_ns;
+    s.pid = from_pid;
+    s.tid = from_tid;
+    s.flowId = id;
+    TraceEvent f = s;
+    f.ph = 'f';
+    f.tsNs = to_ts_ns;
+    f.pid = to_pid;
+    f.tid = to_tid;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(s));
+    events_.push_back(std::move(f));
+}
+
+void
+TraceRecorder::labelProcess(int pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    processNames_[pid] = name;
+}
+
+void
+TraceRecorder::labelThread(int pid, int tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    threadNames_[{pid, tid}] = name;
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+TraceRecorder::snapshot() const
+{
+    std::vector<TraceEvent> sorted;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sorted = events_;
+    }
+    std::sort(sorted.begin(), sorted.end(), eventLess);
+    return sorted;
+}
+
+void
+TraceRecorder::writeChromeJson(std::ostream &os) const
+{
+    std::vector<TraceEvent> sorted;
+    std::map<int, std::string> process_names;
+    std::map<std::pair<int, int>, std::string> thread_names;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sorted = events_;
+        process_names = processNames_;
+        thread_names = threadNames_;
+    }
+    std::sort(sorted.begin(), sorted.end(), eventLess);
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Metadata first: lane names (Perfetto sorts tracks by them).
+    for (const auto &[pid, name] : process_names) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+           << pid << ",\"tid\":0,\"args\":{\"name\":\"";
+        writeEscaped(os, name);
+        os << "\"}}";
+    }
+    for (const auto &[key, name] : thread_names) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+           << key.first << ",\"tid\":" << key.second
+           << ",\"args\":{\"name\":\"";
+        writeEscaped(os, name);
+        os << "\"}}";
+    }
+
+    // Chrome trace timestamps are microseconds; simulated times are
+    // recorded in ns, so ts/dur export as fractional us.
+    for (const auto &e : sorted) {
+        sep();
+        os << "{\"name\":\"";
+        writeEscaped(os, e.name);
+        os << "\",\"cat\":\"";
+        writeEscaped(os, e.cat);
+        os << "\",\"ph\":\"" << e.ph << "\",\"ts\":"
+           << MetricsRegistry::formatValue(e.tsNs / 1000.0)
+           << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+        if (e.ph == 'X')
+            os << ",\"dur\":"
+               << MetricsRegistry::formatValue(e.durNs / 1000.0);
+        if (e.ph == 's' || e.ph == 'f')
+            os << ",\"id\":" << e.flowId;
+        if (e.ph == 'f')
+            os << ",\"bp\":\"e\"";
+        if (!e.args.empty()) {
+            os << ",\"args\":";
+            writeArgs(os, e.args);
+        }
+        os << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":"
+          "{\"tool\":\"distmsm\"}}\n";
+}
+
+std::string
+traceMetricsPath(const std::string &trace_path)
+{
+    std::string base = trace_path;
+    const std::string suffix = ".json";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        base.resize(base.size() - suffix.size());
+    }
+    return base + ".metrics.json";
+}
+
+namespace {
+
+struct GlobalTrace
+{
+    TraceRecorder recorder;
+    std::string path;
+
+    ~GlobalTrace()
+    {
+        // Exit-time flush: DISTMSM_TRACE=path.json gets the Chrome
+        // trace; the paired metrics land next to it.
+        std::ofstream trace_out(path);
+        if (trace_out)
+            recorder.writeChromeJson(trace_out);
+        std::ofstream metrics_out(traceMetricsPath(path));
+        if (metrics_out)
+            recorder.writeMetricsJson(metrics_out);
+    }
+};
+
+} // namespace
+
+TraceRecorder *
+globalTraceFromEnv()
+{
+    static TraceRecorder *const recorder = []() -> TraceRecorder * {
+        const char *path = std::getenv("DISTMSM_TRACE");
+        if (path == nullptr || *path == '\0')
+            return nullptr;
+        static GlobalTrace global;
+        global.path = path;
+        return &global.recorder;
+    }();
+    return recorder;
+}
+
+} // namespace distmsm::support

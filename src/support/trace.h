@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Structured tracing: a low-overhead, thread-safe event recorder
+ * that exports Chrome trace-event JSON (loadable in chrome://tracing
+ * and Perfetto) plus a flat metrics JSON.
+ *
+ * Event model
+ * -----------
+ * A trace is a set of *events* on (pid, tid) lanes. Perfetto renders
+ * each pid as a process group and each tid as a track, so the
+ * instrumentation maps simulated hardware onto lanes:
+ *
+ *   pid 0                host CPU (bucket-reduce, window-reduce)
+ *   pid 1 + d            simulated GPU d (tid 0 compute, tid 1
+ *                        transfer)
+ *   pid 99               functional engine: host bucket-reduce
+ *                        (measured stats on the simulated axis)
+ *   pid 100 + d          functional engine: device d's window work
+ *   pid kKernelsPid      functional kernel launches (logical time:
+ *                        one microsecond per bulk-synchronous phase)
+ *   pid kPipelinePid     proving-pipeline task lanes (tid 0 GPU
+ *                        stage, tid 1 host stage)
+ *   pid kProverPid       Groth16 prover stages (host wall-clock)
+ *
+ * Two time axes coexist, distinguished by lane (DESIGN.md "Tracing &
+ * metrics"): *simulated nanoseconds* from the analytic cost model
+ * (device/host/pipeline lanes — deterministic), and *host
+ * wall-clock* (prover lanes — not deterministic, excluded from the
+ * determinism contract). Functional kernel-launch lanes use logical
+ * phase counts, which are deterministic.
+ *
+ * Determinism contract
+ * --------------------
+ * Export sorts events by (ts, pid, tid, ph, name, dur, args) — i.e.
+ * simulated time with a stable total-order tiebreak over every
+ * field — and renders numbers through MetricsRegistry::formatValue.
+ * Events recorded from concurrent host threads therefore serialize
+ * byte-identically for every DISTMSM_HOST_THREADS value, provided
+ * each event's *fields* are deterministic (the instrumentation
+ * sites' responsibility; asserted by test_determinism).
+ *
+ * Zero cost when off: every instrumentation site is gated on a
+ * nullable TraceRecorder pointer (MsmOptions::trace, or the
+ * DISTMSM_TRACE environment toggle via globalTraceFromEnv()).
+ */
+
+#ifndef DISTMSM_SUPPORT_TRACE_H
+#define DISTMSM_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/metrics.h"
+
+namespace distmsm::support {
+
+/** Well-known trace lanes (see the file comment). */
+namespace tracelane {
+inline constexpr int kHostPid = 0;
+inline constexpr int kDevicePidBase = 1;
+/** Functional-engine lanes: measured stats mapped onto simulated
+ *  time, kept apart from the analytic-timeline lanes above. */
+inline constexpr int kEngineHostPid = 99;
+inline constexpr int kEngineDevicePidBase = 100;
+inline constexpr int kKernelsPid = 900;
+inline constexpr int kPipelinePid = 950;
+inline constexpr int kProverPid = 990;
+/** tid of a device's compute track / its transfer track. */
+inline constexpr int kComputeTid = 0;
+inline constexpr int kTransferTid = 1;
+
+inline int devicePid(int device) { return kDevicePidBase + device; }
+inline int
+engineDevicePid(int device)
+{
+    return kEngineDevicePidBase + device;
+}
+} // namespace tracelane
+
+/**
+ * Ordered key/value arguments of one event. Values are stored
+ * pre-rendered as JSON fragments so numeric formatting is uniform.
+ */
+class TraceArgs
+{
+  public:
+    TraceArgs() = default;
+
+    TraceArgs &
+    arg(const std::string &key, double value)
+    {
+        rendered_.emplace_back(key,
+                               MetricsRegistry::formatValue(value));
+        return *this;
+    }
+
+    TraceArgs &
+    arg(const std::string &key, const std::string &value)
+    {
+        rendered_.emplace_back(key, "\"" + value + "\"");
+        return *this;
+    }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    rendered() const
+    {
+        return rendered_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> rendered_;
+};
+
+/** One recorded trace event (Chrome trace-event fields). */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    char ph = 'X';   ///< X complete, i instant, s/f flow begin/end
+    double tsNs = 0; ///< event time, nanoseconds
+    double durNs = 0;
+    int pid = 0;
+    int tid = 0;
+    std::uint64_t flowId = 0; ///< binds 's'/'f' pairs
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** Thread-safe recorder; see the file comment for the contract. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder() = default;
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** The metrics registry riding along with this trace. */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /** A complete ('X') span of @p dur_ns starting at @p ts_ns. */
+    void span(const std::string &name, const std::string &cat,
+              int pid, int tid, double ts_ns, double dur_ns,
+              TraceArgs args = {});
+
+    /** An instant ('i') event. */
+    void instant(const std::string &name, const std::string &cat,
+                 int pid, int tid, double ts_ns,
+                 TraceArgs args = {});
+
+    /**
+     * A flow arrow from (from_pid, from_tid, from_ts) to
+     * (to_pid, to_tid, to_ts) — e.g. a device-to-host transfer
+     * feeding the reduce. @p id must be unique per arrow.
+     */
+    void flow(const std::string &name, std::uint64_t id,
+              int from_pid, int from_tid, double from_ts_ns,
+              int to_pid, int to_tid, double to_ts_ns);
+
+    /** Name a pid ("gpu0") / a (pid, tid) track ("transfer"). */
+    void labelProcess(int pid, const std::string &name);
+    void labelThread(int pid, int tid, const std::string &name);
+
+    std::size_t eventCount() const;
+
+    /** Copy of the recorded events in the export's sorted order. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /**
+     * Export Chrome trace-event JSON: metadata records first, then
+     * every event sorted by (ts, pid, tid, ph, name, dur, args).
+     * Byte-identical for identical event multisets.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** Export the attached metrics registry (flat JSON object). */
+    void
+    writeMetricsJson(std::ostream &os) const
+    {
+        metrics_.writeJson(os);
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::map<int, std::string> processNames_;
+    std::map<std::pair<int, int>, std::string> threadNames_;
+    MetricsRegistry metrics_;
+};
+
+/**
+ * Process-wide recorder controlled by the DISTMSM_TRACE environment
+ * variable. Returns nullptr when unset (tracing off). On first use
+ * with DISTMSM_TRACE=path.json, registers an exit handler that
+ * writes the Chrome trace to `path.json` and the metrics to
+ * `path.metrics.json` (".json" suffix stripped before appending, so
+ * `trace.json` pairs with `trace.metrics.json`).
+ */
+TraceRecorder *globalTraceFromEnv();
+
+/** The metrics path paired with a DISTMSM_TRACE path. */
+std::string traceMetricsPath(const std::string &trace_path);
+
+} // namespace distmsm::support
+
+#endif // DISTMSM_SUPPORT_TRACE_H

@@ -29,6 +29,7 @@
 #include "src/ec/scalar_mul.h"
 #include "src/msm/reference.h"
 #include "src/support/timer.h"
+#include "src/support/trace.h"
 #include "src/zksnark/qap.h"
 
 namespace distmsm::zksnark {
@@ -235,13 +236,21 @@ setup(const R1cs<typename Curve::Fr> &r1cs,
 /**
  * Produce a proof for @p wires (which must satisfy @p r1cs).
  * Stage times are reported through @p timing when non-null.
+ *
+ * Tracing: when @p trace is non-null (or DISTMSM_TRACE is set), the
+ * NTT / MSM / other stage breakdown is emitted as spans on the
+ * prover lane (support::tracelane::kProverPid). These spans use the
+ * *host wall-clock* axis — they are real measured durations, not
+ * simulated time, and are therefore excluded from the determinism
+ * contract (see trace.h).
  */
 template <typename Curve>
 Proof<Curve>
 prove(const ProvingKey<Curve> &pk,
       const R1cs<typename Curve::Fr> &r1cs,
       const std::vector<typename Curve::Fr> &wires, Prng &prng,
-      ProverTiming *timing = nullptr)
+      ProverTiming *timing = nullptr,
+      support::TraceRecorder *trace = nullptr)
 {
     using F = typename Curve::Fr;
     using Xyzz = XYZZPoint<Curve>;
@@ -307,6 +316,39 @@ prove(const ProvingKey<Curve> &pk,
     c = padd(c, pmul(delta_g, (r * s).toRaw()).negated());
     proof.c = c;
     local.otherSeconds = timer.seconds();
+
+    if (trace == nullptr)
+        trace = support::globalTraceFromEnv();
+    if (trace != nullptr) {
+        namespace lane = support::tracelane;
+        trace->labelProcess(lane::kProverPid,
+                            "groth16 prover (wall-clock)");
+        trace->labelThread(lane::kProverPid, lane::kComputeTid,
+                           "stages");
+        const double ntt_ns = local.nttSeconds * 1e9;
+        const double msm_ns = local.msmSeconds * 1e9;
+        const double other_ns = local.otherSeconds * 1e9;
+        support::TraceArgs ntt_args;
+        ntt_args.arg("domain_size",
+                     static_cast<double>(local.domainSize));
+        trace->span("ntt", "prover", lane::kProverPid,
+                    lane::kComputeTid, 0.0, ntt_ns,
+                    std::move(ntt_args));
+        support::TraceArgs msm_args;
+        msm_args.arg("msm_points",
+                     static_cast<double>(local.msmPoints));
+        trace->span("msm", "prover", lane::kProverPid,
+                    lane::kComputeTid, ntt_ns, msm_ns,
+                    std::move(msm_args));
+        trace->span("other", "prover", lane::kProverPid,
+                    lane::kComputeTid, ntt_ns + msm_ns, other_ns);
+        auto &metrics = trace->metrics();
+        metrics.add("prover/ntt_seconds", local.nttSeconds);
+        metrics.add("prover/msm_seconds", local.msmSeconds);
+        metrics.add("prover/other_seconds", local.otherSeconds);
+        metrics.add("prover/msm_points",
+                    static_cast<double>(local.msmPoints));
+    }
 
     if (timing)
         *timing = local;

@@ -110,6 +110,87 @@ TEST(Pipeline, BoundsHold)
     EXPECT_LE(pipelined, msm::serialMakespanNs(tasks));
 }
 
+TEST(Timeline, TransferBelongsToTheGpuStage)
+{
+    // Section 3.2.3's overlap model: the device-to-host transfer is
+    // part of the GPU stage the host reduce hides behind, never a
+    // separate serial term (the accounting bug this PR fixes).
+    msm::MsmTimeline t;
+    t.scatterNs = 100;
+    t.bucketSumNs = 200;
+    t.transferNs = 50;
+    t.bucketReduceNs = 300;
+    t.windowReduceNs = 10;
+    t.cpuReduce = true;
+    t.reduceOverlapped = true;
+    EXPECT_DOUBLE_EQ(t.gpuNs(), 300.0);
+    EXPECT_DOUBLE_EQ(t.gpuStageNs(), 350.0);
+    EXPECT_DOUBLE_EQ(t.hostStageNs(), 310.0);
+    // Reduce (300) hides entirely behind the GPU stage (350).
+    EXPECT_DOUBLE_EQ(t.totalNs(), 350.0 + 10.0);
+    // A longer reduce exposes only its tail past the GPU stage.
+    t.bucketReduceNs = 500;
+    EXPECT_DOUBLE_EQ(t.totalNs(), 350.0 + 150.0 + 10.0);
+    // No overlap: the full reduce serializes.
+    t.reduceOverlapped = false;
+    EXPECT_DOUBLE_EQ(t.totalNs(), 350.0 + 500.0 + 10.0);
+    // GPU-resident reduce joins the GPU stage.
+    t.cpuReduce = false;
+    EXPECT_DOUBLE_EQ(t.gpuStageNs(), 850.0);
+    EXPECT_DOUBLE_EQ(t.totalNs(), 850.0 + 10.0);
+}
+
+TEST(Pipeline, OneTaskEqualsTimelineTotal)
+{
+    // Regression for the reconciled overlap accounting: a pipeline
+    // of one MSM must take exactly the standalone timeline's
+    // totalNs() with overlapReduce on — previously the pipeline
+    // double-charged the hidden reduce and serialized the transfer.
+    const auto curve = gpusim::CurveProfile::bn254();
+    for (const int gpus : {1, 8}) {
+        const Cluster cluster(DeviceSpec::a100(), gpus);
+        for (const unsigned s : {11u, 16u}) {
+            msm::MsmOptions options;
+            options.windowBitsOverride = s;
+            options.overlapReduce = true;
+            const auto t = msm::estimateDistMsm(curve, 1ull << 22,
+                                                cluster, options);
+            const auto estimate = msm::estimateProvingPipeline(
+                curve, 1ull << 22, cluster, options, 1);
+            EXPECT_DOUBLE_EQ(estimate.pipelinedNs, t.totalNs())
+                << "gpus=" << gpus << " s=" << s;
+            const auto multi = msm::estimateProvingPipeline(
+                curve, std::vector<std::uint64_t>{1ull << 22},
+                cluster, options);
+            EXPECT_DOUBLE_EQ(multi.pipelinedNs, t.totalNs())
+                << "heterogeneous overload, gpus=" << gpus;
+        }
+    }
+}
+
+TEST(Pipeline, ScheduleRealizesMakespan)
+{
+    using msm::PipelineTask;
+    const std::vector<PipelineTask> tasks = {
+        {10, 4}, {6, 12}, {8, 3}};
+    const auto slots = msm::pipelineSchedule(tasks);
+    ASSERT_EQ(slots.size(), tasks.size());
+    EXPECT_DOUBLE_EQ(slots.back().hostEndNs,
+                     msm::pipelineMakespanNs(tasks));
+    double gpu_cursor = 0.0;
+    double host_done = 0.0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_DOUBLE_EQ(slots[i].gpuStartNs, gpu_cursor);
+        gpu_cursor += tasks[i].gpuNs;
+        EXPECT_DOUBLE_EQ(slots[i].gpuEndNs, gpu_cursor);
+        // Host slot starts when both dependencies are met.
+        EXPECT_DOUBLE_EQ(
+            slots[i].hostStartNs,
+            std::max(host_done, slots[i].gpuEndNs));
+        host_done = slots[i].hostEndNs;
+    }
+}
+
 TEST(Pipeline, HidesCpuReduceAtScale)
 {
     // Section 3.2.3: with several MSMs per proof the CPU reduce is

@@ -298,6 +298,66 @@ TEST(Cluster, MakespanIsMax)
     EXPECT_DOUBLE_EQ(Cluster::makespanNs({}), 0.0);
 }
 
+TEST(KernelStats, MergeSumsPhasesAcrossSerialLaunches)
+{
+    KernelStats a, b;
+    a.phases = 3;
+    a.globalAtomics = 10;
+    a.globalMaxConflict = 4;
+    b.phases = 5;
+    b.globalAtomics = 7;
+    b.globalMaxConflict = 9;
+    a.merge(b);
+    EXPECT_EQ(a.phases, 8u) << "serial launches stack their phases";
+    EXPECT_EQ(a.globalAtomics, 17u);
+    EXPECT_EQ(a.globalMaxConflict, 9u);
+}
+
+TEST(KernelStats, MergeLockstepMaxesPhasesAcrossDevices)
+{
+    // Four devices running the same launch in lockstep: the work
+    // counts sum, but the launch's phase structure must not
+    // multiply by the device count (the double-count this PR's
+    // bugfix removes from the engine's bucket-group merge).
+    KernelStats one_device;
+    one_device.phases = 6;
+    one_device.paccOps = 100;
+    one_device.sharedMaxConflict = 2;
+
+    KernelStats four_devices;
+    for (int d = 0; d < 4; ++d)
+        four_devices.mergeLockstep(one_device);
+    EXPECT_EQ(four_devices.phases, one_device.phases)
+        << "lockstep devices share one launch's phases";
+    EXPECT_EQ(four_devices.paccOps, 4 * one_device.paccOps);
+    EXPECT_EQ(four_devices.sharedMaxConflict, 2u);
+
+    // Serial merge of the same parts would have counted 24 phases.
+    KernelStats serial;
+    for (int d = 0; d < 4; ++d)
+        serial.merge(one_device);
+    EXPECT_EQ(serial.phases, 24u);
+}
+
+TEST(KernelStats, RecordMetricsFeedsEveryCounter)
+{
+    KernelStats s;
+    s.phases = 2;
+    s.globalAtomics = 11;
+    s.globalMaxConflict = 5;
+    s.paccOps = 40;
+    support::MetricsRegistry metrics;
+    s.recordMetrics(metrics, "k/");
+    EXPECT_DOUBLE_EQ(metrics.value("k/phases"), 2.0);
+    EXPECT_DOUBLE_EQ(metrics.value("k/global_atomics"), 11.0);
+    EXPECT_DOUBLE_EQ(metrics.value("k/pacc_ops"), 40.0);
+    // add() accumulates; max() keeps the maximum.
+    s.globalMaxConflict = 3;
+    s.recordMetrics(metrics, "k/");
+    EXPECT_DOUBLE_EQ(metrics.value("k/global_atomics"), 22.0);
+    EXPECT_DOUBLE_EQ(metrics.value("k/global_max_conflict"), 5.0);
+}
+
 TEST(Cluster, GatherFollowsTwoLevelTopology)
 {
     const Cluster small(DeviceSpec::a100(), 2);

@@ -86,6 +86,63 @@ TEST(SignedDigits, EdgeScalars)
     EXPECT_TRUE(signedDigitsReassemble(digits, half, s));
 }
 
+TEST(SignedDigits, PlusHalfBoundaryKat)
+{
+    // Audit KAT for the signed-digit boundary: signedWindowDigits
+    // keeps m == +2^(s-1) as the digit +half (asymmetric range
+    // [-half, +half]), so every bucket array must have half+1 slots.
+    // This scalar hits +half in every full window the 254-bit width
+    // can express: nibble pattern 0x88... gives chunk 8 = 2^(4-1)
+    // with no carry anywhere.
+    const unsigned s = 4;
+    BigInt<4> k{};
+    for (auto &l : k.limb)
+        l = 0x8888888888888888ull;
+    k.truncateToBits(254); // clears bits 254/255 -> top window is 0
+    const auto digits = signedWindowDigits(k, 254, s);
+    const std::int32_t half = 1 << (s - 1);
+    // Windows 0..62 are full nibbles, all +half; the truncated top
+    // window and the carry window are 0.
+    ASSERT_EQ(digits.size(), 65u);
+    for (std::size_t w = 0; w < 63; ++w)
+        EXPECT_EQ(digits[w], half) << "window " << w;
+    EXPECT_EQ(digits[63], 0);
+    EXPECT_EQ(digits[64], 0);
+    EXPECT_TRUE(signedDigitsReassemble(digits, k, s));
+
+    // The engine must route bucket +half correctly end to end, with
+    // every accumulation path that indexes the halved bucket array.
+    Prng prng(0x55);
+    const auto points = generatePoints<Bn254>(48, prng);
+    std::vector<BigInt<4>> scalars(48, k); // every point hits +half
+    const auto naive = msmNaive<Bn254>(points, scalars);
+    for (const bool batch_affine : {false, true}) {
+        for (const bool precompute : {false, true}) {
+            const Cluster cluster(DeviceSpec::a100(), 4);
+            MsmOptions options = testOptions(s);
+            options.signedDigits = true;
+            options.batchAffine = batch_affine;
+            options.precompute = precompute;
+            const auto result = computeDistMsm<Bn254>(
+                points, scalars, cluster, options);
+            EXPECT_EQ(result.value, naive)
+                << "batchAffine=" << batch_affine
+                << " precompute=" << precompute;
+        }
+    }
+
+    // GLV half-width path: the decomposed halves run through the
+    // same signed windows; the crafted scalar must still survive.
+    MsmOptions glv_options = testOptions(s);
+    glv_options.signedDigits = true;
+    glv_options.glv = true;
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    EXPECT_EQ(computeDistMsm<Bn254>(points, scalars, cluster,
+                                    glv_options)
+                  .value,
+              naive);
+}
+
 TEST(SignedDigits, SerialPippengerMatchesNaive)
 {
     Prng prng(0x53);
@@ -117,6 +174,35 @@ TEST(SignedDigits, DistMsmMatchesNaive)
                   windowCount(Bls381::kScalarBits, 7) + 1);
         EXPECT_EQ(result.plan.numBuckets, 1ull << 6);
     }
+}
+
+TEST(KernelStatsAggregation, PhasesDoNotScaleWithDeviceCount)
+{
+    // The engine merges the per-device bucket groups of one window
+    // with KernelStats::mergeLockstep: running the identical MSM on
+    // a bucket-split multi-GPU cluster must not multiply the phase
+    // count (launch structure) relative to a single device, while
+    // the result stays bit-identical.
+    Prng prng(0x56);
+    const auto points = generatePoints<Bn254>(64, prng);
+    const auto scalars = generateScalars<Bn254>(64, prng);
+    MsmOptions options;
+    options.windowBitsOverride = 16; // 16 windows
+    options.hierarchicalScatter = false;
+
+    const Cluster one_gpu(DeviceSpec::a100(), 1);
+    const auto single =
+        computeDistMsm<Bn254>(points, scalars, one_gpu, options);
+
+    const Cluster split(DeviceSpec::a100(), 32);
+    const auto multi =
+        computeDistMsm<Bn254>(points, scalars, split, options);
+    ASSERT_TRUE(multi.plan.bucketsSplitAcrossGpus);
+    ASSERT_GT(multi.plan.gpusPerWindow, 1);
+
+    EXPECT_EQ(multi.value, single.value);
+    EXPECT_EQ(multi.stats.phases, single.stats.phases)
+        << "lockstep devices must share, not stack, launch phases";
 }
 
 TEST(SignedDigits, HalvesBucketCountInPlan)

@@ -57,8 +57,22 @@ fi
 
 "${build_dir}/bench/bench_ablation_msm" | tee "${ablation_txt}"
 
+# Per-phase breakdown: trace one simulated MSM at the acceptance
+# geometry (BN254, signed, s = 13, 8 GPUs) at the largest bench size,
+# validate the export contract, and attach the phase table to the
+# BENCH JSON.  See tools/trace_summary.py / DESIGN.md.
+if [ "${smoke}" -eq 1 ]; then log_n=14; else log_n=18; fi
+cmake --build "${build_dir}" -j "$(nproc)" --target msm_cli
+trace_json="${build_dir}/trace_msm.json"
+DISTMSM_TRACE="${trace_json}" "${build_dir}/examples/msm_cli" \
+    bn254 "${log_n}" 8 --signed --window=13 > /dev/null
+"${repo_root}/tools/trace_summary.py" "${trace_json}" --check --json \
+    > "${build_dir}/trace_summary.json"
+
 SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
     ABLATION_TXT="${ablation_txt}" OUT="${repo_root}/BENCH_msm.json" \
+    TRACE_SUMMARY="${build_dir}/trace_summary.json" \
+    TRACE_LOG_N="${log_n}" \
     python3 - <<'PY'
 import json
 import os
@@ -67,6 +81,8 @@ with open(os.environ["MICRO_JSON"]) as f:
     micro = json.load(f)
 with open(os.environ["ABLATION_TXT"]) as f:
     ablation = [line.rstrip("\n") for line in f]
+with open(os.environ["TRACE_SUMMARY"]) as f:
+    trace_summary = json.load(f)
 
 CONFIGS = {
     "BM_EngineMsmLegacy": ("legacy", {"glv": False, "batchAffine": False}),
@@ -115,6 +131,10 @@ doc = {
     "rows": rows,
     "speedup_glv_batch_vs_legacy": speedups,
     "ablation_simulated": ablation,
+    "phase_breakdown_simulated": {
+        "n": 1 << int(os.environ["TRACE_LOG_N"]),
+        "timelines": trace_summary["timelines"],
+    },
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(doc, f, indent=2)

@@ -95,6 +95,18 @@ main()
     }
     {
         msm::MsmOptions o;
+        o.precompute = true;
+        rows.push_back({"+ fixed-base precompute", o});
+    }
+    {
+        msm::MsmOptions o;
+        o.glv = true;
+        o.batchAffine = true;
+        o.precompute = true;
+        rows.push_back({"+ GLV + batch + precomp", o});
+    }
+    {
+        msm::MsmOptions o;
         o.windowBitsOverride = 20;
         rows.push_back({"s pinned to 20", o});
     }
@@ -132,6 +144,34 @@ main()
     // Pipelining ablation: the Section 3.2.3 overlap across a
     // proof's four MSMs.
     const Cluster node(DeviceSpec::a100(), 8);
+    {
+        msm::MsmOptions pre;
+        pre.glv = true;
+        pre.batchAffine = true;
+        pre.precompute = true;
+        const auto pre_plan = msm::planMsm(curve, kN, node, pre);
+        if (pre_plan.precompute) {
+            const auto pre_t =
+                msm::estimateDistMsm(curve, kN, node, pre);
+            std::printf(
+                "fixed-base table build (one-time, amortized by "
+                "BaseTableCache; excluded above): %.2f ms for "
+                "%.1f GiB of tables\n",
+                pre_t.tableBuildNs / 1e6,
+                pre_plan.tableBytes / (1024.0 * 1024 * 1024));
+        } else {
+            // At paper scale the table cannot fit: the precompute
+            // rows above fell back to the per-window path by design.
+            std::printf(
+                "fixed-base precompute declined by the planner at "
+                "N = 2^26 (table exceeds the %.0f GiB device "
+                "budget); the precompute rows above ran the "
+                "per-window fallback. See BENCH_msm.json for "
+                "proving-key-scale rows where the table fits.\n",
+                node.device().globalMemBytes / 2.0 /
+                    (1024.0 * 1024 * 1024));
+        }
+    }
     msm::MsmOptions pipe_options;
     pipe_options.windowBitsOverride = 11; // CPU reduce engaged
     const auto pipe = msm::estimateProvingPipeline(curve, kN, node,

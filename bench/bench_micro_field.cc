@@ -61,6 +61,20 @@ BM_MontMulFIOS(benchmark::State &state)
     }
 }
 
+/** Dedicated Montgomery squaring (sqrFull + one reduce): compare
+ *  against BM_MontMul* to read the sqr-vs-mul saving directly. */
+template <typename P>
+void
+BM_MontSqr(benchmark::State &state)
+{
+    BigInt<P::kLimbs> a, b, mod;
+    setupOperands<P>(a, b, mod);
+    for (auto _ : state) {
+        a = montSqr(a, mod, P::kInv64);
+        benchmark::DoNotOptimize(a);
+    }
+}
+
 template <typename P>
 void
 BM_FieldAdd(benchmark::State &state)
@@ -102,6 +116,7 @@ BM_FieldInverse(benchmark::State &state)
     BENCHMARK(BM_MontMulSOS<P>);                                     \
     BENCHMARK(BM_MontMulCIOS<P>);                                    \
     BENCHMARK(BM_MontMulFIOS<P>);                                    \
+    BENCHMARK(BM_MontSqr<P>);                                        \
     BENCHMARK(BM_FieldAdd<P>);                                       \
     BENCHMARK(BM_FieldSqr<P>);                                       \
     BENCHMARK(BM_FieldInverse<P>)

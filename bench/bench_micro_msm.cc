@@ -146,6 +146,76 @@ BENCHMARK(BM_EngineMsmGlvBatchAffine)
     ->Arg(1 << 18)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Precompute geometry for the fixed-base rows: the combined bucket
+ * pass makes one scatter over W*n elements and skips the Horner
+ * doubling chain entirely, so the optimal window is wider than the
+ * per-window engine's. s = 16 needs the naive scatter (hierarchical
+ * shared-memory staging is infeasible past s = 14).
+ */
+MsmOptions
+precomputeOptions()
+{
+    MsmOptions options;
+    options.windowBitsOverride = 16;
+    options.signedDigits = false;
+    options.hierarchicalScatter = false;
+    options.glv = true;
+    options.batchAffine = true;
+    options.precompute = true;
+    return options;
+}
+
+/**
+ * Warm cache: the proving-service steady state. The table is built
+ * once (engine constructed outside the loop, after a throwaway
+ * construction primes BaseTableCache), so iterations measure the
+ * combined single-pass MSM only.
+ */
+void
+BM_EngineMsmPrecomputeWarm(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto &in = inputs(n);
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), 8);
+    const MsmEngine<Bn254> engine(in.points, cluster,
+                                  precomputeOptions());
+    for (auto _ : state) {
+        auto r = engine.compute(in.scalars);
+        benchmark::DoNotOptimize(r.value);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineMsmPrecomputeWarm)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Cold cache: every iteration clears BaseTableCache and rebuilds the
+ * engine, so the table construction (the amortized one-time cost) is
+ * inside the measurement. Warm vs cold is the ablation row the CI
+ * release-bench gate checks.
+ */
+void
+BM_EngineMsmPrecomputeCold(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto &in = inputs(n);
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), 8);
+    const auto options = precomputeOptions();
+    for (auto _ : state) {
+        BaseTableCache<Bn254>::global().clear();
+        const MsmEngine<Bn254> engine(in.points, cluster, options);
+        auto r = engine.compute(in.scalars);
+        benchmark::DoNotOptimize(r.value);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineMsmPrecomputeCold)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_NaiveMsm(benchmark::State &state)
 {

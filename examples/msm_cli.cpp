@@ -9,6 +9,7 @@
  *   log2_N:  input size exponent                  (default 24)
  *   gpus:    simulated A100 count                 (default 8)
  *   flags:   --naive-scatter --gpu-reduce --signed --no-tc
+ *            --glv --batch-affine --precompute
  *            --window=<s> --functional=<log2 n>
  *
  * Prints the plan, the simulated timeline breakdown at the requested
@@ -92,6 +93,12 @@ main(int argc, char **argv)
             options.cpuBucketReduce = false;
         } else if (arg == "--signed") {
             options.signedDigits = true;
+        } else if (arg == "--glv") {
+            options.glv = true;
+        } else if (arg == "--batch-affine") {
+            options.batchAffine = true;
+        } else if (arg == "--precompute") {
+            options.precompute = true;
         } else if (arg == "--no-tc") {
             options.kernel.tensorCoreMont = false;
             options.kernel.onTheFlyCompact = false;
@@ -132,6 +139,14 @@ main(int argc, char **argv)
                 plan.windowsPerGpu,
                 plan.bucketsSplitAcrossGpus ? ", buckets split" : "",
                 plan.threadsPerBucket);
+    if (plan.precompute) {
+        std::printf("      fixed-base precompute: %.1f MiB of "
+                    "tables, windows merge into one bucket pass\n",
+                    plan.tableBytes / (1024.0 * 1024.0));
+    } else if (options.precompute) {
+        std::printf("      fixed-base precompute declined by the "
+                    "planner (table exceeds the memory budget)\n");
+    }
 
     const auto t =
         msm::estimateDistMsm(curve, 1ull << log_n, cluster, options);
@@ -145,6 +160,10 @@ main(int argc, char **argv)
     table.row({"window reduce", TextTable::num(t.windowReduceNs / 1e6,
                                                3)});
     table.row({"transfers", TextTable::num(t.transferNs / 1e6, 3)});
+    if (t.tableBuildNs > 0.0) {
+        table.row({"table build (one-time)",
+                   TextTable::num(t.tableBuildNs / 1e6, 3)});
+    }
     table.row({"total (with overlap)", TextTable::num(t.totalMs(), 3)});
     std::printf("\n%s", table.render().c_str());
 

@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "src/bigint/bigint.h"
+#include "src/bigint/squaring.h"
 #include "src/support/check.h"
 
 namespace distmsm {
@@ -163,12 +164,25 @@ montMulFIOS(const BigInt<N> &a, const BigInt<N> &b, const BigInt<N> &mod,
     return montFinalSub(r, t[N], mod);
 }
 
-/** Montgomery squaring (currently via CIOS multiply). */
+/**
+ * Montgomery squaring via the dedicated big-integer square (each
+ * cross product computed once and doubled; see bigint/squaring.h)
+ * followed by a full SOS-style reduction sweep.
+ */
 template <std::size_t N>
 constexpr BigInt<N>
 montSqr(const BigInt<N> &a, const BigInt<N> &mod, std::uint64_t inv64)
 {
-    return montMulCIOS(a, a, mod, inv64);
+    return montReduce<N>(sqrFull(a), mod, inv64);
+}
+
+/** Historic alias for montSqr (both use the dedicated square). */
+template <std::size_t N>
+constexpr BigInt<N>
+montSqrDedicated(const BigInt<N> &a, const BigInt<N> &mod,
+                 std::uint64_t inv64)
+{
+    return montSqr(a, mod, inv64);
 }
 
 /**

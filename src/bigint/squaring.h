@@ -16,7 +16,6 @@
 #include <array>
 
 #include "src/bigint/bigint.h"
-#include "src/bigint/montgomery.h"
 
 namespace distmsm {
 
@@ -61,15 +60,6 @@ sqrFull(const BigInt<N> &a)
         carry = static_cast<std::uint64_t>(hi >> 64);
     }
     return t;
-}
-
-/** Montgomery squaring via the dedicated square + reduction. */
-template <std::size_t N>
-constexpr BigInt<N>
-montSqrDedicated(const BigInt<N> &a, const BigInt<N> &mod,
-                 std::uint64_t inv64)
-{
-    return montReduce<N>(sqrFull(a), mod, inv64);
 }
 
 } // namespace distmsm

@@ -18,6 +18,12 @@ namespace distmsm::ec {
 struct OpCounters
 {
     std::uint64_t mul = 0;
+    /** Squarings among `mul` (sqr <= mul): the share the dedicated
+     *  squaring path (bigint/squaring.h) serves at roughly half the
+     *  cross-product work of a general product. Kept as a subset so
+     *  the paper's modmul formulas (14/10 per PADD/PACC) still read
+     *  directly off `mul`. */
+    std::uint64_t sqr = 0;
     std::uint64_t add = 0; ///< additions and subtractions
     std::uint64_t inv = 0; ///< full modular inversions
 
@@ -25,6 +31,7 @@ struct OpCounters
     reset()
     {
         mul = 0;
+        sqr = 0;
         add = 0;
         inv = 0;
     }

@@ -164,6 +164,7 @@ pdbl(const XYZZPoint<Curve> &p)
     r.zz = v * p.zz;
     r.zzz = w * p.zzz;
     ops.mul += Curve::kAIsZero ? 9 : 11;
+    ops.sqr += Curve::kAIsZero ? 3 : 4; // V, M, X3 (+ ZZ^2 if a != 0)
     ops.add += 6;
     return r;
 }
@@ -209,6 +210,7 @@ padd(const XYZZPoint<Curve> &p1, const XYZZPoint<Curve> &p2)
     const Fq zzz = p1.zzz * p2.zzz;
     out.zzz = zzz * ppp;
     ops.mul += 14;
+    ops.sqr += 2; // PP and R^2
     ops.add += 7;
     return out;
 }
@@ -251,6 +253,7 @@ pacc(const XYZZPoint<Curve> &acc, const AffinePoint<Curve> &p)
     out.zz = acc.zz * pp;
     out.zzz = acc.zzz * ppp;
     ops.mul += 10;
+    ops.sqr += 2; // PP and R^2
     ops.add += 7;
     return out;
 }

@@ -47,6 +47,7 @@ DeviceSpec::a100()
     d.maxThreadsPerSm = 2048;
     d.registersPerSm = 65536;
     d.sharedMemPerSm = 164 * 1024;
+    d.globalMemBytes = 80ull << 30;
     d.clockGhz = 1.41;
     d.int32Tops = 19.5;
     d.tensorInt8Tops = 624.0;
@@ -65,6 +66,7 @@ DeviceSpec::rtx4090()
     d.maxThreadsPerSm = 1536;
     d.registersPerSm = 65536;
     d.sharedMemPerSm = 100 * 1024;
+    d.globalMemBytes = 24ull << 30;
     d.clockGhz = 2.52;
     // Section 5.2: 2.12x the int32 capability of the A100.
     d.int32Tops = 41.3;
@@ -84,6 +86,7 @@ DeviceSpec::rx6900xt()
     d.maxThreadsPerSm = 2048;
     d.registersPerSm = 65536;
     d.sharedMemPerSm = 64 * 1024;
+    d.globalMemBytes = 16ull << 30;
     d.clockGhz = 2.25;
     // Section 5.2: "similar register capabilities and memory
     // bandwidth ... its integer arithmetic throughput is notably

@@ -32,6 +32,11 @@ struct DeviceSpec
     int maxRegistersPerThread = 255;
     /** Shared memory per SM in bytes. */
     std::size_t sharedMemPerSm = 0;
+    /** Device global memory in bytes (0 = unmodeled / unbounded).
+     *  Bounds the planner's precompute-table decision: tables
+     *  multiply point storage by the window count, so small-memory
+     *  devices shrink the table (larger c) or decline precompute. */
+    std::uint64_t globalMemBytes = 0;
 
     double clockGhz = 0.0;
     /** CUDA-core int32 throughput, tera-ops/s. */

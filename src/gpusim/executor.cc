@@ -102,13 +102,6 @@ KernelLaunch::atomicAdd(WordArray &arr, std::size_t i, std::uint64_t v,
     DISTMSM_ASSERT(i < arr.words_.size());
     const bool is_shared = arr.space_ == WordArray::Space::Shared;
 
-    // Shared-memory conflicts only arise within a block; salt the
-    // key so different blocks' writes to the same index of their own
-    // copies do not alias.
-    const std::uint64_t key =
-        is_shared ? (static_cast<std::uint64_t>(ctx.bid) << 40) | i
-                  : i;
-
     std::uint64_t old;
     bool first_writer;
     if (!is_shared && host_threads_ > 1) {
@@ -118,13 +111,17 @@ KernelLaunch::atomicAdd(WordArray &arr, std::size_t i, std::uint64_t v,
         std::lock_guard<std::mutex> lock(*arr.mutex_);
         old = arr.words_[i];
         arr.words_[i] += v;
-        first_writer = arr.phase_writers_.empty();
-        ++arr.phase_writers_[key];
+        first_writer = arr.phase_touched_.empty();
+        if (arr.phase_counts_[i]++ == 0)
+            arr.phase_touched_.push_back(
+                static_cast<std::uint32_t>(i));
     } else {
         old = arr.words_[i];
         arr.words_[i] += v;
-        first_writer = arr.phase_writers_.empty();
-        ++arr.phase_writers_[key];
+        first_writer = arr.phase_touched_.empty();
+        if (arr.phase_counts_[i]++ == 0)
+            arr.phase_touched_.push_back(
+                static_cast<std::uint32_t>(i));
     }
     if (first_writer) {
         std::lock_guard<std::mutex> lock(touched_mutex_);
@@ -143,9 +140,13 @@ KernelLaunch::atomicAdd(WordArray &arr, std::size_t i, std::uint64_t v,
 void
 KernelLaunch::foldPhaseContention(WordArray &arr)
 {
+    // Sums and maxima commute, so the visit order of the touched
+    // indices never shows in the totals — identical to the old
+    // hash-map accounting, at a fraction of the per-atomic cost.
     const bool shared = arr.space_ == WordArray::Space::Shared;
-    for (const auto &[key, count] : arr.phase_writers_) {
-        const std::uint64_t c = count;
+    for (const std::uint32_t idx : arr.phase_touched_) {
+        const std::uint64_t c = arr.phase_counts_[idx];
+        arr.phase_counts_[idx] = 0;
         if (shared) {
             stats_.sharedConflictWeight += c * c;
             stats_.sharedMaxConflict =
@@ -156,7 +157,7 @@ KernelLaunch::foldPhaseContention(WordArray &arr)
                 std::max<std::uint64_t>(stats_.globalMaxConflict, c);
         }
     }
-    arr.phase_writers_.clear();
+    arr.phase_touched_.clear();
 }
 
 } // namespace distmsm::gpusim

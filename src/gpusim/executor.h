@@ -37,7 +37,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/gpusim/stats.h"
@@ -73,7 +72,7 @@ class WordArray
     enum class Space { Global, Shared };
 
     WordArray(std::size_t size, Space space)
-        : words_(size, 0), space_(space),
+        : words_(size, 0), space_(space), phase_counts_(size, 0),
           mutex_(space == Space::Global ? new std::mutex : nullptr)
     {
     }
@@ -100,9 +99,14 @@ class WordArray
     friend class KernelLaunch;
     std::vector<std::uint64_t> words_;
     Space space_;
-    // Per-phase contention accounting, keyed by word index with a
-    // block-id salt for shared arrays (conflicts are per block).
-    std::unordered_map<std::uint64_t, std::uint32_t> phase_writers_;
+    // Per-phase contention accounting: writer count per word index
+    // plus the list of indices written this phase (first writer
+    // appends). Flat storage — a hash map here costs ~100 ns per
+    // simulated atomic and dominates large scatter launches. Shared
+    // arrays need no block salt: each block owns its own WordArray
+    // instance, so indices never alias across blocks.
+    std::vector<std::uint32_t> phase_counts_;
+    std::vector<std::uint32_t> phase_touched_;
     // Models the hardware atomic unit when blocks run on concurrent
     // host threads: global-space updates serialize here. Shared
     // arrays are only touched by their owning block and need none.

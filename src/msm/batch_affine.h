@@ -181,6 +181,7 @@ batchAffineAccumulate(
                 scratch.arena[scratch.pairOut[k]] =
                     Affine::fromXY(x3, y3);
                 ops.mul += 3;
+                ops.sqr += 1; // lambda^2
                 ops.add += 6;
                 ++stats.affineAddOps;
             }

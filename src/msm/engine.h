@@ -5,9 +5,23 @@
  * In zkSNARK proving the point vector is fixed by the trusted setup
  * while the scalars change per proof (paper Section 2.2). MsmEngine
  * captures that usage: construct it once with the points, the
- * cluster and the options — it plans the execution and builds the
- * precomputation tables — then call compute() per scalar vector.
- * computeDistMsm() in distmsm.h is the one-shot convenience wrapper.
+ * cluster and the options — it plans the execution and obtains the
+ * fixed-base precomputation tables (built, or reused from the
+ * process-wide BaseTableCache when another engine already built them
+ * for the same bases and geometry) — then call compute() per scalar
+ * vector. computeDistMsm() in distmsm.h is the one-shot convenience
+ * wrapper.
+ *
+ * Execution shapes
+ * ----------------
+ * Without precompute, each window scatters and sums its own bucket
+ * set and the window points merge through the serial Horner
+ * recurrence (s doublings per window). With precompute
+ * (plan.precompute), the table rows 2^(js) P_i realign every
+ * window's digit into ONE shared bucket set: a single combined
+ * scatter over numWindows * n elements, a single bucket-sum pass
+ * across all devices, and a single bucket-reduce — no per-window
+ * passes and no final doubling chain.
  */
 
 #ifndef DISTMSM_MSM_ENGINE_H
@@ -15,6 +29,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +40,7 @@
 #include "src/msm/bucket_reduce.h"
 #include "src/msm/glv.h"
 #include "src/msm/planner.h"
+#include "src/msm/precompute.h"
 #include "src/msm/scatter.h"
 #include "src/msm/signed_digits.h"
 #include "src/support/check.h"
@@ -84,75 +101,6 @@ bucketSumTree(const std::vector<std::uint32_t> &ids,
     return partials.front();
 }
 
-namespace detail {
-
-/**
- * Batch-normalize XYZZ points to affine form. Identity points have
- * zz == zzz == 0, which the zero-skipping batch inversion routes
- * around; the corresponding outputs stay the affine identity.
- */
-template <typename Curve>
-std::vector<AffinePoint<Curve>>
-toAffineBatch(const std::vector<XYZZPoint<Curve>> &points)
-{
-    using Fq = typename Curve::Fq;
-    std::vector<Fq> denoms;
-    denoms.reserve(2 * points.size());
-    for (const auto &p : points) {
-        denoms.push_back(p.zz);
-        denoms.push_back(p.zzz);
-    }
-    std::vector<Fq> scratch;
-    std::vector<std::uint8_t> skipped;
-    batchInverseSkipZero(denoms, scratch, skipped);
-    std::vector<AffinePoint<Curve>> out(points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (!skipped[2 * i]) {
-            out[i] = AffinePoint<Curve>::fromXY(
-                points[i].x * denoms[2 * i],
-                points[i].y * denoms[2 * i + 1]);
-        }
-    }
-    return out;
-}
-
-/**
- * Precomputation table (Section 2.3.1): row j holds 2^(j*s) P_i for
- * every input point, so points of different windows sum directly.
- * The per-point doubling chains are independent, so each table row
- * is built with @p host_threads cooperating threads; point i's chain
- * only ever touches slot i, so the table is bit-identical to the
- * sequential construction.
- */
-template <typename Curve>
-std::vector<std::vector<AffinePoint<Curve>>>
-precomputeWindowMultiples(
-    const std::vector<AffinePoint<Curve>> &points, unsigned windows,
-    unsigned window_bits, int host_threads = 1)
-{
-    using Xyzz = XYZZPoint<Curve>;
-    std::vector<std::vector<AffinePoint<Curve>>> table;
-    table.reserve(windows);
-    table.push_back(points);
-    std::vector<Xyzz> current;
-    current.reserve(points.size());
-    for (const auto &p : points)
-        current.push_back(Xyzz::fromAffine(p));
-    for (unsigned j = 1; j < windows; ++j) {
-        support::ThreadPool::global().parallelFor(
-            0, current.size(),
-            [&](std::size_t i) {
-                for (unsigned b = 0; b < window_bits; ++b)
-                    current[i] = pdbl(current[i]);
-            },
-            host_threads);
-        table.push_back(toAffineBatch<Curve>(current));
-    }
-    return table;
-}
-
-} // namespace detail
-
 /** Reusable MSM executor over a fixed point vector. */
 template <typename Curve>
 class MsmEngine
@@ -195,18 +143,16 @@ class MsmEngine
                 },
                 host_threads);
         }
-        if (options_.precompute) {
-            std::vector<AffinePoint<Curve>> bases = points_;
-            bases.insert(bases.end(), phi_points_.begin(),
-                         phi_points_.end());
-            table_ = detail::precomputeWindowMultiples<Curve>(
-                bases, plan_.numWindows, plan_.windowBits,
-                host_threads);
-        }
+        // plan_.precompute, not options_.precompute: the planner may
+        // have declined (device memory budget) or grown the window.
+        if (plan_.precompute)
+            acquireTable(host_threads);
     }
 
     const MsmPlan &plan() const { return plan_; }
     std::size_t numPoints() const { return points_.size(); }
+    /** The precompute table came from the cross-proof cache. */
+    bool tableCacheHit() const { return table_cache_hit_; }
 
     /**
      * Run one MSM against the staged points.
@@ -281,27 +227,47 @@ class MsmEngine
                 host_threads);
         }
 
+        // Digit of window w for effective scalar i, as (magnitude,
+        // negate) against the bucket array.
+        auto digit_of = [&](unsigned w, std::size_t i,
+                            std::uint32_t &id, std::uint8_t &neg) {
+            if (options_.signedDigits) {
+                const std::int32_t d = digits[i][w];
+                id = static_cast<std::uint32_t>(d < 0 ? -d : d);
+                neg = d < 0;
+            } else {
+                id = static_cast<std::uint32_t>(
+                    eff_scalars[i].bits(
+                        static_cast<std::size_t>(w) * s, s));
+                neg = 0;
+            }
+            // A negative half-scalar flips its contribution;
+            // composes with the signed-digit flip.
+            if (plan_.glv)
+                neg ^= glv_neg[i];
+        };
+
+        const std::uint64_t msm_idx =
+            options_.trace != nullptr
+                ? msm_counter_.fetch_add(1,
+                                         std::memory_order_relaxed)
+                : 0;
+        const std::string trace_prefix =
+            "msm" + std::to_string(msm_idx) + "/";
+
+        if (plan_.precompute) {
+            computeCombined(result, n_eff, n_buckets, digit_of,
+                            trace_prefix, host_threads);
+            return result;
+        }
+
         auto window_ids = [&](unsigned w,
                               std::vector<std::uint32_t> &ids,
                               std::vector<std::uint8_t> &negs) {
             ids.resize(n_eff);
             negs.assign(n_eff, 0);
-            for (std::size_t i = 0; i < n_eff; ++i) {
-                if (options_.signedDigits) {
-                    const std::int32_t d = digits[i][w];
-                    ids[i] =
-                        static_cast<std::uint32_t>(d < 0 ? -d : d);
-                    negs[i] = d < 0;
-                } else {
-                    ids[i] = static_cast<std::uint32_t>(
-                        eff_scalars[i].bits(
-                            static_cast<std::size_t>(w) * s, s));
-                }
-                // A negative half-scalar flips its contribution;
-                // composes with the signed-digit flip.
-                if (plan_.glv)
-                    negs[i] ^= glv_neg[i];
-            }
+            for (std::size_t i = 0; i < n_eff; ++i)
+                digit_of(w, i, ids[i], negs[i]);
         };
 
         // Scatter + bucket sums of one window, fully independent of
@@ -317,13 +283,6 @@ class MsmEngine
             Xyzz windowPoint = Xyzz::identity();
             ReduceStats reduceStats;
         };
-        const std::uint64_t msm_idx =
-            options_.trace != nullptr
-                ? msm_counter_.fetch_add(1,
-                                         std::memory_order_relaxed)
-                : 0;
-        const std::string trace_prefix =
-            "msm" + std::to_string(msm_idx) + "/";
 
         auto run_window = [&](unsigned w, WindowPartial &wp) {
             std::vector<std::uint32_t> ids;
@@ -352,11 +311,8 @@ class MsmEngine
 
             auto point_of = [&](std::uint32_t idx) {
                 const auto &base =
-                    options_.precompute
-                        ? table_[w][idx]
-                        : (idx < n_base
-                               ? points_[idx]
-                               : phi_points_[idx - n_base]);
+                    idx < n_base ? points_[idx]
+                                 : phi_points_[idx - n_base];
                 return negs[idx] ? base.negated() : base;
             };
 
@@ -398,12 +354,10 @@ class MsmEngine
             for (const auto &gs : group_stats)
                 wp.ecStats.mergeLockstep(gs);
 
-            if (!options_.precompute) {
-                wp.windowPoint = bucketReduceSerial<Curve>(
-                    wp.bucketSums, &wp.reduceStats);
-                wp.bucketSums.clear();
-                wp.bucketSums.shrink_to_fit();
-            }
+            wp.windowPoint = bucketReduceSerial<Curve>(
+                wp.bucketSums, &wp.reduceStats);
+            wp.bucketSums.clear();
+            wp.bucketSums.shrink_to_fit();
         };
 
         // Tracing: the serial merge loop below visits windows in a
@@ -416,26 +370,12 @@ class MsmEngine
         std::vector<double> dev_cursor;
         double host_cursor = 0.0;
         const auto &cost_model = cluster_.model();
-        const int scatter_threads =
-            static_cast<int>(std::min<std::uint64_t>(
-                cluster_.device().maxConcurrentThreads(),
-                static_cast<std::uint64_t>(
-                    options_.scatter.blockDim) *
-                    options_.scatter.gridDim));
+        const int scatter_threads = scatterThreads();
         if (trace != nullptr) {
             namespace lane = support::tracelane;
             dev_cursor.assign(
                 static_cast<std::size_t>(cluster_.numGpus()), 0.0);
-            for (int d = 0; d < cluster_.numGpus(); ++d) {
-                trace->labelProcess(lane::engineDevicePid(d),
-                                    "engine gpu" +
-                                        std::to_string(d));
-                trace->labelThread(lane::engineDevicePid(d),
-                                   lane::kComputeTid, "windows");
-            }
-            trace->labelProcess(lane::kEngineHostPid, "engine host");
-            trace->labelThread(lane::kEngineHostPid,
-                               lane::kComputeTid, "reduce");
+            labelEngineLanes(*trace);
         }
         auto emit_window = [&](unsigned w, const WindowPartial &wp) {
             namespace lane = support::tracelane;
@@ -448,20 +388,7 @@ class MsmEngine
                 cost_model.atomicNs(wp.scatterStats,
                                     scatter_threads) +
                 cost_model.gmemNs(wp.scatterStats.gmemBytes);
-            const double sum_ns =
-                cost_model.ecThroughputNs(
-                    curve_profile_, options_.kernel,
-                    gpusim::EcOp::Pacc, wp.ecStats.paccOps) +
-                cost_model.ecThroughputNs(
-                    curve_profile_, options_.kernel,
-                    gpusim::EcOp::Padd, wp.ecStats.paddOps) +
-                cost_model.ecThroughputNs(
-                    curve_profile_, options_.kernel,
-                    gpusim::EcOp::Pdbl, wp.ecStats.pdblOps) +
-                cost_model.ecThroughputNs(
-                    curve_profile_, options_.kernel,
-                    gpusim::EcOp::AffineAdd,
-                    wp.ecStats.affineAddOps);
+            const double sum_ns = bucketSumNs(wp.ecStats);
             const std::string wl =
                 trace_prefix + "w" + std::to_string(w) + "/";
             support::TraceArgs scatter_args;
@@ -503,8 +430,6 @@ class MsmEngine
             metrics.add(mp + "bucket_reduce_ns", reduce_ns);
         };
 
-        std::vector<Xyzz> merged(
-            options_.precompute ? n_buckets : 0, Xyzz::identity());
         Xyzz total = Xyzz::identity();
 
         // Windows execute concurrently in descending stripes (the
@@ -535,17 +460,6 @@ class MsmEngine
                 if (trace != nullptr)
                     emit_window(w, wp);
 
-                if (options_.precompute) {
-                    for (std::size_t b = 1; b < n_buckets; ++b) {
-                        if (wp.bucketSums[b].isIdentity())
-                            continue;
-                        merged[b] =
-                            padd(merged[b], wp.bucketSums[b]);
-                        ++result.stats.paddOps;
-                    }
-                    continue;
-                }
-
                 if (!total.isIdentity()) {
                     for (unsigned b = 0; b < s; ++b) {
                         total = pdbl(total);
@@ -558,16 +472,280 @@ class MsmEngine
             win_hi = win_lo;
         }
 
-        if (options_.precompute) {
-            ReduceStats reduce_stats;
-            total = bucketReduceSerial<Curve>(merged, &reduce_stats);
-            result.hostOps += reduce_stats.padds;
-        }
         result.value = total;
         return result;
     }
 
   private:
+    /**
+     * Obtain the precompute table: a BaseTableCache lookup keyed by
+     * the base fingerprint and the plan geometry, building on a
+     * miss. A proving loop constructing one engine per proof against
+     * the same proving key pays the build once.
+     */
+    void
+    acquireTable(int host_threads)
+    {
+        TableCacheKey key;
+        // The phi images are derived deterministically from the
+        // points, so fingerprinting the points alone identifies the
+        // GLV-folded table too (glv is part of the key).
+        key.fingerprint = fingerprintBases<Curve>(points_);
+        key.numBases = points_.size();
+        key.windowBits = plan_.windowBits;
+        key.numWindows = plan_.numWindows;
+        key.glv = plan_.glv;
+        table_ = BaseTableCache<Curve>::global().findOrBuild(
+            key,
+            [&] {
+                std::vector<AffinePoint<Curve>> bases = points_;
+                bases.insert(bases.end(), phi_points_.begin(),
+                             phi_points_.end());
+                return buildPrecomputeTable<Curve>(
+                    bases, plan_.numWindows, plan_.windowBits,
+                    plan_.glv, host_threads);
+            },
+            &table_cache_hit_);
+
+        support::TraceRecorder *const trace = options_.trace;
+        if (trace == nullptr)
+            return;
+        namespace lane = support::tracelane;
+        auto &metrics = trace->metrics();
+        metrics.add("engine/precompute/cache_hits",
+                    table_cache_hit_ ? 1.0 : 0.0);
+        metrics.add("engine/precompute/cache_misses",
+                    table_cache_hit_ ? 0.0 : 1.0);
+        metrics.set("engine/precompute/table_bytes",
+                    static_cast<double>(table_->bytes));
+        trace->labelProcess(lane::kEngineHostPid, "engine host");
+        trace->labelThread(lane::kEngineHostPid, kPrecomputeTid,
+                           "precompute");
+        support::TraceArgs args;
+        args.arg("table_bytes",
+                 static_cast<double>(table_->bytes))
+            .arg("rows", static_cast<double>(plan_.numWindows))
+            .arg("bases", static_cast<double>(key.numBases));
+        if (table_cache_hit_) {
+            // Cached-hit lane: the amortized path is an instant, not
+            // a span — no simulated time is spent.
+            trace->instant("precompute/table-cache-hit", "phase",
+                           lane::kEngineHostPid, kPrecomputeTid, 0.0,
+                           std::move(args));
+        } else {
+            // Priced from the op count (deterministic), never wall
+            // clock: (W-1) * s doublings per base at GPU throughput.
+            const double build_ns = cluster_.model().ecThroughputNs(
+                curve_profile_, options_.kernel, gpusim::EcOp::Pdbl,
+                table_->buildPdbls);
+            trace->span("precompute/table-build", "phase",
+                        lane::kEngineHostPid, kPrecomputeTid, 0.0,
+                        build_ns, std::move(args));
+        }
+    }
+
+    /**
+     * The combined precompute execution (plan_.precompute): one
+     * scatter over numWindows * n_eff table-indexed elements, one
+     * bucket-sum pass with every device taking a bucket slice, one
+     * serial bucket-reduce. Digit (w, i) addresses table row w at
+     * index i, so all windows share the single bucket array and the
+     * inter-window doubling chain never happens.
+     */
+    template <typename DigitOf>
+    void
+    computeCombined(MsmResult<Curve> &result, std::size_t n_eff,
+                    std::size_t n_buckets, DigitOf &&digit_of,
+                    const std::string &trace_prefix,
+                    int host_threads) const
+    {
+        using Xyzz = XYZZPoint<Curve>;
+        auto &pool = support::ThreadPool::global();
+        const unsigned s = plan_.windowBits;
+        const unsigned n_windows = plan_.numWindows;
+        const std::uint64_t total64 =
+            static_cast<std::uint64_t>(n_windows) * n_eff;
+        DISTMSM_REQUIRE(
+            total64 <=
+                std::numeric_limits<std::uint32_t>::max(),
+            "combined precompute pass exceeds 32-bit element ids");
+        const std::size_t total =
+            static_cast<std::size_t>(total64);
+
+        // Element e = w * n_eff + i contributes table row w of base
+        // i to the bucket of digit (w, i). Each scalar writes only
+        // its own numWindows slots.
+        std::vector<std::uint32_t> ids(total);
+        std::vector<std::uint8_t> negs(total);
+        pool.parallelFor(
+            0, n_eff,
+            [&](std::size_t i) {
+                for (unsigned w = 0; w < n_windows; ++w) {
+                    const std::size_t e =
+                        static_cast<std::size_t>(w) * n_eff + i;
+                    digit_of(w, i, ids[e], negs[e]);
+                }
+            },
+            host_threads);
+
+        ScatterConfig scatter_cfg = options_.scatter;
+        if (options_.trace != nullptr) {
+            scatter_cfg.trace = options_.trace;
+            scatter_cfg.traceLabel =
+                trace_prefix + "combined/scatter";
+            scatter_cfg.traceLane = 0;
+        }
+        ScatterResult scattered =
+            options_.hierarchicalScatter
+                ? hierarchicalScatter(ids, s, scatter_cfg)
+                : naiveScatter(ids, s, scatter_cfg);
+        DISTMSM_REQUIRE(scattered.ok,
+                        "scatter kernel cannot run at this window "
+                        "size; use naive scatter");
+        result.stats.merge(scattered.stats);
+
+        auto point_of = [&](std::uint32_t idx) {
+            const std::size_t w = idx / n_eff;
+            const std::size_t i = idx % n_eff;
+            const auto &base = table_->rows[w][i];
+            return negs[idx] ? base.negated() : base;
+        };
+
+        // One bucket-sum launch over the whole cluster: every device
+        // owns a contiguous slice of the single bucket array.
+        std::vector<Xyzz> bucket_sums(n_buckets, Xyzz::identity());
+        const int groups = cluster_.numGpus();
+        std::vector<gpusim::KernelStats> group_stats(groups);
+        cluster_.forEachDevice(
+            groups,
+            [&](int g) {
+                const std::size_t lo =
+                    1 + (n_buckets - 1) * g / groups;
+                const std::size_t hi =
+                    1 + (n_buckets - 1) * (g + 1) / groups;
+                if (options_.batchAffine) {
+                    BatchAffineScratch<Curve> scratch;
+                    batchAffineAccumulate<Curve>(
+                        scattered.buckets, lo, hi, point_of,
+                        bucket_sums, group_stats[g], scratch);
+                    return;
+                }
+                for (std::size_t b = lo;
+                     b < hi && b < scattered.buckets.size(); ++b) {
+                    if (scattered.buckets[b].empty())
+                        continue;
+                    bucket_sums[b] = bucketSumTree<Curve>(
+                        scattered.buckets[b], point_of,
+                        plan_.threadsPerBucket, group_stats[g]);
+                }
+            },
+            options_.hostThreads);
+        gpusim::KernelStats ec_stats;
+        for (const auto &gs : group_stats)
+            ec_stats.mergeLockstep(gs);
+        result.stats.merge(ec_stats);
+
+        ReduceStats reduce_stats;
+        result.value =
+            bucketReduceSerial<Curve>(bucket_sums, &reduce_stats);
+        result.hostOps +=
+            reduce_stats.padds + reduce_stats.pdbls;
+
+        support::TraceRecorder *const trace = options_.trace;
+        if (trace == nullptr)
+            return;
+        namespace lane = support::tracelane;
+        labelEngineLanes(*trace);
+        const auto &cost_model = cluster_.model();
+        const int scatter_threads = scatterThreads();
+        const double scatter_ns =
+            cost_model.scatterComputeNs(total, scatter_threads) +
+            cost_model.atomicNs(scattered.stats, scatter_threads) +
+            cost_model.gmemNs(scattered.stats.gmemBytes);
+        const std::string cl = trace_prefix + "combined/";
+        support::TraceArgs scatter_args;
+        scatter_args
+            .arg("elements", static_cast<double>(total))
+            .arg("global_atomics",
+                 static_cast<double>(
+                     scattered.stats.globalAtomics));
+        // The combined scatter is one bulk-synchronous kernel across
+        // the cluster; its span sits on device 0's lane, the bucket
+        // sums start after it on every device.
+        trace->span(cl + "scatter", "phase",
+                    lane::engineDevicePid(0), lane::kComputeTid, 0.0,
+                    scatter_ns, std::move(scatter_args));
+        auto &metrics = trace->metrics();
+        for (int g = 0; g < groups; ++g) {
+            const double sum_ns = bucketSumNs(group_stats[g]);
+            trace->span(cl + "bucket-sum", "phase",
+                        lane::engineDevicePid(g), lane::kComputeTid,
+                        scatter_ns, sum_ns);
+            const std::string mp = "engine/" + trace_prefix + "dev" +
+                                   std::to_string(g) + "/combined/";
+            group_stats[g].recordMetrics(metrics, mp + "ec/");
+            metrics.add(mp + "bucket_sum_ns", sum_ns);
+        }
+        const double reduce_ns = cost_model.hostEcNs(
+            curve_profile_,
+            reduce_stats.padds + reduce_stats.pdbls,
+            cluster_.host());
+        trace->span(cl + "bucket-reduce", "phase",
+                    lane::kEngineHostPid, lane::kComputeTid, 0.0,
+                    reduce_ns);
+        const std::string mp0 =
+            "engine/" + trace_prefix + "dev0/combined/";
+        scattered.stats.recordMetrics(metrics, mp0 + "scatter/");
+        metrics.add(mp0 + "scatter_ns", scatter_ns);
+        metrics.add("engine/" + trace_prefix +
+                        "combined/bucket_reduce_ns",
+                    reduce_ns);
+    }
+
+    /** Simulated threads executing one scatter launch. */
+    int
+    scatterThreads() const
+    {
+        return static_cast<int>(std::min<std::uint64_t>(
+            cluster_.device().maxConcurrentThreads(),
+            static_cast<std::uint64_t>(options_.scatter.blockDim) *
+                options_.scatter.gridDim));
+    }
+
+    /** Cost-model time of one bucket-sum launch's EC work. */
+    double
+    bucketSumNs(const gpusim::KernelStats &ec) const
+    {
+        const auto &m = cluster_.model();
+        return m.ecThroughputNs(curve_profile_, options_.kernel,
+                                gpusim::EcOp::Pacc, ec.paccOps) +
+               m.ecThroughputNs(curve_profile_, options_.kernel,
+                                gpusim::EcOp::Padd, ec.paddOps) +
+               m.ecThroughputNs(curve_profile_, options_.kernel,
+                                gpusim::EcOp::Pdbl, ec.pdblOps) +
+               m.ecThroughputNs(curve_profile_, options_.kernel,
+                                gpusim::EcOp::AffineAdd,
+                                ec.affineAddOps);
+    }
+
+    void
+    labelEngineLanes(support::TraceRecorder &trace) const
+    {
+        namespace lane = support::tracelane;
+        for (int d = 0; d < cluster_.numGpus(); ++d) {
+            trace.labelProcess(lane::engineDevicePid(d),
+                               "engine gpu" + std::to_string(d));
+            trace.labelThread(lane::engineDevicePid(d),
+                              lane::kComputeTid, "windows");
+        }
+        trace.labelProcess(lane::kEngineHostPid, "engine host");
+        trace.labelThread(lane::kEngineHostPid, lane::kComputeTid,
+                          "reduce");
+    }
+
+    /** Engine-host track carrying table-build / cache-hit events. */
+    static constexpr int kPrecomputeTid = 2;
+
     std::vector<AffinePoint<Curve>> points_;
     /** phi(P_i) images when the plan enabled GLV (else empty). */
     std::vector<AffinePoint<Curve>> phi_points_;
@@ -575,7 +753,9 @@ class MsmEngine
     MsmOptions options_;
     gpusim::CurveProfile curve_profile_;
     MsmPlan plan_;
-    std::vector<std::vector<AffinePoint<Curve>>> table_;
+    /** Shared precompute table (plan_.precompute; else null). */
+    std::shared_ptr<const PrecomputeTable<Curve>> table_;
+    bool table_cache_hit_ = false;
     /** Orders trace labels of successive compute() calls. */
     mutable std::atomic<std::uint64_t> msm_counter_{0};
 };

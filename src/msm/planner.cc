@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "src/msm/precompute.h"
 
 #include "src/support/check.h"
 #include "src/support/trace.h"
@@ -22,6 +25,10 @@ xyzzBytes(const CurveProfile &curve)
 {
     return 4ull * curve.limbs64() * 8;
 }
+
+/** Largest window the planner will grow to for precompute tables:
+ *  past this, bucket storage and the reduce tail dwarf the saving. */
+constexpr unsigned kMaxPrecomputeWindowBits = 24;
 
 } // namespace
 
@@ -46,6 +53,39 @@ planMsm(const CurveProfile &curve, std::uint64_t n,
     plan.windowBits = options.windowBitsOverride != 0
                           ? options.windowBitsOverride
                           : optimalWindowSize(wc);
+
+    // Fixed-base precompute tables: every device holds all W rows of
+    // n_eff affine points, so the footprint is n_eff * W * 2 *
+    // fieldBytes. Hold that against half the device's global memory
+    // (the other half stays for scalars, bucket ids and bucket
+    // state). A larger window shrinks W, so when the caller left the
+    // window size to the planner, grow it until the table fits;
+    // decline precompute when it cannot fit (pinned override, or no
+    // reasonable window fits) rather than plan an impossible layout.
+    if (options.precompute) {
+        const std::uint64_t affine_bytes = 2ull * curve.limbs64() * 8;
+        const std::uint64_t mem = cluster.device().globalMemBytes;
+        const std::uint64_t budget =
+            mem == 0 ? std::numeric_limits<std::uint64_t>::max()
+                     : mem / 2;
+        const auto table_bytes = [&](unsigned s) {
+            const unsigned w =
+                windowCount(plan.scalarBits, s) +
+                (options.signedDigits ? 1u : 0u);
+            return n_eff * w * affine_bytes;
+        };
+        unsigned s = plan.windowBits;
+        if (options.windowBitsOverride == 0) {
+            while (table_bytes(s) > budget && s < kMaxPrecomputeWindowBits)
+                ++s;
+        }
+        if (table_bytes(s) <= budget) {
+            plan.precompute = true;
+            plan.windowBits = s;
+            plan.tableBytes = table_bytes(s);
+        }
+    }
+
     plan.numWindows = windowCount(plan.scalarBits, plan.windowBits);
     plan.signedDigits = options.signedDigits;
     if (options.signedDigits) {
@@ -221,8 +261,14 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     const double buckets_per_gpu = buckets * windows_per_gpu;
     const std::uint64_t tree_padds = static_cast<std::uint64_t>(
         buckets_per_gpu * (plan.threadsPerBucket - 1));
-    const std::uint64_t merge_padds = static_cast<std::uint64_t>(
-        buckets * std::max(0.0, windows_per_gpu - 1.0));
+    // Precomputed tables land every window's digit in the *same*
+    // bucket set during scatter, so no bucket-wise window merge
+    // remains on the device.
+    const std::uint64_t merge_padds =
+        plan.precompute
+            ? 0
+            : static_cast<std::uint64_t>(
+                  buckets * std::max(0.0, windows_per_gpu - 1.0));
     t.bucketSumNs =
         model.ecThroughputNs(curve, options.kernel, acc_op,
                              acc_ops) +
@@ -278,14 +324,31 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     t.transferNs = cpu_reduce ? transfer_cpu_ns : transfer_gpu_ns;
 
     // --- Window reduce (host; a handful of points per GPU) ---
-    t.windowReduceNs = model.hostEcNs(
-        curve, cluster.numGpus() + plan.numWindows, cluster.host());
+    if (plan.precompute) {
+        // One combined bucket pass: the host only folds the per-GPU
+        // partials — the serial inter-window double-and-add chain
+        // (s doublings per window) is gone, and so are the
+        // per-window launch rounds.
+        t.windowReduceNs =
+            model.hostEcNs(curve, cluster.numGpus(), cluster.host()) +
+            4.0 * model.params().kernelLaunchUs * 1e3;
+        // One-time table construction, amortized across proofs via
+        // the base cache; excluded from totalNs() (see MsmTimeline).
+        t.tableBuildNs = model.ecThroughputNs(
+            curve, options.kernel, EcOp::Pdbl,
+            precomputeBuildPdbls(n_eff, plan.numWindows,
+                                 plan.windowBits));
+    } else {
+        t.windowReduceNs = model.hostEcNs(
+            curve, cluster.numGpus() + plan.numWindows,
+            cluster.host());
 
-    // Fixed pipeline overhead: the scatter / sum / merge / reduce
-    // launches and their synchronization (the floor visible at
-    // small N).
-    t.windowReduceNs +=
-        8.0 * model.params().kernelLaunchUs * 1e3;
+        // Fixed pipeline overhead: the scatter / sum / merge /
+        // reduce launches and their synchronization (the floor
+        // visible at small N).
+        t.windowReduceNs +=
+            8.0 * model.params().kernelLaunchUs * 1e3;
+    }
 
     if (options.trace != nullptr)
         traceMsmTimeline(*options.trace, plan, t, cluster);
@@ -382,6 +445,10 @@ traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
     metrics.set(mp + "transfer_ns", t.transferNs);
     metrics.set(mp + "total_ns", t.totalNs());
     metrics.set(mp + "cpu_reduce", t.cpuReduce ? 1.0 : 0.0);
+    metrics.set(mp + "precompute", plan.precompute ? 1.0 : 0.0);
+    // Amortized one-time cost; deliberately not part of total_ns
+    // (trace_summary's overlap check reconciles spans vs total).
+    metrics.set(mp + "table_build_ns", t.tableBuildNs);
     metrics.set(mp + "num_gpus",
                 static_cast<double>(cluster.numGpus()));
 }

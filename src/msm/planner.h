@@ -102,6 +102,18 @@ struct MsmPlan
     /** Threads summing each bucket. */
     int threadsPerBucket = 32;
     bool bucketsSplitAcrossGpus = false;
+    /**
+     * Fixed-base precompute tables active. Requested via
+     * MsmOptions::precompute but *owned by the planner*: the tables
+     * multiply base storage by the window count, so the planner
+     * grows the window size until the table fits the device's
+     * global-memory budget, or declines (false) when it cannot
+     * (pinned windowBitsOverride, or no window size fits). The
+     * engine and the analytic estimator both key off this field.
+     */
+    bool precompute = false;
+    /** Bytes of the per-device precompute table (0 when declined). */
+    std::uint64_t tableBytes = 0;
 };
 
 /** Build the plan for @p n points on @p cluster. */

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Fixed-base precomputation tables and the cross-proof base cache.
+ *
+ * In a proving service the MSM bases are fixed by the proving key
+ * while the scalars change per proof (paper Section 2.2). The classic
+ * fixed-base trick (Section 2.3.1, the sppark/PipeMSM-style layout)
+ * precomputes the shifted copies
+ *
+ *   row j of the table:  [2^(j*s)] P_i   for every base P_i
+ *
+ * so the digit of *any* window lands in the *same* bucket array: the
+ * per-window passes collapse into one combined bucket accumulation
+ * and the serial inter-window double-and-add (Horner) reduction
+ * disappears. Tables are stored affine — one shared zero-skipping
+ * batch inversion per row — because every accumulation path (pacc and
+ * the batched-affine adds) consumes affine operands.
+ *
+ * Cost shape: building costs (W-1) * s * n point doublings plus W-1
+ * batch normalizations, and the table multiplies base storage by W
+ * (bytes = W * n * 2 * fieldBytes). Both are scalar-independent, so
+ * BaseTableCache amortizes them across proofs: tables are keyed by a
+ * fingerprint of the base points plus the table geometry, and
+ * repeated Groth16 proofs against the same proving key reuse the
+ * tables across MsmEngine instances. The planner (planner.cc) owns
+ * the memory-budget decision — shrink the window count (grow c) or
+ * decline precompute when the device's global-memory model cannot
+ * hold the table.
+ */
+
+#ifndef DISTMSM_MSM_PRECOMPUTE_H
+#define DISTMSM_MSM_PRECOMPUTE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/ec/point.h"
+#include "src/field/batch_inverse.h"
+#include "src/support/check.h"
+#include "src/support/thread_pool.h"
+
+namespace distmsm::msm {
+
+namespace detail {
+
+/**
+ * Batch-normalize XYZZ points to affine form. Identity points have
+ * zz == zzz == 0, which the zero-skipping batch inversion routes
+ * around; the corresponding outputs stay the affine identity.
+ */
+template <typename Curve>
+std::vector<AffinePoint<Curve>>
+toAffineBatch(const std::vector<XYZZPoint<Curve>> &points)
+{
+    using Fq = typename Curve::Fq;
+    std::vector<Fq> denoms;
+    denoms.reserve(2 * points.size());
+    for (const auto &p : points) {
+        denoms.push_back(p.zz);
+        denoms.push_back(p.zzz);
+    }
+    std::vector<Fq> scratch;
+    std::vector<std::uint8_t> skipped;
+    batchInverseSkipZero(denoms, scratch, skipped);
+    std::vector<AffinePoint<Curve>> out(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!skipped[2 * i]) {
+            out[i] = AffinePoint<Curve>::fromXY(
+                points[i].x * denoms[2 * i],
+                points[i].y * denoms[2 * i + 1]);
+        }
+    }
+    return out;
+}
+
+/**
+ * Precomputation table rows (Section 2.3.1): row j holds 2^(j*s) P_i
+ * for every input point, so points of different windows sum directly.
+ * The per-point doubling chains are independent, so each table row
+ * is built with @p host_threads cooperating threads; point i's chain
+ * only ever touches slot i, so the table is bit-identical to the
+ * sequential construction.
+ */
+template <typename Curve>
+std::vector<std::vector<AffinePoint<Curve>>>
+precomputeWindowMultiples(
+    const std::vector<AffinePoint<Curve>> &points, unsigned windows,
+    unsigned window_bits, int host_threads = 1)
+{
+    using Xyzz = XYZZPoint<Curve>;
+    std::vector<std::vector<AffinePoint<Curve>>> table;
+    table.reserve(windows);
+    table.push_back(points);
+    std::vector<Xyzz> current;
+    current.reserve(points.size());
+    for (const auto &p : points)
+        current.push_back(Xyzz::fromAffine(p));
+    for (unsigned j = 1; j < windows; ++j) {
+        support::ThreadPool::global().parallelFor(
+            0, current.size(),
+            [&](std::size_t i) {
+                for (unsigned b = 0; b < window_bits; ++b)
+                    current[i] = pdbl(current[i]);
+            },
+            host_threads);
+        table.push_back(toAffineBatch<Curve>(current));
+    }
+    return table;
+}
+
+/**
+ * Feed a field element's canonical limbs into a fingerprint mixer.
+ * Base fields expose their Montgomery-form limbs directly (canonical
+ * per value); extension fields (Fp2 of the G2 groups) recurse over
+ * their coefficients.
+ */
+template <typename Mix, typename F>
+void
+mixFieldLimbs(Mix &&mix, const F &f)
+{
+    if constexpr (requires { f.montgomeryForm(); }) {
+        for (const auto limb : f.montgomeryForm().limb)
+            mix(limb);
+    } else {
+        mixFieldLimbs(mix, f.c0());
+        mixFieldLimbs(mix, f.c1());
+    }
+}
+
+} // namespace detail
+
+/**
+ * Table memory: W rows of n affine points, 2 field elements each.
+ * This is the formula the planner holds against the device's
+ * global-memory budget (DESIGN.md "Fixed-base precompute").
+ */
+inline std::uint64_t
+precomputeTableBytes(std::uint64_t n_bases, unsigned num_windows,
+                     unsigned field_bytes)
+{
+    return n_bases * num_windows * 2ull * field_bytes;
+}
+
+/** Doublings spent building a table (the amortized cost). */
+inline std::uint64_t
+precomputeBuildPdbls(std::uint64_t n_bases, unsigned num_windows,
+                     unsigned window_bits)
+{
+    if (num_windows <= 1)
+        return 0;
+    return n_bases * (num_windows - 1) *
+           static_cast<std::uint64_t>(window_bits);
+}
+
+/** One built table plus the facts needed to price and account it. */
+template <typename Curve>
+struct PrecomputeTable
+{
+    unsigned windowBits = 0;
+    unsigned numWindows = 0;
+    /** Bases included the GLV endomorphism images phi(P_i). */
+    bool glv = false;
+    std::uint64_t buildPdbls = 0;
+    std::uint64_t bytes = 0;
+    /** rows[j][i] = 2^(j * windowBits) * base_i, affine. */
+    std::vector<std::vector<AffinePoint<Curve>>> rows;
+};
+
+/**
+ * Deterministic FNV-1a fingerprint of a base-point vector: limbs of
+ * both coordinates (Montgomery form — canonical per value) plus the
+ * infinity flag, mixed per index. Order-sensitive by construction,
+ * since MSM bases are positional.
+ */
+template <typename Curve>
+std::uint64_t
+fingerprintBases(const std::vector<AffinePoint<Curve>> &points)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(points.size());
+    for (const auto &p : points) {
+        mix(p.infinity ? 1 : 0);
+        if (p.infinity)
+            continue;
+        detail::mixFieldLimbs(mix, p.x);
+        detail::mixFieldLimbs(mix, p.y);
+    }
+    return h;
+}
+
+/** Cache key: base-set fingerprint + the table geometry. */
+struct TableCacheKey
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t numBases = 0;
+    unsigned windowBits = 0;
+    unsigned numWindows = 0;
+    bool glv = false;
+
+    bool
+    operator<(const TableCacheKey &o) const
+    {
+        if (fingerprint != o.fingerprint)
+            return fingerprint < o.fingerprint;
+        if (numBases != o.numBases)
+            return numBases < o.numBases;
+        if (windowBits != o.windowBits)
+            return windowBits < o.windowBits;
+        if (numWindows != o.numWindows)
+            return numWindows < o.numWindows;
+        return glv < o.glv;
+    }
+};
+
+/**
+ * Process-wide cache of precompute tables, shared by every MsmEngine
+ * of a curve. Entries are immutable (shared_ptr<const>), so a hit is
+ * safe to use while another thread builds a different key. A small
+ * LRU capacity bounds memory when many distinct base sets stream
+ * through (randomized sweeps); a proving service touches a handful of
+ * fixed keys and never evicts.
+ */
+template <typename Curve>
+class BaseTableCache
+{
+  public:
+    using TablePtr = std::shared_ptr<const PrecomputeTable<Curve>>;
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /** The per-curve process-wide instance. */
+    static BaseTableCache &
+    global()
+    {
+        static BaseTableCache cache;
+        return cache;
+    }
+
+    /**
+     * Return the table for @p key, building it via @p builder on a
+     * miss. @p hit (optional) reports whether the table came from the
+     * cache. The builder runs under the cache lock: concurrent
+     * engines constructing the same key build once.
+     */
+    template <typename Builder>
+    TablePtr
+    findOrBuild(const TableCacheKey &key, Builder &&builder,
+                bool *hit = nullptr)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++tick_;
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            it->second.lastUse = tick_;
+            if (hit != nullptr)
+                *hit = true;
+            return it->second.table;
+        }
+        ++stats_.misses;
+        if (hit != nullptr)
+            *hit = false;
+        TablePtr table = builder();
+        DISTMSM_REQUIRE(table != nullptr,
+                        "table builder returned null");
+        while (entries_.size() >= capacity_) {
+            auto lru = entries_.begin();
+            for (auto e = entries_.begin(); e != entries_.end(); ++e)
+                if (e->second.lastUse < lru->second.lastUse)
+                    lru = e;
+            entries_.erase(lru);
+            ++stats_.evictions;
+        }
+        entries_.emplace(key, Entry{table, tick_});
+        return table;
+    }
+
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    /** Drop every entry (cold-cache benchmarks; stats kept). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+    }
+
+    /** Maximum retained tables (evicts down immediately). */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = capacity == 0 ? 1 : capacity;
+        while (entries_.size() > capacity_) {
+            auto lru = entries_.begin();
+            for (auto e = entries_.begin(); e != entries_.end(); ++e)
+                if (e->second.lastUse < lru->second.lastUse)
+                    lru = e;
+            entries_.erase(lru);
+            ++stats_.evictions;
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        TablePtr table;
+        std::uint64_t lastUse = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<TableCacheKey, Entry> entries_;
+    std::size_t capacity_ = 4;
+    std::uint64_t tick_ = 0;
+    Stats stats_;
+};
+
+/**
+ * Build a PrecomputeTable for @p bases (points, plus the phi images
+ * when the plan runs GLV — the endomorphism tables come free via the
+ * same doubling chains).
+ */
+template <typename Curve>
+std::shared_ptr<const PrecomputeTable<Curve>>
+buildPrecomputeTable(const std::vector<AffinePoint<Curve>> &bases,
+                     unsigned num_windows, unsigned window_bits,
+                     bool glv, int host_threads)
+{
+    auto table = std::make_shared<PrecomputeTable<Curve>>();
+    table->windowBits = window_bits;
+    table->numWindows = num_windows;
+    table->glv = glv;
+    table->rows = detail::precomputeWindowMultiples<Curve>(
+        bases, num_windows, window_bits, host_threads);
+    table->buildPdbls =
+        precomputeBuildPdbls(bases.size(), num_windows, window_bits);
+    table->bytes = precomputeTableBytes(
+        bases.size(), num_windows,
+        (Curve::Fq::Params::kBits + 7) / 8);
+    return table;
+}
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_PRECOMPUTE_H

@@ -17,6 +17,15 @@ struct MsmTimeline
     double bucketReduceNs = 0.0;
     double windowReduceNs = 0.0;
     double transferNs = 0.0;
+    /**
+     * One-time fixed-base table construction (plan.precompute).
+     * Excluded from totalNs(): the tables depend only on the bases,
+     * so a proving service amortizes the build across every proof
+     * sharing the proving key (BaseTableCache); steady-state MSM
+     * latency is what totalNs() reports. Cold-start cost is this
+     * field, surfaced separately in traces and benchmarks.
+     */
+    double tableBuildNs = 0.0;
     /** True when bucket-reduce runs on the host CPU. */
     bool cpuReduce = false;
     /**

@@ -23,10 +23,12 @@
 #ifndef DISTMSM_ZKSNARK_GROTH16_H
 #define DISTMSM_ZKSNARK_GROTH16_H
 
+#include <memory>
 #include <vector>
 
 #include "src/ec/point.h"
 #include "src/ec/scalar_mul.h"
+#include "src/msm/engine.h"
 #include "src/msm/reference.h"
 #include "src/support/timer.h"
 #include "src/support/trace.h"
@@ -119,6 +121,39 @@ struct KeyPair
     VerifyingKey<Curve> vk;
 };
 
+/**
+ * Engine-backed MSM backend for prove(): one staged MsmEngine per
+ * proving-key point table (A, B, L, H). Construct once per proving
+ * key and pass to prove(); repeated proofs reuse the engines' staged
+ * state, and with MsmOptions::precompute the fixed-base tables come
+ * from the cross-proof BaseTableCache — even a freshly constructed
+ * ProverEngines for the same proving key skips the table builds.
+ * prove() without engines keeps the serial Pippenger reference.
+ */
+template <typename Curve>
+struct ProverEngines
+{
+    using Engine = msm::MsmEngine<Curve>;
+
+    std::unique_ptr<Engine> a, b, l, h;
+
+    ProverEngines(const ProvingKey<Curve> &pk,
+                  const gpusim::Cluster &cluster,
+                  const msm::MsmOptions &options = msm::MsmOptions{})
+    {
+        auto make = [&](const std::vector<AffinePoint<Curve>> &pts)
+            -> std::unique_ptr<Engine> {
+            if (pts.empty())
+                return nullptr;
+            return std::make_unique<Engine>(pts, cluster, options);
+        };
+        a = make(pk.aPoints);
+        b = make(pk.bPoints);
+        l = make(pk.lPoints);
+        h = make(pk.hPoints);
+    }
+};
+
 namespace detail {
 
 /** Fixed-base multiples [k]G as affine points, batched. */
@@ -157,11 +192,14 @@ fixedBaseMultiples(const AffinePoint<Curve> &g,
     return out;
 }
 
-/** MSM over Fr scalars via the serial Pippenger reference. */
+/** MSM over Fr scalars via the serial Pippenger reference, or the
+ *  staged engine when @p engine is non-null (the engine's result is
+ *  bit-identical to the reference; pinned by the MSM KAT suite). */
 template <typename Curve>
 XYZZPoint<Curve>
 proverMsm(const std::vector<AffinePoint<Curve>> &points,
-          const std::vector<typename Curve::Fr> &scalars)
+          const std::vector<typename Curve::Fr> &scalars,
+          const msm::MsmEngine<Curve> *engine = nullptr)
 {
     DISTMSM_ASSERT(points.size() == scalars.size());
     std::vector<BigInt<Curve::Fr::kLimbs>> raw;
@@ -170,6 +208,8 @@ proverMsm(const std::vector<AffinePoint<Curve>> &points,
         raw.push_back(s.toRaw());
     if (points.empty())
         return XYZZPoint<Curve>::identity();
+    if (engine != nullptr)
+        return engine->compute(raw).value;
     return msm::msmSerialPippenger<Curve>(points, raw, 8);
 }
 
@@ -250,7 +290,8 @@ prove(const ProvingKey<Curve> &pk,
       const R1cs<typename Curve::Fr> &r1cs,
       const std::vector<typename Curve::Fr> &wires, Prng &prng,
       ProverTiming *timing = nullptr,
-      support::TraceRecorder *trace = nullptr)
+      support::TraceRecorder *trace = nullptr,
+      const ProverEngines<Curve> *engines = nullptr)
 {
     using F = typename Curve::Fr;
     using Xyzz = XYZZPoint<Curve>;
@@ -267,13 +308,20 @@ prove(const ProvingKey<Curve> &pk,
 
     // --- MSM stage: the four multi-exponentiations. ---
     timer.reset();
-    const Xyzz a_base = detail::proverMsm<Curve>(pk.aPoints, wires);
-    const Xyzz b_base = detail::proverMsm<Curve>(pk.bPoints, wires);
+    const Xyzz a_base = detail::proverMsm<Curve>(
+        pk.aPoints, wires,
+        engines != nullptr ? engines->a.get() : nullptr);
+    const Xyzz b_base = detail::proverMsm<Curve>(
+        pk.bPoints, wires,
+        engines != nullptr ? engines->b.get() : nullptr);
     const std::vector<F> private_wires(
         wires.begin() + pk.numPublic + 1, wires.end());
-    const Xyzz l_base =
-        detail::proverMsm<Curve>(pk.lPoints, private_wires);
-    const Xyzz h_base = detail::proverMsm<Curve>(pk.hPoints, h);
+    const Xyzz l_base = detail::proverMsm<Curve>(
+        pk.lPoints, private_wires,
+        engines != nullptr ? engines->l.get() : nullptr);
+    const Xyzz h_base = detail::proverMsm<Curve>(
+        pk.hPoints, h,
+        engines != nullptr ? engines->h.get() : nullptr);
     local.msmSeconds = timer.seconds();
     local.msmPoints = pk.aPoints.size() + pk.bPoints.size() +
                       pk.lPoints.size() + h.size();

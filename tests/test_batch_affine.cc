@@ -303,5 +303,49 @@ TEST(BatchInverse, SkipZeroAllZeroAndEmpty)
         EXPECT_TRUE(v.isZero());
 }
 
+TEST(BatchInverse, SkipZeroSingleElement)
+{
+    Prng prng(0xBA7CD);
+    std::vector<Fq> scratch;
+    std::vector<std::uint8_t> skipped;
+    // Single non-zero: the prefix walk degenerates to one step.
+    const Fq a = Fq::random(prng);
+    std::vector<Fq> values{a};
+    EXPECT_EQ(batchInverseSkipZero(values, scratch, skipped), 0u);
+    EXPECT_EQ(values[0], a.inverse());
+    // Single zero: skipped, left untouched.
+    values = {Fq::zero()};
+    EXPECT_EQ(batchInverseSkipZero(values, scratch, skipped), 1u);
+    EXPECT_EQ(skipped[0], 1);
+    EXPECT_TRUE(values[0].isZero());
+}
+
+TEST(BatchInverse, SkipZeroAtBatchBoundaries)
+{
+    // Zero in the first slot exercises the `!skipped[0]` tail write;
+    // zero in the last slot exercises the backward walk's entry.
+    Prng prng(0xBA7CE);
+    std::vector<Fq> scratch;
+    std::vector<std::uint8_t> skipped;
+    for (const std::size_t zero_at : {std::size_t{0}, std::size_t{5}}) {
+        std::vector<Fq> values;
+        for (std::size_t i = 0; i < 6; ++i)
+            values.push_back(i == zero_at ? Fq::zero()
+                                          : Fq::random(prng));
+        const auto saved = values;
+        EXPECT_EQ(batchInverseSkipZero(values, scratch, skipped),
+                  1u);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i == zero_at) {
+                EXPECT_EQ(skipped[i], 1);
+                EXPECT_TRUE(values[i].isZero());
+            } else {
+                EXPECT_EQ(skipped[i], 0);
+                EXPECT_EQ(values[i], saved[i].inverse()) << i;
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace distmsm

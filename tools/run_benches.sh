@@ -2,17 +2,28 @@
 # Run the MSM micro + ablation benches and write BENCH_msm.json at
 # the repo root.
 #
-# The acceptance rows are the four BM_EngineMsm* configurations of
-# bench/bench_micro_msm.cc (host wall-clock, BN254, s = 13, signed
-# digits, 8 simulated GPUs): legacy, +GLV, +batched-affine, and both
-# flags; the JSON reports each row and the both-flags-vs-legacy
-# speedup at the largest input size. The simulated one-knob ablation
-# table (bench/bench_ablation_msm.cc) rides along verbatim for
-# context.
+# The acceptance rows are the BM_EngineMsm* configurations of
+# bench/bench_micro_msm.cc (host wall-clock, BN254, 8 simulated
+# GPUs): legacy, +GLV, +batched-affine, both flags (s = 13, signed
+# digits), plus the fixed-base precompute rows (s = 16, combined
+# bucket pass) measured warm (BaseTableCache hit) and cold (table
+# rebuilt every iteration). The JSON reports each row, the
+# both-flags-vs-legacy speedup, the precompute-vs-both-flags speedup,
+# and the cold-vs-warm ablation; the script FAILS if the warm
+# precompute row is not faster than the cold one. The simulated
+# one-knob ablation table (bench/bench_ablation_msm.cc) rides along
+# verbatim for context.
+#
+# Timing rows are only meaningful from an optimized build: the script
+# refuses to write BENCH_msm.json when the bench binary reports a
+# non-Release library_build_type, unless DISTMSM_ALLOW_DEBUG_BENCH=1
+# is set — in which case it warns loudly and tags the JSON with
+# "non_release_build": true.
 #
 # Usage: tools/run_benches.sh [--smoke] [build-dir]
 #   --smoke    CI mode: only the 2^14 rows, shorter min_time, and no
-#              speedup-threshold expectations.
+#              speedup-threshold expectations (the warm-vs-cold gate
+#              still applies).
 #   build-dir  Release build tree (default: build-rel; configured and
 #              built on demand).
 
@@ -32,6 +43,21 @@ build_dir="${build_dir:-${repo_root}/build-rel}"
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
     cmake -B "${build_dir}" -S "${repo_root}" \
         -DCMAKE_BUILD_TYPE=Release
+fi
+# Refuse non-Release trees early (before the long build): timing
+# rows from an unoptimized library are meaningless. The python
+# stage below re-checks and also inspects the binary's own
+# context.library_build_type.
+build_type="$(grep -E '^CMAKE_BUILD_TYPE:' \
+    "${build_dir}/CMakeCache.txt" | cut -d= -f2 || true)"
+if [ "${build_type}" != "Release" ] &&
+    [ "${DISTMSM_ALLOW_DEBUG_BENCH:-0}" != "1" ]; then
+    echo "error: ${build_dir} is configured as" \
+        "'${build_type:-<unset>}', not Release." >&2
+    echo "Benchmark numbers from unoptimized builds are" \
+        "meaningless. Use a Release tree, or set" \
+        "DISTMSM_ALLOW_DEBUG_BENCH=1 to tag and proceed." >&2
+    exit 1
 fi
 cmake --build "${build_dir}" -j "$(nproc)" \
     --target bench_micro_msm bench_ablation_msm
@@ -59,8 +85,9 @@ fi
 
 # Per-phase breakdown: trace one simulated MSM at the acceptance
 # geometry (BN254, signed, s = 13, 8 GPUs) at the largest bench size,
-# validate the export contract, and attach the phase table to the
-# BENCH JSON.  See tools/trace_summary.py / DESIGN.md.
+# plus one precompute-path MSM (s = 16, combined pass) so the
+# table-build lane shows up; validate the export contract and attach
+# the phase tables to the BENCH JSON.  See tools/trace_summary.py.
 if [ "${smoke}" -eq 1 ]; then log_n=14; else log_n=18; fi
 cmake --build "${build_dir}" -j "$(nproc)" --target msm_cli
 trace_json="${build_dir}/trace_msm.json"
@@ -68,14 +95,24 @@ DISTMSM_TRACE="${trace_json}" "${build_dir}/examples/msm_cli" \
     bn254 "${log_n}" 8 --signed --window=13 > /dev/null
 "${repo_root}/tools/trace_summary.py" "${trace_json}" --check --json \
     > "${build_dir}/trace_summary.json"
+trace_pre_json="${build_dir}/trace_msm_precompute.json"
+DISTMSM_TRACE="${trace_pre_json}" "${build_dir}/examples/msm_cli" \
+    bn254 "${log_n}" 8 --glv --batch-affine --precompute \
+    --naive-scatter --window=16 > /dev/null
+"${repo_root}/tools/trace_summary.py" "${trace_pre_json}" --check \
+    --json > "${build_dir}/trace_summary_precompute.json"
 
 SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
     ABLATION_TXT="${ablation_txt}" OUT="${repo_root}/BENCH_msm.json" \
     TRACE_SUMMARY="${build_dir}/trace_summary.json" \
+    TRACE_SUMMARY_PRE="${build_dir}/trace_summary_precompute.json" \
     TRACE_LOG_N="${log_n}" \
+    BUILD_TYPE="${build_type}" \
+    ALLOW_DEBUG="${DISTMSM_ALLOW_DEBUG_BENCH:-0}" \
     python3 - <<'PY'
 import json
 import os
+import sys
 
 with open(os.environ["MICRO_JSON"]) as f:
     micro = json.load(f)
@@ -83,6 +120,35 @@ with open(os.environ["ABLATION_TXT"]) as f:
     ablation = [line.rstrip("\n") for line in f]
 with open(os.environ["TRACE_SUMMARY"]) as f:
     trace_summary = json.load(f)
+with open(os.environ["TRACE_SUMMARY_PRE"]) as f:
+    trace_summary_pre = json.load(f)
+
+# Release guard. The build tree's CMAKE_BUILD_TYPE governs how the
+# distmsm library under test was compiled — refuse anything but
+# Release (DISTMSM_ALLOW_DEBUG_BENCH=1 downgrades the refusal to a
+# loud warning plus a "non_release_build": true tag on the JSON).
+# context.library_build_type reports the *google-benchmark library*
+# build; a debug harness only adds per-iteration bookkeeping to
+# millisecond-scale rows, so it warns and tags without failing.
+build_type = os.environ.get("BUILD_TYPE", "")
+non_release = build_type != "Release"
+if non_release:
+    msg = (f"benchmark tree configured '{build_type or 'unknown'}', "
+           "not Release")
+    if os.environ["ALLOW_DEBUG"] == "1":
+        print(f"WARNING: {msg}; rows tagged non_release_build "
+              "(DISTMSM_ALLOW_DEBUG_BENCH=1)", file=sys.stderr)
+    else:
+        print(f"error: {msg}. Rebuild with -DCMAKE_BUILD_TYPE="
+              "Release, or set DISTMSM_ALLOW_DEBUG_BENCH=1 to tag "
+              "and proceed.", file=sys.stderr)
+        sys.exit(1)
+lib_type = micro.get("context", {}).get("library_build_type", "")
+if lib_type.lower() != "release":
+    print(f"WARNING: google-benchmark library itself was built "
+          f"'{lib_type or 'unknown'}'; harness overhead may be "
+          "inflated (rows tagged benchmark_library_build_type).",
+          file=sys.stderr)
 
 CONFIGS = {
     "BM_EngineMsmLegacy": ("legacy", {"glv": False, "batchAffine": False}),
@@ -91,6 +157,14 @@ CONFIGS = {
         "batch_affine", {"glv": False, "batchAffine": True}),
     "BM_EngineMsmGlvBatchAffine": (
         "glv_batch_affine", {"glv": True, "batchAffine": True}),
+    "BM_EngineMsmPrecomputeWarm": (
+        "precompute_warm",
+        {"glv": True, "batchAffine": True, "precompute": True,
+         "cache": "warm"}),
+    "BM_EngineMsmPrecomputeCold": (
+        "precompute_cold",
+        {"glv": True, "batchAffine": True, "precompute": True,
+         "cache": "cold"}),
 }
 
 rows = []
@@ -116,30 +190,68 @@ def ms_at(label, n):
 
 sizes = sorted({r["n"] for r in rows})
 speedups = {}
+speedups_pre = {}
 for n in sizes:
-    before, after = ms_at("legacy", n), ms_at("glv_batch_affine", n)
-    if before and after:
-        speedups[str(n)] = round(before / after, 3)
+    legacy, both = ms_at("legacy", n), ms_at("glv_batch_affine", n)
+    if legacy and both:
+        speedups[str(n)] = round(legacy / both, 3)
+    warm = ms_at("precompute_warm", n)
+    if both and warm:
+        speedups_pre[str(n)] = round(both / warm, 3)
+
+# Cold/warm ablation at 2^14: the table-build cost the cache
+# amortizes away. The warm row must beat the cold row, always.
+ablation_cache = {}
+cold, warm = ms_at("precompute_cold", 16384), \
+    ms_at("precompute_warm", 16384)
+if cold is not None and warm is not None:
+    ablation_cache = {
+        "n": 16384,
+        "cold_ms": cold,
+        "warm_ms": warm,
+        "speedup_warm_vs_cold": round(cold / warm, 3),
+    }
+    if warm >= cold:
+        print(f"error: warm precompute row ({warm:.3f} ms) is not "
+              f"faster than cold ({cold:.3f} ms) at n=16384 — the "
+              "base-table cache is not paying off.", file=sys.stderr)
+        sys.exit(1)
+else:
+    print("error: precompute cold/warm rows missing at n=16384.",
+          file=sys.stderr)
+    sys.exit(1)
 
 doc = {
     "bench": "msm_hot_path",
     "curve": "BN254",
     "geometry": {
-        "gpus": 8, "window_bits": 13, "signed_digits": True},
+        "gpus": 8, "window_bits": 13, "signed_digits": True,
+        "precompute_window_bits": 16},
     "mode": "smoke" if os.environ["SMOKE"] == "1" else "full",
     "context": micro.get("context", {}),
     "rows": rows,
     "speedup_glv_batch_vs_legacy": speedups,
+    "speedup_precompute_warm_vs_glv_batch": speedups_pre,
+    "precompute_cache_ablation": ablation_cache,
     "ablation_simulated": ablation,
     "phase_breakdown_simulated": {
         "n": 1 << int(os.environ["TRACE_LOG_N"]),
         "timelines": trace_summary["timelines"],
+        "timelines_precompute": trace_summary_pre["timelines"],
     },
 }
+if non_release:
+    doc["non_release_build"] = True
+if lib_type.lower() != "release":
+    doc["benchmark_library_build_type"] = lib_type or "unknown"
 with open(os.environ["OUT"], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {os.environ['OUT']}")
 for n, s in speedups.items():
     print(f"  n={n}: glv+batch vs legacy = {s}x")
+for n, s in speedups_pre.items():
+    print(f"  n={n}: precompute (warm) vs glv+batch = {s}x")
+print(f"  n=16384: warm vs cold = "
+      f"{ablation_cache['speedup_warm_vs_cold']}x")
 PY

@@ -11,10 +11,16 @@
  *   flags:   --naive-scatter --gpu-reduce --signed --no-tc
  *            --glv --batch-affine --precompute
  *            --window=<s> --functional=<log2 n>
+ *            --faults=<spec> --max-retries=<n> --no-checksums
+ *            --fault-report --help
  *
  * Prints the plan, the simulated timeline breakdown at the requested
  * scale and, with --functional, runs the algorithm functionally at a
  * reduced size and checks the result against the serial reference.
+ * --faults injects deterministic faults into the functional run (see
+ * --help for the spec grammar); recoverable faults still produce a
+ * result bit-identical to the fault-free run, unrecoverable ones exit
+ * with the typed error instead of a wrong answer.
  */
 
 #include <cstdio>
@@ -43,10 +49,88 @@ curveByName(const std::string &name)
     return gpusim::CurveProfile::bn254();
 }
 
+void
+printHelp()
+{
+    std::printf(
+        "msm_cli [curve] [log2_N] [num_gpus] [flags...]\n"
+        "\n"
+        "  curve:   bn254 | bls377 | bls381 | mnt4753  (default "
+        "bn254)\n"
+        "  log2_N:  input size exponent                (default 24)\n"
+        "  gpus:    simulated A100 count               (default 8)\n"
+        "\n"
+        "flags:\n"
+        "  --naive-scatter      disable the hierarchical scatter\n"
+        "  --gpu-reduce         keep bucket-reduce on the GPUs\n"
+        "  --signed             signed-digit windows\n"
+        "  --glv                GLV endomorphism decomposition\n"
+        "  --batch-affine       batched-affine bucket accumulation\n"
+        "  --precompute         fixed-base precompute tables\n"
+        "  --no-tc              disable tensor-core Montgomery\n"
+        "  --window=<s>         pin the window size\n"
+        "  --functional=<ln>    run functionally at N = 2^ln and\n"
+        "                       check against serial Pippenger\n"
+        "\n"
+        "fault injection (functional runs; also honoured via the\n"
+        "DISTMSM_FAULT_SPEC environment variable):\n"
+        "  --faults=<spec>      deterministic fault plan; clauses\n"
+        "                       separated by ';':\n"
+        "                         kill:dev=K[@win=J]  device K dies "
+        "at its\n"
+        "                                             J-th window "
+        "(default 0)\n"
+        "                         corrupt:xfer=N      flip a bit in "
+        "global\n"
+        "                                             transfer index "
+        "N\n"
+        "                         corrupt:dev=K       corrupt every "
+        "transfer\n"
+        "                                             from device K\n"
+        "                         delay:dev=K,ns=X    delay device "
+        "K's first\n"
+        "                                             transfer "
+        "attempt by X ns\n"
+        "                         seed:S              seed the "
+        "corruption PRNG\n"
+        "                       example: "
+        "--faults='kill:dev=1;corrupt:xfer=3'\n"
+        "  --max-retries=<n>    transfer retry budget (default 2)\n"
+        "  --no-checksums       disable RLC transfer checksums "
+        "(corruption\n"
+        "                       goes undetected; faster)\n"
+        "  --fault-report       print the fault/recovery counters "
+        "after a\n"
+        "                       functional run\n");
+}
+
+void
+printFaultReport(const gpusim::FaultReport &r)
+{
+    std::printf(
+        "\nfault report:\n"
+        "  injected: %llu total (%llu corruptions, %llu timeouts, "
+        "%llu devices lost)\n"
+        "  detected: %llu corruptions, %llu retries, %llu windows "
+        "resharded\n"
+        "  verify:   %llu transfers, %llu points checksummed, %llu "
+        "EC ops (off the determinism books)\n",
+        static_cast<unsigned long long>(r.faultsInjected),
+        static_cast<unsigned long long>(r.corruptInjected),
+        static_cast<unsigned long long>(r.timeouts),
+        static_cast<unsigned long long>(r.devicesLost),
+        static_cast<unsigned long long>(r.corruptDetected),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.windowsResharded),
+        static_cast<unsigned long long>(r.transfers),
+        static_cast<unsigned long long>(r.checksummed),
+        static_cast<unsigned long long>(r.verifyEcOps));
+}
+
 template <typename Curve>
 int
 functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
-                msm::MsmOptions options)
+                msm::MsmOptions options, bool fault_report)
 {
     Prng prng(0xC11);
     const std::size_t n = std::size_t{1} << log_n;
@@ -56,8 +140,14 @@ functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
     const auto scalars = msm::generateScalars<Curve>(n, prng);
     if (options.windowBitsOverride == 0)
         options.windowBitsOverride = 8;
-    const auto result = msm::computeDistMsm<Curve>(points, scalars,
-                                                   cluster, options);
+    const auto result_or = msm::tryComputeDistMsm<Curve>(
+        points, scalars, cluster, options);
+    if (!result_or.isOk()) {
+        std::printf("UNRECOVERABLE FAULT: %s\n",
+                    result_or.status().toString().c_str());
+        return 2;
+    }
+    const auto &result = *result_or;
     const auto expect =
         msm::msmSerialPippenger<Curve>(points, scalars, 8);
     if (!(result.value == expect)) {
@@ -70,6 +160,8 @@ functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
                 static_cast<unsigned long long>(
                     result.stats.globalAtomics),
                 static_cast<unsigned long long>(result.hostOps));
+    if (fault_report)
+        printFaultReport(result.fault);
     return 0;
 }
 
@@ -82,12 +174,16 @@ main(int argc, char **argv)
     unsigned log_n = 24;
     int gpus = 8;
     unsigned functional = 0;
+    bool fault_report = false;
     msm::MsmOptions options;
 
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--naive-scatter") {
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return 0;
+        } else if (arg == "--naive-scatter") {
             options.hierarchicalScatter = false;
         } else if (arg == "--gpu-reduce") {
             options.cpuBucketReduce = false;
@@ -102,6 +198,21 @@ main(int argc, char **argv)
         } else if (arg == "--no-tc") {
             options.kernel.tensorCoreMont = false;
             options.kernel.onTheFlyCompact = false;
+        } else if (arg == "--no-checksums") {
+            options.verifyChecksums = false;
+        } else if (arg == "--fault-report") {
+            fault_report = true;
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            const auto plan_or =
+                gpusim::FaultPlan::parse(arg.substr(9));
+            if (!plan_or.isOk()) {
+                std::fprintf(stderr, "bad --faults spec: %s\n",
+                             plan_or.status().toString().c_str());
+                return 2;
+            }
+            options.faults = *plan_or;
+        } else if (arg.rfind("--max-retries=", 0) == 0) {
+            options.maxRetries = std::atoi(arg.c_str() + 14);
         } else if (arg.rfind("--window=", 0) == 0) {
             options.windowBitsOverride =
                 static_cast<unsigned>(std::atoi(arg.c_str() + 9));
@@ -160,6 +271,10 @@ main(int argc, char **argv)
     table.row({"window reduce", TextTable::num(t.windowReduceNs / 1e6,
                                                3)});
     table.row({"transfers", TextTable::num(t.transferNs / 1e6, 3)});
+    if (t.verifyNs > 0.0) {
+        table.row({"checksum verify",
+                   TextTable::num(t.verifyNs / 1e6, 3)});
+    }
     if (t.tableBuildNs > 0.0) {
         table.row({"table build (one-time)",
                    TextTable::num(t.tableBuildNs / 1e6, 3)});
@@ -169,19 +284,19 @@ main(int argc, char **argv)
 
     if (functional != 0) {
         if (curve_name == "bls377") {
-            return functionalCheck<distmsm::Bls377>(functional,
-                                                    cluster, options);
+            return functionalCheck<distmsm::Bls377>(
+                functional, cluster, options, fault_report);
         }
         if (curve_name == "bls381") {
-            return functionalCheck<distmsm::Bls381>(functional,
-                                                    cluster, options);
+            return functionalCheck<distmsm::Bls381>(
+                functional, cluster, options, fault_report);
         }
         if (curve_name == "mnt4753") {
-            return functionalCheck<distmsm::Mnt4753>(functional,
-                                                     cluster, options);
+            return functionalCheck<distmsm::Mnt4753>(
+                functional, cluster, options, fault_report);
         }
         return functionalCheck<distmsm::Bn254>(functional, cluster,
-                                               options);
+                                               options, fault_report);
     }
     return 0;
 }

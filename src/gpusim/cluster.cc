@@ -39,6 +39,26 @@ Cluster::forEachDevice(int tasks, const std::function<void(int)> &fn,
         support::resolveHostThreads(host_threads));
 }
 
+support::Status
+Cluster::forEachDeviceChecked(
+    int tasks, const std::function<support::Status(int)> &fn,
+    int host_threads) const
+{
+    if (tasks <= 0)
+        return support::Status::ok();
+    std::vector<support::Status> slots(
+        static_cast<std::size_t>(tasks));
+    support::ThreadPool::global().parallelFor(
+        0, static_cast<std::size_t>(tasks),
+        [&](std::size_t i) { slots[i] = fn(static_cast<int>(i)); },
+        support::resolveHostThreads(host_threads));
+    for (support::Status &s : slots) {
+        if (!s.isOk())
+            return s;
+    }
+    return support::Status::ok();
+}
+
 int
 Cluster::numNodes() const
 {

@@ -18,6 +18,7 @@
 
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/device.h"
+#include "src/support/status.h"
 
 namespace distmsm::support {
 class TraceRecorder;
@@ -77,6 +78,19 @@ class Cluster
     void forEachDevice(int tasks,
                        const std::function<void(int)> &fn,
                        int host_threads = 0) const;
+
+    /**
+     * forEachDevice with a typed error channel: each task returns a
+     * support::Status into its own slot, and the first non-ok status
+     * in *task index order* (not completion order, so the result is
+     * deterministic across host thread counts) is returned. Used by
+     * the fault-tolerant MSM paths, where a task may report its
+     * simulated device as lost instead of aborting the process.
+     */
+    support::Status
+    forEachDeviceChecked(int tasks,
+                         const std::function<support::Status(int)> &fn,
+                         int host_threads = 0) const;
 
     /** forEachDevice over exactly the cluster's GPUs. */
     void

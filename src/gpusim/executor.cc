@@ -1,18 +1,46 @@
 #include "src/gpusim/executor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/support/thread_pool.h"
 
 namespace distmsm::gpusim {
+
+support::Status
+KernelLaunch::validateLaunch(int grid_dim, int block_dim,
+                             std::size_t shared_words)
+{
+    using support::Status;
+    using support::StatusCode;
+    if (grid_dim <= 0 || block_dim <= 0) {
+        return Status(StatusCode::KernelFault,
+                      "empty kernel launch: grid_dim=" +
+                          std::to_string(grid_dim) + " block_dim=" +
+                          std::to_string(block_dim));
+    }
+    // No real device offers anywhere near this much per-block shared
+    // memory; a request this large is a mis-sized launch, not a
+    // tight fit (those are caught against the DeviceSpec budget by
+    // the kernel's own configuration check).
+    constexpr std::size_t kMaxSharedWords = std::size_t{1} << 21;
+    if (shared_words > kMaxSharedWords) {
+        return Status(StatusCode::KernelFault,
+                      "per-block shared allocation of " +
+                          std::to_string(shared_words) +
+                          " words exceeds any device");
+    }
+    return Status::ok();
+}
 
 KernelLaunch::KernelLaunch(int grid_dim, int block_dim,
                            std::size_t shared_words, int host_threads)
     : grid_dim_(grid_dim), block_dim_(block_dim),
       host_threads_(support::resolveHostThreads(host_threads))
 {
-    DISTMSM_REQUIRE(grid_dim > 0 && block_dim > 0,
-                    "empty kernel launch");
+    const support::Status geometry =
+        validateLaunch(grid_dim, block_dim, shared_words);
+    DISTMSM_REQUIRE(geometry.isOk(), geometry.toString().c_str());
     shared_.reserve(grid_dim);
     for (int b = 0; b < grid_dim; ++b)
         shared_.emplace_back(shared_words, WordArray::Space::Shared);

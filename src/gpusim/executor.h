@@ -41,6 +41,7 @@
 
 #include "src/gpusim/stats.h"
 #include "src/support/check.h"
+#include "src/support/status.h"
 #include "src/support/trace.h"
 
 namespace distmsm::gpusim {
@@ -129,6 +130,18 @@ class KernelLaunch
      */
     KernelLaunch(int grid_dim, int block_dim,
                  std::size_t shared_words, int host_threads = 1);
+
+    /**
+     * Check a launch configuration without constructing it: returns
+     * KernelFault on empty/negative geometry or a per-block shared
+     * allocation the device could never satisfy. Launch sites that
+     * participate in the fault-tolerant retry layer validate first
+     * and propagate the Status instead of tripping the constructor's
+     * hard REQUIRE (kept for direct callers, where bad geometry is a
+     * programming error).
+     */
+    static support::Status validateLaunch(int grid_dim, int block_dim,
+                                          std::size_t shared_words);
 
     /**
      * Emits the launch's trace span on destruction (if tracing was

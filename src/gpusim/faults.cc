@@ -1,0 +1,242 @@
+#include "src/gpusim/faults.h"
+
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+#include "src/support/check.h"
+#include "src/support/prng.h"
+
+namespace distmsm::gpusim {
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+namespace {
+
+/** Split @p s on @p sep, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t next = s.find(sep, pos);
+        const std::size_t end =
+            next == std::string::npos ? s.size() : next;
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return out;
+}
+
+Status
+malformed(const std::string &clause, const char *why)
+{
+    return Status(StatusCode::InvalidArgument,
+                  "fault spec clause '" + clause + "': " + why);
+}
+
+/** Parse "key=value" pairs of one clause body ("dev=2,ns=5e8"). */
+bool
+parseFields(const std::string &body,
+            std::vector<std::pair<std::string, std::string>> &fields)
+{
+    for (const std::string &part : split(body, ',')) {
+        const std::size_t at = part.find('@');
+        // kill:dev=K@win=J nests with '@'; flatten both pieces.
+        for (const std::string &kv :
+             at == std::string::npos
+                 ? std::vector<std::string>{part}
+                 : std::vector<std::string>{part.substr(0, at),
+                                            part.substr(at + 1)}) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= kv.size())
+                return false;
+            fields.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+        }
+    }
+    return !fields.empty();
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == nullptr || *end != '\0' || v < 0.0)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+StatusOr<FaultPlan>
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &clause : split(spec, ';')) {
+        const std::size_t colon = clause.find(':');
+        if (colon == std::string::npos)
+            return malformed(clause, "expected '<kind>:<fields>'");
+        const std::string kind = clause.substr(0, colon);
+        const std::string body = clause.substr(colon + 1);
+
+        if (kind == "seed") {
+            if (!parseU64(body, plan.seed))
+                return malformed(clause, "seed wants an integer");
+            continue;
+        }
+
+        std::vector<std::pair<std::string, std::string>> fields;
+        if (!parseFields(body, fields))
+            return malformed(clause, "expected key=value fields");
+
+        FaultEvent ev;
+        bool have_dev = false, have_xfer = false, have_ns = false;
+        for (const auto &[key, value] : fields) {
+            if (key == "dev") {
+                std::uint64_t d;
+                if (!parseU64(value, d) ||
+                    d > std::numeric_limits<int>::max())
+                    return malformed(clause, "bad dev index");
+                ev.device = static_cast<int>(d);
+                have_dev = true;
+            } else if (key == "win") {
+                std::uint64_t w;
+                if (!parseU64(value, w) ||
+                    w > std::numeric_limits<int>::max())
+                    return malformed(clause, "bad win ordinal");
+                ev.window = static_cast<int>(w);
+            } else if (key == "xfer") {
+                if (!parseU64(value, ev.transfer))
+                    return malformed(clause, "bad xfer index");
+                have_xfer = true;
+            } else if (key == "ns") {
+                if (!parseDouble(value, ev.delayNs))
+                    return malformed(clause, "bad ns value");
+                have_ns = true;
+            } else {
+                return malformed(clause,
+                                 "unknown field (dev/win/xfer/ns)");
+            }
+        }
+
+        if (kind == "kill") {
+            if (!have_dev)
+                return malformed(clause, "kill wants dev=K");
+            ev.kind = FaultKind::KillDevice;
+        } else if (kind == "corrupt") {
+            if (have_dev == have_xfer)
+                return malformed(clause,
+                                 "corrupt wants dev=K or xfer=N");
+            ev.kind = have_xfer ? FaultKind::CorruptTransfer
+                                : FaultKind::CorruptDeviceTransfers;
+        } else if (kind == "delay") {
+            if (!have_dev || !have_ns)
+                return malformed(clause, "delay wants dev=K,ns=X");
+            ev.kind = FaultKind::DelayTransfer;
+        } else {
+            return malformed(clause,
+                             "unknown kind (kill/corrupt/delay/seed)");
+        }
+        plan.events.push_back(ev);
+    }
+    return plan;
+}
+
+int
+FaultPlan::killWindow(int device) const
+{
+    int win = -1;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind != FaultKind::KillDevice || ev.device != device)
+            continue;
+        if (win < 0 || ev.window < win)
+            win = ev.window;
+    }
+    return win;
+}
+
+bool
+FaultPlan::corruptsTransfer(std::uint64_t transfer_index,
+                            int device) const
+{
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::CorruptTransfer &&
+            ev.transfer == transfer_index)
+            return true;
+        if (ev.kind == FaultKind::CorruptDeviceTransfers &&
+            ev.device == device)
+            return true;
+    }
+    return false;
+}
+
+double
+FaultPlan::transferDelayNs(int device, int attempt) const
+{
+    if (attempt != 0)
+        return 0.0;
+    double delay = 0.0;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::DelayTransfer &&
+            ev.device == device)
+            delay += ev.delayNs;
+    }
+    return delay;
+}
+
+void
+corruptBytes(std::vector<std::uint8_t> &bytes, std::uint64_t seed,
+             std::uint64_t transfer_index)
+{
+    if (bytes.empty())
+        return;
+    Prng prng(seed ^ (transfer_index * 0x9E3779B97F4A7C15ull));
+    const std::size_t idx =
+        static_cast<std::size_t>(prng.below(bytes.size()));
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(1 + prng.below(255));
+    bytes[idx] ^= mask;
+}
+
+const FaultPlan *
+globalFaultPlanFromEnv()
+{
+    static const std::unique_ptr<FaultPlan> plan = [] {
+        const char *spec = std::getenv("DISTMSM_FAULT_SPEC");
+        if (spec == nullptr || spec[0] == '\0')
+            return std::unique_ptr<FaultPlan>{};
+        StatusOr<FaultPlan> parsed = FaultPlan::parse(spec);
+        if (!parsed.isOk()) {
+            fatal(__FILE__, __LINE__,
+                  ("DISTMSM_FAULT_SPEC: " +
+                   parsed.status().toString())
+                      .c_str());
+        }
+        return std::make_unique<FaultPlan>(std::move(*parsed));
+    }();
+    return plan.get();
+}
+
+} // namespace distmsm::gpusim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated cluster.
+ *
+ * A FaultPlan is a static, seeded description of the faults one run
+ * must experience: kill device i at its j-th window, flip bytes of
+ * the N-th host<->device transfer (or of every transfer a device
+ * makes), or delay a device's transfer past the engine's timeout.
+ * Because the plan is data — not a callback racing with execution —
+ * and because MsmEngine draws transfer indices from a sequential
+ * host-side counter, the injected faults, the recovery path and the
+ * final result are bit-identical for every hostThreads setting.
+ *
+ * Plans come from MsmOptions::faults or from the DISTMSM_FAULT_SPEC
+ * environment variable. Spec grammar (clauses joined by ';'):
+ *
+ *   kill:dev=K[@win=J]   device K dies at its J-th assigned window
+ *                        (J defaults to 0: before any work)
+ *   corrupt:xfer=N       flip one byte of transfer attempt N
+ *                        (one-shot; the retry sees clean bytes)
+ *   corrupt:dev=K        flip one byte of EVERY transfer from
+ *                        device K (persistent; exhausts retries)
+ *   delay:dev=K,ns=X     delay device K's first transfer attempt by
+ *                        X ns (times out when X exceeds
+ *                        MsmOptions::transferTimeoutNs)
+ *   seed:S               seed for the corruption byte/mask choice
+ *
+ * Example: "kill:dev=2@win=1;corrupt:xfer=3;delay:dev=0,ns=5e8".
+ */
+
+#ifndef DISTMSM_GPUSIM_FAULTS_H
+#define DISTMSM_GPUSIM_FAULTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace distmsm::gpusim {
+
+/** One injected fault. */
+enum class FaultKind {
+    KillDevice,            ///< device dies at a window boundary
+    CorruptTransfer,       ///< one-shot byte flip of transfer N
+    CorruptDeviceTransfers,///< persistent byte flips from device K
+    DelayTransfer,         ///< delay device K's first attempt
+};
+
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::KillDevice;
+    int device = -1;           ///< target device (kill/corrupt/delay)
+    int window = 0;            ///< kill: ordinal of the fatal window
+    std::uint64_t transfer = 0;///< corrupt:xfer=N target index
+    double delayNs = 0.0;      ///< delay amount
+};
+
+/** A static, seeded set of faults for one run. */
+struct FaultPlan
+{
+    /** Seeds the corruption byte/mask choice (see corruptBytes). */
+    std::uint64_t seed = 0xFA177;
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Parse the DISTMSM_FAULT_SPEC grammar (see file comment). */
+    static support::StatusOr<FaultPlan> parse(const std::string &spec);
+
+    /**
+     * Ordinal of the window at which @p device dies, or -1 when the
+     * plan keeps it alive. Multiple kill clauses for one device take
+     * the earliest window.
+     */
+    int killWindow(int device) const;
+
+    /**
+     * True when transfer attempt @p transfer_index (the engine's
+     * sequential counter) from @p device must be corrupted — either
+     * a one-shot corrupt:xfer clause naming this index, or a
+     * persistent corrupt:dev clause naming this device.
+     */
+    bool corruptsTransfer(std::uint64_t transfer_index,
+                          int device) const;
+
+    /** Injected delay (ns) for @p device 's attempt @p attempt
+     *  (delay clauses hit only the first attempt). */
+    double transferDelayNs(int device, int attempt) const;
+};
+
+/**
+ * Deterministically flip one byte of @p bytes in place: the byte
+ * index and the non-zero XOR mask derive from (@p seed, @p
+ * transfer_index) alone, so the same plan corrupts the same bit
+ * pattern on every run and at every hostThreads setting.
+ */
+void corruptBytes(std::vector<std::uint8_t> &bytes,
+                  std::uint64_t seed, std::uint64_t transfer_index);
+
+/**
+ * Process-wide plan from DISTMSM_FAULT_SPEC, parsed once. Returns
+ * nullptr when the variable is unset or empty; exits with a message
+ * on a malformed spec (caller error, not a bug).
+ */
+const FaultPlan *globalFaultPlanFromEnv();
+
+/**
+ * What the fault layer saw and did during one MSM: injected faults,
+ * detections, recoveries and the verification work performed.
+ * Deliberately separate from KernelStats so a zero-fault run's
+ * simulator statistics stay bit-identical to a build without the
+ * fault layer.
+ */
+struct FaultReport
+{
+    std::uint64_t faultsInjected = 0;   ///< kills + corruptions + delays
+    std::uint64_t corruptInjected = 0;  ///< transfers corrupted in flight
+    std::uint64_t corruptDetected = 0;  ///< checksum mismatches raised
+    std::uint64_t timeouts = 0;         ///< transfer attempts timed out
+    std::uint64_t retries = 0;          ///< transfer attempts repeated
+    std::uint64_t windowsResharded = 0; ///< windows re-run on survivors
+    std::uint64_t devicesLost = 0;      ///< devices the plan killed
+    std::uint64_t transfers = 0;        ///< transfer attempts, total
+    std::uint64_t checksummed = 0;      ///< payloads digest-verified
+    std::uint64_t verifyEcOps = 0;      ///< EC ops spent on digests
+    double delayNs = 0.0;               ///< injected transfer delay
+
+    void
+    merge(const FaultReport &other)
+    {
+        faultsInjected += other.faultsInjected;
+        corruptInjected += other.corruptInjected;
+        corruptDetected += other.corruptDetected;
+        timeouts += other.timeouts;
+        retries += other.retries;
+        windowsResharded += other.windowsResharded;
+        devicesLost += other.devicesLost;
+        transfers += other.transfers;
+        checksummed += other.checksummed;
+        verifyEcOps += other.verifyEcOps;
+        delayNs += other.delayNs;
+    }
+};
+
+} // namespace distmsm::gpusim
+
+#endif // DISTMSM_GPUSIM_FAULTS_H

@@ -29,6 +29,23 @@ computeDistMsm(const std::vector<AffinePoint<Curve>> &points,
     return engine.compute(scalars);
 }
 
+/**
+ * computeDistMsm with the fault layer's typed error channel: an
+ * unrecoverable injected fault (see MsmEngine::tryCompute) comes
+ * back as a Status instead of aborting the process.
+ */
+template <typename Curve>
+support::StatusOr<MsmResult<Curve>>
+tryComputeDistMsm(
+    const std::vector<AffinePoint<Curve>> &points,
+    const std::vector<BigInt<Curve::Fr::kLimbs>> &scalars,
+    const gpusim::Cluster &cluster,
+    const MsmOptions &options = MsmOptions{})
+{
+    const MsmEngine<Curve> engine(points, cluster, options);
+    return engine.tryCompute(scalars);
+}
+
 } // namespace distmsm::msm
 
 #endif // DISTMSM_MSM_DISTMSM_H

@@ -36,14 +36,17 @@
 
 #include "src/ec/point.h"
 #include "src/field/batch_inverse.h"
+#include "src/gpusim/faults.h"
 #include "src/msm/batch_affine.h"
 #include "src/msm/bucket_reduce.h"
+#include "src/msm/checksum.h"
 #include "src/msm/glv.h"
 #include "src/msm/planner.h"
 #include "src/msm/precompute.h"
 #include "src/msm/scatter.h"
 #include "src/msm/signed_digits.h"
 #include "src/support/check.h"
+#include "src/support/status.h"
 #include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
@@ -59,6 +62,14 @@ struct MsmResult
     gpusim::KernelStats stats;
     /** EC additions executed by the host (reduce steps). */
     std::uint64_t hostOps = 0;
+    /**
+     * What the fault layer injected, detected and recovered during
+     * this run (gpusim/faults.h). All zero on a fault-free run; the
+     * digest EC work (verifyEcOps) is deliberately kept out of both
+     * `stats` and `hostOps` so a zero-fault run's counters are
+     * bit-identical to a build without the fault layer.
+     */
+    gpusim::FaultReport fault;
 };
 
 /**
@@ -170,8 +181,32 @@ class MsmEngine
     MsmResult<Curve>
     compute(const std::vector<Scalar> &scalars) const
     {
-        DISTMSM_REQUIRE(scalars.size() == points_.size(),
-                        "points/scalars size mismatch");
+        support::StatusOr<MsmResult<Curve>> result =
+            tryCompute(scalars);
+        DISTMSM_REQUIRE(result.isOk(),
+                        result.status().toString().c_str());
+        return std::move(*result);
+    }
+
+    /**
+     * compute() with a typed error channel. Faults the recovery
+     * layer absorbs (a killed device whose windows reshard onto
+     * survivors, a corrupted or delayed transfer that succeeds
+     * within MsmOptions::maxRetries) still return a value — bit
+     * identical to the fault-free run — with the injections and
+     * recoveries tallied in MsmResult::fault. Unrecoverable faults
+     * (every device lost, a persistently corrupt link exhausting its
+     * retries) return the typed Status instead; a wrong answer is
+     * never returned, because every accepted transfer passed its RLC
+     * digest check (when MsmOptions::verifyChecksums is on).
+     */
+    support::StatusOr<MsmResult<Curve>>
+    tryCompute(const std::vector<Scalar> &scalars) const
+    {
+        if (scalars.size() != points_.size())
+            return support::Status(
+                support::StatusCode::InvalidArgument,
+                "points/scalars size mismatch");
         using Xyzz = XYZZPoint<Curve>;
         MsmResult<Curve> result;
         result.plan = plan_;
@@ -255,9 +290,20 @@ class MsmEngine
         const std::string trace_prefix =
             "msm" + std::to_string(msm_idx) + "/";
 
+        const gpusim::FaultPlan &fplan = activeFaultPlan();
+        support::TraceRecorder *const trace = options_.trace;
+        /** Injections/detections in their deterministic order, for
+         *  the fault trace track. */
+        std::vector<std::string> fault_log;
+
         if (plan_.precompute) {
-            computeCombined(result, n_eff, n_buckets, digit_of,
-                            trace_prefix, host_threads);
+            const support::Status combined = computeCombined(
+                result, n_eff, n_buckets, digit_of, trace_prefix,
+                host_threads, fplan, fault_log);
+            if (!combined.isOk())
+                return combined;
+            if (trace != nullptr)
+                emitFaultTrace(*trace, result.fault, fault_log);
             return result;
         }
 
@@ -277,6 +323,8 @@ class MsmEngine
         struct WindowPartial
         {
             bool scatterOk = false;
+            support::Status status{support::StatusCode::KernelFault,
+                                   "window not executed"};
             gpusim::KernelStats scatterStats;
             gpusim::KernelStats ecStats;
             std::vector<Xyzz> bucketSums;
@@ -305,6 +353,7 @@ class MsmEngine
                     ? hierarchicalScatter(ids, s, scatter_cfg)
                     : naiveScatter(ids, s, scatter_cfg);
             wp.scatterOk = scattered.ok;
+            wp.status = scattered.status;
             if (!scattered.ok)
                 return;
             wp.scatterStats = scattered.stats;
@@ -366,7 +415,6 @@ class MsmEngine
         // and emitted from here — the spans are deterministic even
         // though the windows executed concurrently. Each window
         // lands on the device lane of the round-robin distribution.
-        support::TraceRecorder *const trace = options_.trace;
         std::vector<double> dev_cursor;
         double host_cursor = 0.0;
         const auto &cost_model = cluster_.model();
@@ -377,10 +425,9 @@ class MsmEngine
                 static_cast<std::size_t>(cluster_.numGpus()), 0.0);
             labelEngineLanes(*trace);
         }
-        auto emit_window = [&](unsigned w, const WindowPartial &wp) {
+        auto emit_window = [&](unsigned w, const WindowPartial &wp,
+                               int d) {
             namespace lane = support::tracelane;
-            const int d =
-                static_cast<int>(w) % cluster_.numGpus();
             const int pid = lane::engineDevicePid(d);
             const double scatter_ns =
                 cost_model.scatterComputeNs(n_eff,
@@ -430,49 +477,133 @@ class MsmEngine
             metrics.add(mp + "bucket_reduce_ns", reduce_ns);
         };
 
-        Xyzz total = Xyzz::identity();
+        // --- Device loss (fault plan) ---
+        // Window w runs on device w % numGpus — the round-robin
+        // distribution the trace lanes already use; the ordinal of w
+        // on its device is (w - d) / numGpus. A device killed at its
+        // j-th window loses every window of ordinal >= j (results of
+        // earlier ordinals were already streamed out). Lost windows
+        // reshard round-robin across the survivors after the healthy
+        // pass; a window recomputes from the same scattered input on
+        // any device, so recovery is bit-identical by construction.
+        const int num_gpus = cluster_.numGpus();
+        std::vector<int> exec_dev(plan_.numWindows);
+        std::vector<std::uint8_t> lost_window(plan_.numWindows, 0);
+        std::vector<int> survivors;
+        for (unsigned w = 0; w < plan_.numWindows; ++w)
+            exec_dev[w] = static_cast<int>(w) % num_gpus;
+        for (int d = 0; d < num_gpus; ++d) {
+            const int kw = fplan.killWindow(d);
+            if (kw < 0) {
+                survivors.push_back(d);
+                continue;
+            }
+            ++result.fault.devicesLost;
+            ++result.fault.faultsInjected;
+            fault_log.push_back("kill/dev" + std::to_string(d) +
+                                "@win" + std::to_string(kw));
+            for (unsigned w = static_cast<unsigned>(d);
+                 w < plan_.numWindows;
+                 w += static_cast<unsigned>(num_gpus)) {
+                if (static_cast<int>(w - d) / num_gpus >= kw)
+                    lost_window[w] = 1;
+            }
+        }
 
-        // Windows execute concurrently in descending stripes (the
-        // stripe bounds live per-window state), then merge strictly
-        // high-to-low exactly like the serial Horner recurrence.
-        const unsigned stripe = static_cast<unsigned>(std::max(
-            1, std::min<int>(static_cast<int>(plan_.numWindows),
-                             4 * host_threads)));
-        for (unsigned win_hi = plan_.numWindows; win_hi > 0;) {
-            const unsigned win_lo =
-                win_hi > stripe ? win_hi - stripe : 0;
-            std::vector<WindowPartial> partials(win_hi - win_lo);
-            pool.parallelFor(
-                win_lo, win_hi,
-                [&](std::size_t w) {
+        std::vector<WindowPartial> partials(plan_.numWindows);
+        pool.parallelFor(
+            0, plan_.numWindows,
+            [&](std::size_t w) {
+                if (!lost_window[w])
                     run_window(static_cast<unsigned>(w),
-                               partials[w - win_lo]);
+                               partials[w]);
+            },
+            host_threads);
+
+        // --- Recovery: reshard lost windows onto the survivors ---
+        std::vector<unsigned> resharded;
+        for (unsigned w = 0; w < plan_.numWindows; ++w)
+            if (lost_window[w])
+                resharded.push_back(w);
+        if (!resharded.empty()) {
+            if (survivors.empty())
+                return support::Status(
+                    support::StatusCode::DeviceLost,
+                    "all " + std::to_string(num_gpus) +
+                        " devices lost; no survivor to reshard "
+                        "onto");
+            for (std::size_t i = 0; i < resharded.size(); ++i)
+                exec_dev[resharded[i]] =
+                    survivors[i % survivors.size()];
+            pool.parallelFor(
+                0, resharded.size(),
+                [&](std::size_t i) {
+                    run_window(resharded[i],
+                               partials[resharded[i]]);
                 },
                 host_threads);
+            result.fault.windowsResharded += resharded.size();
+        }
 
-            for (unsigned w = win_hi; w-- > win_lo;) {
-                WindowPartial &wp = partials[w - win_lo];
-                DISTMSM_REQUIRE(wp.scatterOk,
-                                "scatter kernel cannot run at this "
-                                "window size; use naive scatter");
-                result.stats.merge(wp.scatterStats);
-                result.stats.merge(wp.ecStats);
-                if (trace != nullptr)
-                    emit_window(w, wp);
+        for (unsigned w = 0; w < plan_.numWindows; ++w)
+            if (!partials[w].scatterOk)
+                return partials[w].status;
 
-                if (!total.isIdentity()) {
-                    for (unsigned b = 0; b < s; ++b) {
-                        total = pdbl(total);
-                        ++result.hostOps;
-                    }
-                }
-                total = padd(total, wp.windowPoint);
-                result.hostOps += wp.reduceStats.padds + 1;
+        // --- Transfer: ship each device's window results ---
+        // Sequential, devices ascending, one canonical index per
+        // attempt — exactly the counter the fault plan's
+        // corrupt:xfer clause names, so injection, detection and
+        // retry are identical at every hostThreads setting.
+        std::uint64_t xfer_counter = 0;
+        for (int d = 0; d < num_gpus; ++d) {
+            std::vector<unsigned> wins;
+            for (unsigned w = 0; w < plan_.numWindows; ++w)
+                if (exec_dev[w] == d)
+                    wins.push_back(w);
+            if (wins.empty())
+                continue;
+            std::vector<Xyzz> payload;
+            std::vector<std::uint64_t> keys;
+            payload.reserve(wins.size());
+            keys.reserve(wins.size());
+            for (const unsigned w : wins) {
+                payload.push_back(partials[w].windowPoint);
+                keys.push_back(w);
             }
-            win_hi = win_lo;
+            std::vector<Xyzz> received;
+            const support::Status shipped = shipPayload(
+                d, payload, keys, fplan, xfer_counter, result.fault,
+                fault_log, received);
+            if (!shipped.isOk())
+                return shipped;
+            for (std::size_t i = 0; i < wins.size(); ++i)
+                partials[wins[i]].windowPoint = received[i];
+        }
+
+        // Merge strictly high-to-low exactly like the serial Horner
+        // recurrence (same stats/trace order as before the fault
+        // layer: windows descending).
+        Xyzz total = Xyzz::identity();
+        for (unsigned w = plan_.numWindows; w-- > 0;) {
+            WindowPartial &wp = partials[w];
+            result.stats.merge(wp.scatterStats);
+            result.stats.merge(wp.ecStats);
+            if (trace != nullptr)
+                emit_window(w, wp, exec_dev[w]);
+
+            if (!total.isIdentity()) {
+                for (unsigned b = 0; b < s; ++b) {
+                    total = pdbl(total);
+                    ++result.hostOps;
+                }
+            }
+            total = padd(total, wp.windowPoint);
+            result.hostOps += wp.reduceStats.padds + 1;
         }
 
         result.value = total;
+        if (trace != nullptr)
+            emitFaultTrace(*trace, result.fault, fault_log);
         return result;
     }
 
@@ -553,11 +684,13 @@ class MsmEngine
      * inter-window doubling chain never happens.
      */
     template <typename DigitOf>
-    void
+    support::Status
     computeCombined(MsmResult<Curve> &result, std::size_t n_eff,
                     std::size_t n_buckets, DigitOf &&digit_of,
                     const std::string &trace_prefix,
-                    int host_threads) const
+                    int host_threads,
+                    const gpusim::FaultPlan &fplan,
+                    std::vector<std::string> &fault_log) const
     {
         using Xyzz = XYZZPoint<Curve>;
         auto &pool = support::ThreadPool::global();
@@ -599,9 +732,8 @@ class MsmEngine
             options_.hierarchicalScatter
                 ? hierarchicalScatter(ids, s, scatter_cfg)
                 : naiveScatter(ids, s, scatter_cfg);
-        DISTMSM_REQUIRE(scattered.ok,
-                        "scatter kernel cannot run at this window "
-                        "size; use naive scatter");
+        if (!scattered.ok)
+            return scattered.status;
         result.stats.merge(scattered.stats);
 
         auto point_of = [&](std::uint32_t idx) {
@@ -616,34 +748,105 @@ class MsmEngine
         std::vector<Xyzz> bucket_sums(n_buckets, Xyzz::identity());
         const int groups = cluster_.numGpus();
         std::vector<gpusim::KernelStats> group_stats(groups);
+        auto sum_slice = [&](int g) {
+            const std::size_t lo = 1 + (n_buckets - 1) * g / groups;
+            const std::size_t hi =
+                1 + (n_buckets - 1) * (g + 1) / groups;
+            if (options_.batchAffine) {
+                BatchAffineScratch<Curve> scratch;
+                batchAffineAccumulate<Curve>(
+                    scattered.buckets, lo, hi, point_of,
+                    bucket_sums, group_stats[g], scratch);
+                return;
+            }
+            for (std::size_t b = lo;
+                 b < hi && b < scattered.buckets.size(); ++b) {
+                if (scattered.buckets[b].empty())
+                    continue;
+                bucket_sums[b] = bucketSumTree<Curve>(
+                    scattered.buckets[b], point_of,
+                    plan_.threadsPerBucket, group_stats[g]);
+            }
+        };
+
+        // Device loss: the combined pass has no window boundaries,
+        // so a kill clause (at any ordinal) takes the device's whole
+        // bucket slice with it. Survivors recompute the dead slices
+        // afterwards — the slices are disjoint bucket ranges, so the
+        // recomputation is bit-identical — and the survivor that
+        // recomputed a slice also ships it.
+        std::vector<int> survivors, dead;
+        std::vector<int> ship_dev(groups);
+        for (int g = 0; g < groups; ++g) {
+            ship_dev[g] = g;
+            if (fplan.killWindow(g) >= 0)
+                dead.push_back(g);
+            else
+                survivors.push_back(g);
+        }
+        if (!dead.empty()) {
+            result.fault.devicesLost += dead.size();
+            result.fault.faultsInjected += dead.size();
+            for (const int g : dead)
+                fault_log.push_back("kill/dev" + std::to_string(g));
+            if (survivors.empty())
+                return support::Status(
+                    support::StatusCode::DeviceLost,
+                    "all " + std::to_string(groups) +
+                        " devices lost; no survivor to reshard "
+                        "onto");
+            for (std::size_t i = 0; i < dead.size(); ++i)
+                ship_dev[dead[i]] = survivors[i % survivors.size()];
+        }
+
         cluster_.forEachDevice(
             groups,
             [&](int g) {
-                const std::size_t lo =
-                    1 + (n_buckets - 1) * g / groups;
-                const std::size_t hi =
-                    1 + (n_buckets - 1) * (g + 1) / groups;
-                if (options_.batchAffine) {
-                    BatchAffineScratch<Curve> scratch;
-                    batchAffineAccumulate<Curve>(
-                        scattered.buckets, lo, hi, point_of,
-                        bucket_sums, group_stats[g], scratch);
-                    return;
-                }
-                for (std::size_t b = lo;
-                     b < hi && b < scattered.buckets.size(); ++b) {
-                    if (scattered.buckets[b].empty())
-                        continue;
-                    bucket_sums[b] = bucketSumTree<Curve>(
-                        scattered.buckets[b], point_of,
-                        plan_.threadsPerBucket, group_stats[g]);
-                }
+                if (fplan.killWindow(g) < 0)
+                    sum_slice(g);
             },
             options_.hostThreads);
+        if (!dead.empty()) {
+            pool.parallelFor(
+                0, dead.size(),
+                [&](std::size_t i) { sum_slice(dead[i]); },
+                host_threads);
+            result.fault.windowsResharded += dead.size();
+        }
+
         gpusim::KernelStats ec_stats;
         for (const auto &gs : group_stats)
             ec_stats.mergeLockstep(gs);
         result.stats.merge(ec_stats);
+
+        // Ship each slice through the checksummed transfer layer
+        // (sequential, slices ascending; see the window path for the
+        // canonical-attempt-index contract). The RLC coefficients
+        // are keyed by global bucket index, so resharding never
+        // changes the digest a slice must match.
+        std::uint64_t xfer_counter = 0;
+        for (int g = 0; g < groups; ++g) {
+            const std::size_t lo = 1 + (n_buckets - 1) * g / groups;
+            const std::size_t hi =
+                1 + (n_buckets - 1) * (g + 1) / groups;
+            if (lo >= hi)
+                continue;
+            std::vector<Xyzz> payload(
+                bucket_sums.begin() + static_cast<std::ptrdiff_t>(lo),
+                bucket_sums.begin() + static_cast<std::ptrdiff_t>(hi));
+            std::vector<std::uint64_t> keys(hi - lo);
+            for (std::size_t b = lo; b < hi; ++b)
+                keys[b - lo] = b;
+            std::vector<Xyzz> received;
+            const support::Status shipped = shipPayload(
+                ship_dev[g], payload, keys, fplan, xfer_counter,
+                result.fault, fault_log, received);
+            if (!shipped.isOk())
+                return shipped;
+            std::copy(received.begin(), received.end(),
+                      bucket_sums.begin() +
+                          static_cast<std::ptrdiff_t>(lo));
+        }
 
         ReduceStats reduce_stats;
         result.value =
@@ -653,7 +856,7 @@ class MsmEngine
 
         support::TraceRecorder *const trace = options_.trace;
         if (trace == nullptr)
-            return;
+            return support::Status::ok();
         namespace lane = support::tracelane;
         labelEngineLanes(*trace);
         const auto &cost_model = cluster_.model();
@@ -700,6 +903,189 @@ class MsmEngine
         metrics.add("engine/" + trace_prefix +
                         "combined/bucket_reduce_ns",
                     reduce_ns);
+        return support::Status::ok();
+    }
+
+    /**
+     * Resolve the active fault plan: an explicit MsmOptions::faults
+     * wins, then the DISTMSM_FAULT_SPEC environment variable, then
+     * no faults.
+     */
+    const gpusim::FaultPlan &
+    activeFaultPlan() const
+    {
+        if (!options_.faults.empty())
+            return options_.faults;
+        const gpusim::FaultPlan *env =
+            gpusim::globalFaultPlanFromEnv();
+        if (env != nullptr)
+            return *env;
+        static const gpusim::FaultPlan kNoFaults;
+        return kNoFaults;
+    }
+
+    /**
+     * RLC digest with explicit coefficient keys: transfer payloads
+     * are keyed by global window (or bucket) index rather than a
+     * contiguous range, so the host re-derives the same rho for each
+     * point no matter which device shipped it after a reshard. The
+     * digest's EC work is tallied only into @p report (verifyEcOps)
+     * — never KernelStats or hostOps — keeping zero-fault counters
+     * bit-identical to a build without the fault layer.
+     */
+    XYZZPoint<Curve>
+    rlcKeyedDigest(const std::vector<XYZZPoint<Curve>> &points,
+                   const std::vector<std::uint64_t> &keys,
+                   gpusim::FaultReport *report) const
+    {
+        using Xyzz = XYZZPoint<Curve>;
+        Xyzz digest = Xyzz::identity();
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Scalar rho = Scalar::fromU64(
+                rlcRho(options_.checksumSeed, keys[i]));
+            digest = padd(digest, pmul(points[i], rho));
+        }
+        if (report != nullptr) {
+            report->verifyEcOps +=
+                points.size() * (kRhoEcOps + 1);
+            report->checksummed += points.size();
+        }
+        return digest;
+    }
+
+    /**
+     * One simulated device->host transfer under the fault plan:
+     * append the device-side RLC digest, serialize, apply any
+     * injected delay or byte corruption, deserialize, re-derive the
+     * digest host-side and compare limb-for-limb — retrying (with a
+     * fresh canonical attempt index) up to MsmOptions::maxRetries
+     * times. On success @p received holds the accepted points,
+     * bit-identical to @p points whenever nothing corrupted the
+     * wire. On exhaustion, returns the typed Status of the final
+     * failed attempt.
+     */
+    support::Status
+    shipPayload(int device,
+                const std::vector<XYZZPoint<Curve>> &points,
+                const std::vector<std::uint64_t> &rho_keys,
+                const gpusim::FaultPlan &fplan,
+                std::uint64_t &xfer_counter,
+                gpusim::FaultReport &report,
+                std::vector<std::string> &fault_log,
+                std::vector<XYZZPoint<Curve>> &received) const
+    {
+        using Xyzz = XYZZPoint<Curve>;
+        support::Status last(support::StatusCode::TransferTimeout,
+                             "transfer never attempted");
+        for (int attempt = 0; attempt <= options_.maxRetries;
+             ++attempt) {
+            const std::uint64_t xfer = xfer_counter++;
+            ++report.transfers;
+            if (attempt > 0)
+                ++report.retries;
+            const double delay =
+                fplan.transferDelayNs(device, attempt);
+            if (delay > 0.0) {
+                report.delayNs += delay;
+                ++report.faultsInjected;
+                fault_log.push_back("delay/dev" +
+                                    std::to_string(device) +
+                                    "/xfer" + std::to_string(xfer));
+                if (delay > options_.transferTimeoutNs) {
+                    ++report.timeouts;
+                    last = support::Status(
+                        support::StatusCode::TransferTimeout,
+                        "device " + std::to_string(device) +
+                            " transfer attempt " +
+                            std::to_string(attempt) +
+                            " exceeded the timeout");
+                    continue;
+                }
+            }
+            std::vector<Xyzz> wire = points;
+            if (options_.verifyChecksums)
+                wire.push_back(
+                    rlcKeyedDigest(points, rho_keys, &report));
+            std::vector<std::uint8_t> bytes =
+                serializePoints<Curve>(wire);
+            if (fplan.corruptsTransfer(xfer, device)) {
+                gpusim::corruptBytes(bytes, fplan.seed, xfer);
+                ++report.corruptInjected;
+                ++report.faultsInjected;
+                fault_log.push_back("corrupt/dev" +
+                                    std::to_string(device) +
+                                    "/xfer" + std::to_string(xfer));
+            }
+            std::vector<Xyzz> got =
+                deserializePoints<Curve>(bytes);
+            if (got.size() != wire.size())
+                return support::Status(
+                    support::StatusCode::ResultMismatch,
+                    "device " + std::to_string(device) +
+                        " transfer payload size mismatch");
+            if (options_.verifyChecksums) {
+                const Xyzz device_digest = got.back();
+                got.pop_back();
+                const Xyzz host_digest =
+                    rlcKeyedDigest(got, rho_keys, &report);
+                if (!bitEqual(host_digest, device_digest)) {
+                    ++report.corruptDetected;
+                    fault_log.push_back(
+                        "detect/dev" + std::to_string(device) +
+                        "/xfer" + std::to_string(xfer));
+                    last = support::Status(
+                        support::StatusCode::TransferCorrupt,
+                        "device " + std::to_string(device) +
+                            " transfer digest mismatch (attempt " +
+                            std::to_string(attempt) + ")");
+                    continue;
+                }
+            }
+            received = std::move(got);
+            return support::Status::ok();
+        }
+        return last;
+    }
+
+    /**
+     * The fault layer's trace track: one instant per injection or
+     * detection (deterministic ordinals as the logical time axis) on
+     * the engine-host process, plus the flat "fault/" counters.
+     */
+    void
+    emitFaultTrace(support::TraceRecorder &trace,
+                   const gpusim::FaultReport &report,
+                   const std::vector<std::string> &log) const
+    {
+        namespace lane = support::tracelane;
+        trace.labelProcess(lane::kEngineHostPid, "engine host");
+        trace.labelThread(lane::kEngineHostPid, kFaultTid, "faults");
+        for (std::size_t i = 0; i < log.size(); ++i)
+            trace.instant("fault/" + log[i], "fault",
+                          lane::kEngineHostPid, kFaultTid,
+                          static_cast<double>(i) * 1000.0);
+        auto &metrics = trace.metrics();
+        metrics.add("fault/faults_injected",
+                    static_cast<double>(report.faultsInjected));
+        metrics.add("fault/corrupt_injected",
+                    static_cast<double>(report.corruptInjected));
+        metrics.add("fault/corrupt_detected",
+                    static_cast<double>(report.corruptDetected));
+        metrics.add("fault/timeouts",
+                    static_cast<double>(report.timeouts));
+        metrics.add("fault/retries",
+                    static_cast<double>(report.retries));
+        metrics.add("fault/windows_resharded",
+                    static_cast<double>(report.windowsResharded));
+        metrics.add("fault/devices_lost",
+                    static_cast<double>(report.devicesLost));
+        metrics.add("fault/transfers",
+                    static_cast<double>(report.transfers));
+        metrics.add("fault/checksums",
+                    static_cast<double>(report.checksummed));
+        metrics.add("fault/verify_ec_ops",
+                    static_cast<double>(report.verifyEcOps));
+        metrics.add("fault/delay_ns", report.delayNs);
     }
 
     /** Simulated threads executing one scatter launch. */
@@ -745,6 +1131,8 @@ class MsmEngine
 
     /** Engine-host track carrying table-build / cache-hit events. */
     static constexpr int kPrecomputeTid = 2;
+    /** Engine-host track carrying fault injection/detection events. */
+    static constexpr int kFaultTid = 3;
 
     std::vector<AffinePoint<Curve>> points_;
     /** phi(P_i) images when the plan enabled GLV (else empty). */

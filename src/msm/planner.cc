@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/msm/checksum.h"
 #include "src/msm/precompute.h"
 
 #include "src/support/check.h"
@@ -323,6 +324,31 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     t.bucketReduceNs = cpu_reduce ? host_reduce_ns : gpu_reduce_ns;
     t.transferNs = cpu_reduce ? transfer_cpu_ns : transfer_gpu_ns;
 
+    // --- Transfer checksum verification (fault layer) ---
+    // Each device folds its per-window partial sums into one RLC
+    // digest ([rho]S is a kRhoBits-wide double-and-add) before the
+    // gather; the host re-derives the digest over every received
+    // point and compares. One short scalar-mul per window, so the
+    // cost scales with the window count, not with N — which is what
+    // keeps the fault-free overhead under the 3%-of-totalNs gate.
+    if (options.verifyChecksums) {
+        const double wpg = std::max(1.0, windows_per_gpu);
+        const double device_digest_ns =
+            model.ecThroughputNs(
+                curve, options.kernel, EcOp::Pdbl,
+                static_cast<std::uint64_t>(wpg * kRhoBits)) +
+            model.ecThroughputNs(
+                curve, options.kernel, EcOp::Padd,
+                static_cast<std::uint64_t>(wpg * (kRhoBits / 2 + 1)));
+        const double host_rederive_ns = model.hostEcNs(
+            curve,
+            static_cast<std::uint64_t>(plan.numWindows) *
+                    (kRhoEcOps + 1) +
+                cluster.numGpus(),
+            cluster.host());
+        t.verifyNs = device_digest_ns + host_rederive_ns;
+    }
+
     // --- Window reduce (host; a handful of points per GPU) ---
     if (plan.precompute) {
         // One combined bucket pass: the host only folds the per-GPU
@@ -432,6 +458,17 @@ traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
         trace.span(prefix + "bucket-reduce", "phase", lane::kHostPid,
                    lane::kComputeTid, reduce_start, t.bucketReduceNs);
     }
+    if (t.verifyNs > 0.0) {
+        // Digest verification follows the host bucket-reduce in the
+        // overlappable host stage (MsmTimeline::totalNs()): together
+        // they either hide behind the GPU stage or serialize after
+        // it, and the window reduce always closes the timeline.
+        const double verify_start =
+            (t.reduceOverlapped ? start_ns : gpu_stage_end) +
+            (t.cpuReduce ? t.bucketReduceNs : 0.0);
+        trace.span(prefix + "verify", "phase", lane::kHostPid,
+                   lane::kComputeTid, verify_start, t.verifyNs);
+    }
     trace.span(prefix + "window-reduce", "phase", lane::kHostPid,
                lane::kComputeTid, total_end - t.windowReduceNs,
                t.windowReduceNs);
@@ -443,6 +480,7 @@ traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
     metrics.set(mp + "bucket_reduce_ns", t.bucketReduceNs);
     metrics.set(mp + "window_reduce_ns", t.windowReduceNs);
     metrics.set(mp + "transfer_ns", t.transferNs);
+    metrics.set(mp + "verify_ns", t.verifyNs);
     metrics.set(mp + "total_ns", t.totalNs());
     metrics.set(mp + "cpu_reduce", t.cpuReduce ? 1.0 : 0.0);
     metrics.set(mp + "precompute", plan.precompute ? 1.0 : 0.0);

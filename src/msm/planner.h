@@ -19,6 +19,7 @@
 
 #include "src/gpusim/cluster.h"
 #include "src/gpusim/cost_model.h"
+#include "src/gpusim/faults.h"
 #include "src/msm/scatter.h"
 #include "src/msm/timeline.h"
 #include "src/msm/workload_model.h"
@@ -71,6 +72,31 @@ struct MsmOptions
      * n = at most n threads. Results are bit-identical either way.
      */
     int hostThreads = 0;
+    /**
+     * Fault injection plan (gpusim/faults.h). Empty (the default)
+     * falls back to the DISTMSM_FAULT_SPEC environment variable; an
+     * explicit plan wins over the environment.
+     */
+    gpusim::FaultPlan faults;
+    /**
+     * Transfer attempts repeated after a detected corruption or
+     * timeout before the engine gives up and returns the typed
+     * Status. 2 tolerates every transient (one-shot) fault while a
+     * persistent fault still terminates promptly.
+     */
+    int maxRetries = 2;
+    /**
+     * RLC-checksum every simulated device->host transfer (msm/
+     * checksum.h). Costs one short scalar-mul per shipped point,
+     * priced as MsmTimeline::verifyNs (< 3% of totalNs at 2^18); off
+     * reproduces the pre-fault-layer timelines exactly. Corruption
+     * can only be *detected* while this is on.
+     */
+    bool verifyChecksums = true;
+    /** Transfer attempts slower than this (injected delay) time out. */
+    double transferTimeoutNs = 1e8;
+    /** Seeds the RLC coefficients (device and host must agree). */
+    std::uint64_t checksumSeed = 0xC0FFEEull;
     /**
      * Structured tracing sink (support/trace.h). When non-null, the
      * analytic estimators emit per-device timeline lanes and the

@@ -85,6 +85,10 @@ naiveScatter(const std::vector<std::uint32_t> &bucket_ids,
 {
     const std::size_t n_buckets = std::size_t{1} << window_bits;
     ScatterResult result;
+    result.status = KernelLaunch::validateLaunch(
+        config.gridDim, config.blockDim, 0);
+    if (!result.status.isOk())
+        return result;
     result.ok = true;
     result.buckets.assign(n_buckets, {});
 
@@ -143,20 +147,31 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
         // Not even a one-element tile fits beside the counters (the
         // s > 14 failures of Figure 11).
         result.ok = false;
+        result.status = support::Status(
+            support::StatusCode::KernelFault,
+            "hierarchical scatter cannot run at window size " +
+                std::to_string(window_bits) +
+                ": 2^s counters leave no shared-memory tile "
+                "(use naive scatter)");
         return result;
     }
     const int k_tile = static_cast<int>(
         (config.sharedBytesPerBlock - fixed_bytes) /
         (static_cast<std::size_t>(config.blockDim) *
          config.localIdBytes));
-    result.ok = true;
-    result.buckets.assign(n_buckets, {});
 
     // Shared layout per block: [0, B) counters, [B, 2B) offsets,
     // [2B, 2B + K*blockDim) point-id tile.
     const std::size_t tile_base = 2 * n_buckets;
     const std::size_t tile_words =
         static_cast<std::size_t>(k_tile) * config.blockDim;
+    result.status = KernelLaunch::validateLaunch(
+        config.gridDim, config.blockDim, tile_base + tile_words);
+    if (!result.status.isOk())
+        return result;
+    result.ok = true;
+    result.buckets.assign(n_buckets, {});
+
     KernelLaunch launch(config.gridDim, config.blockDim,
                         tile_base + tile_words, config.hostThreads);
     if (config.trace != nullptr)

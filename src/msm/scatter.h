@@ -73,7 +73,12 @@ struct ScatterConfig
 /** Output of a scatter: per-bucket point-id lists plus stats. */
 struct ScatterResult
 {
-    bool ok = false; ///< false: shared memory insufficient
+    bool ok = false; ///< false: see status for the typed reason
+    /** Typed failure channel mirroring `ok` (KernelFault when the
+     *  launch geometry or shared-memory configuration cannot run),
+     *  consumed by MsmEngine's fault-tolerant path. */
+    support::Status status{support::StatusCode::KernelFault,
+                           "scatter not executed"};
     std::vector<std::vector<std::uint32_t>> buckets;
     gpusim::KernelStats stats;
 };

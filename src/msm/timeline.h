@@ -18,6 +18,15 @@ struct MsmTimeline
     double windowReduceNs = 0.0;
     double transferNs = 0.0;
     /**
+     * Checksum verification (Section "fault model"): each device
+     * folds its per-window partial sums into one RLC digest before
+     * the gather, and the host re-derives the digest from the
+     * received points. Host-side cost; overlaps the GPU stage like
+     * the CPU bucket-reduce does. Zero when verification is off, so
+     * every pre-existing timeline is unchanged.
+     */
+    double verifyNs = 0.0;
+    /**
      * One-time fixed-base table construction (plan.precompute).
      * Excluded from totalNs(): the tables depend only on the bases,
      * so a proving service amortizes the build across every proof
@@ -64,7 +73,8 @@ struct MsmTimeline
     double
     hostStageNs() const
     {
-        return (cpuReduce ? bucketReduceNs : 0.0) + windowReduceNs;
+        return (cpuReduce ? bucketReduceNs : 0.0) + verifyNs +
+               windowReduceNs;
     }
 
     /**
@@ -81,14 +91,18 @@ struct MsmTimeline
     totalNs() const
     {
         double host = windowReduceNs;
-        if (cpuReduce) {
-            if (reduceOverlapped) {
-                host += bucketReduceNs > gpuStageNs()
-                            ? bucketReduceNs - gpuStageNs()
-                            : 0.0;
-            } else {
-                host += bucketReduceNs;
-            }
+        // Digest verification joins the CPU bucket-reduce in the
+        // overlappable host stage: both run while the GPUs work on
+        // the next pipelined MSM, so only their combined tail beyond
+        // gpuStageNs() is exposed.
+        const double overlappable =
+            verifyNs + (cpuReduce ? bucketReduceNs : 0.0);
+        if (reduceOverlapped) {
+            host += overlappable > gpuStageNs()
+                        ? overlappable - gpuStageNs()
+                        : 0.0;
+        } else {
+            host += overlappable;
         }
         return gpuStageNs() + host;
     }

@@ -30,6 +30,7 @@
 #include "src/ec/scalar_mul.h"
 #include "src/msm/engine.h"
 #include "src/msm/reference.h"
+#include "src/support/status.h"
 #include "src/support/timer.h"
 #include "src/support/trace.h"
 #include "src/zksnark/qap.h"
@@ -194,12 +195,14 @@ fixedBaseMultiples(const AffinePoint<Curve> &g,
 
 /** MSM over Fr scalars via the serial Pippenger reference, or the
  *  staged engine when @p engine is non-null (the engine's result is
- *  bit-identical to the reference; pinned by the MSM KAT suite). */
+ *  bit-identical to the reference; pinned by the MSM KAT suite).
+ *  Returns the typed Status of an unrecoverable injected fault
+ *  (MsmEngine::tryCompute) instead of aborting. */
 template <typename Curve>
-XYZZPoint<Curve>
-proverMsm(const std::vector<AffinePoint<Curve>> &points,
-          const std::vector<typename Curve::Fr> &scalars,
-          const msm::MsmEngine<Curve> *engine = nullptr)
+support::StatusOr<XYZZPoint<Curve>>
+tryProverMsm(const std::vector<AffinePoint<Curve>> &points,
+             const std::vector<typename Curve::Fr> &scalars,
+             const msm::MsmEngine<Curve> *engine = nullptr)
 {
     DISTMSM_ASSERT(points.size() == scalars.size());
     std::vector<BigInt<Curve::Fr::kLimbs>> raw;
@@ -208,9 +211,28 @@ proverMsm(const std::vector<AffinePoint<Curve>> &points,
         raw.push_back(s.toRaw());
     if (points.empty())
         return XYZZPoint<Curve>::identity();
-    if (engine != nullptr)
-        return engine->compute(raw).value;
+    if (engine != nullptr) {
+        support::StatusOr<msm::MsmResult<Curve>> result =
+            engine->tryCompute(raw);
+        if (!result.isOk())
+            return result.status();
+        return result->value;
+    }
     return msm::msmSerialPippenger<Curve>(points, raw, 8);
+}
+
+/** tryProverMsm with the legacy hard-failure contract. */
+template <typename Curve>
+XYZZPoint<Curve>
+proverMsm(const std::vector<AffinePoint<Curve>> &points,
+          const std::vector<typename Curve::Fr> &scalars,
+          const msm::MsmEngine<Curve> *engine = nullptr)
+{
+    support::StatusOr<XYZZPoint<Curve>> result =
+        tryProverMsm(points, scalars, engine);
+    DISTMSM_REQUIRE(result.isOk(),
+                    result.status().toString().c_str());
+    return *result;
 }
 
 } // namespace detail
@@ -283,15 +305,21 @@ setup(const R1cs<typename Curve::Fr> &r1cs,
  * *host wall-clock* axis — they are real measured durations, not
  * simulated time, and are therefore excluded from the determinism
  * contract (see trace.h).
+ *
+ * Fault tolerance: when the MSM engines run under a fault plan
+ * (MsmOptions::faults / DISTMSM_FAULT_SPEC), recoverable faults are
+ * absorbed inside the engines and the proof is bit-identical to a
+ * fault-free run; an unrecoverable fault surfaces as the typed
+ * Status of the failing MSM — never a wrong proof, never an abort.
  */
 template <typename Curve>
-Proof<Curve>
-prove(const ProvingKey<Curve> &pk,
-      const R1cs<typename Curve::Fr> &r1cs,
-      const std::vector<typename Curve::Fr> &wires, Prng &prng,
-      ProverTiming *timing = nullptr,
-      support::TraceRecorder *trace = nullptr,
-      const ProverEngines<Curve> *engines = nullptr)
+support::StatusOr<Proof<Curve>>
+tryProve(const ProvingKey<Curve> &pk,
+         const R1cs<typename Curve::Fr> &r1cs,
+         const std::vector<typename Curve::Fr> &wires, Prng &prng,
+         ProverTiming *timing = nullptr,
+         support::TraceRecorder *trace = nullptr,
+         const ProverEngines<Curve> *engines = nullptr)
 {
     using F = typename Curve::Fr;
     using Xyzz = XYZZPoint<Curve>;
@@ -306,22 +334,36 @@ prove(const ProvingKey<Curve> &pk,
     local.nttSeconds = timer.seconds();
     local.domainSize = qapDomainSize(r1cs);
 
-    // --- MSM stage: the four multi-exponentiations. ---
+    // --- MSM stage: the four multi-exponentiations. Any engine hit
+    // by an unrecoverable injected fault fails the whole proof with
+    // its typed Status (first failing MSM in A, B, L, H order). ---
     timer.reset();
-    const Xyzz a_base = detail::proverMsm<Curve>(
+    const support::StatusOr<Xyzz> a_or = detail::tryProverMsm<Curve>(
         pk.aPoints, wires,
         engines != nullptr ? engines->a.get() : nullptr);
-    const Xyzz b_base = detail::proverMsm<Curve>(
+    if (!a_or.isOk())
+        return a_or.status();
+    const Xyzz a_base = *a_or;
+    const support::StatusOr<Xyzz> b_or = detail::tryProverMsm<Curve>(
         pk.bPoints, wires,
         engines != nullptr ? engines->b.get() : nullptr);
+    if (!b_or.isOk())
+        return b_or.status();
+    const Xyzz b_base = *b_or;
     const std::vector<F> private_wires(
         wires.begin() + pk.numPublic + 1, wires.end());
-    const Xyzz l_base = detail::proverMsm<Curve>(
+    const support::StatusOr<Xyzz> l_or = detail::tryProverMsm<Curve>(
         pk.lPoints, private_wires,
         engines != nullptr ? engines->l.get() : nullptr);
-    const Xyzz h_base = detail::proverMsm<Curve>(
+    if (!l_or.isOk())
+        return l_or.status();
+    const Xyzz l_base = *l_or;
+    const support::StatusOr<Xyzz> h_or = detail::tryProverMsm<Curve>(
         pk.hPoints, h,
         engines != nullptr ? engines->h.get() : nullptr);
+    if (!h_or.isOk())
+        return h_or.status();
+    const Xyzz h_base = *h_or;
     local.msmSeconds = timer.seconds();
     local.msmPoints = pk.aPoints.size() + pk.bPoints.size() +
                       pk.lPoints.size() + h.size();
@@ -401,6 +443,22 @@ prove(const ProvingKey<Curve> &pk,
     if (timing)
         *timing = local;
     return proof;
+}
+
+/** tryProve with the legacy hard-failure contract. */
+template <typename Curve>
+Proof<Curve>
+prove(const ProvingKey<Curve> &pk,
+      const R1cs<typename Curve::Fr> &r1cs,
+      const std::vector<typename Curve::Fr> &wires, Prng &prng,
+      ProverTiming *timing = nullptr,
+      support::TraceRecorder *trace = nullptr,
+      const ProverEngines<Curve> *engines = nullptr)
+{
+    support::StatusOr<Proof<Curve>> proof =
+        tryProve(pk, r1cs, wires, prng, timing, trace, engines);
+    DISTMSM_REQUIRE(proof.isOk(), proof.status().toString().c_str());
+    return std::move(*proof);
 }
 
 /**

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Fault injection and fault-tolerant recovery tests.
+ *
+ * The contract under test (DESIGN.md Section 6): the engine NEVER
+ * returns a wrong answer. A recoverable fault (device loss with
+ * survivors, transient corruption, transfer timeout within the retry
+ * budget) is absorbed and the result is bit-identical to the
+ * fault-free run — value, simulator statistics and host-op count.
+ * An unrecoverable fault (persistent corruption past maxRetries, all
+ * devices lost) surfaces as a typed support::Status from tryCompute /
+ * tryProve, not as an abort. The whole fault pipeline is
+ * deterministic across hostThreads, traces included.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/ec/curves.h"
+#include "src/msm/checksum.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/reference.h"
+#include "src/msm/workload.h"
+#include "src/support/prng.h"
+#include "src/support/trace.h"
+#include "src/zksnark/groth16.h"
+#include "src/zksnark/workloads.h"
+
+namespace distmsm::msm {
+namespace {
+
+using gpusim::Cluster;
+using gpusim::DeviceSpec;
+using gpusim::FaultKind;
+using gpusim::FaultPlan;
+using support::StatusCode;
+
+MsmOptions
+faultTestOptions(unsigned s = 8)
+{
+    MsmOptions o;
+    o.windowBitsOverride = s;
+    o.scatter.blockDim = 64;
+    o.scatter.gridDim = 4;
+    o.scatter.sharedBytesPerBlock = 128 * 1024;
+    return o;
+}
+
+template <typename Curve>
+struct Workload
+{
+    std::vector<AffinePoint<Curve>> points;
+    std::vector<BigInt<Curve::Fr::kLimbs>> scalars;
+};
+
+template <typename Curve>
+Workload<Curve>
+makeWorkload(std::size_t n, std::uint64_t seed)
+{
+    Prng prng(seed);
+    Workload<Curve> w;
+    w.points = generatePoints<Curve>(n, prng);
+    w.scalars = generateScalars<Curve>(n, prng);
+    return w;
+}
+
+// --- FaultPlan::parse ------------------------------------------------
+
+TEST(FaultPlanParse, AcceptsFullGrammar)
+{
+    const auto plan_or = FaultPlan::parse(
+        "kill:dev=2@win=1;corrupt:xfer=3;corrupt:dev=0;"
+        "delay:dev=1,ns=5e8;seed:77");
+    ASSERT_TRUE(plan_or.isOk()) << plan_or.status().toString();
+    const FaultPlan &plan = *plan_or;
+    ASSERT_EQ(plan.events.size(), 4u);
+    EXPECT_EQ(plan.seed, 77u);
+
+    EXPECT_EQ(plan.events[0].kind, FaultKind::KillDevice);
+    EXPECT_EQ(plan.events[0].device, 2);
+    EXPECT_EQ(plan.events[0].window, 1);
+    EXPECT_EQ(plan.killWindow(2), 1);
+    EXPECT_EQ(plan.killWindow(0), -1);
+
+    EXPECT_EQ(plan.events[1].kind, FaultKind::CorruptTransfer);
+    EXPECT_TRUE(plan.corruptsTransfer(3, 5));
+    EXPECT_FALSE(plan.corruptsTransfer(4, 5));
+
+    EXPECT_EQ(plan.events[2].kind,
+              FaultKind::CorruptDeviceTransfers);
+    EXPECT_TRUE(plan.corruptsTransfer(99, 0)); // every xfer of dev 0
+
+    EXPECT_EQ(plan.events[3].kind, FaultKind::DelayTransfer);
+    EXPECT_DOUBLE_EQ(plan.transferDelayNs(1, 0), 5e8);
+    EXPECT_DOUBLE_EQ(plan.transferDelayNs(1, 1), 0.0); // retry clean
+    EXPECT_DOUBLE_EQ(plan.transferDelayNs(0, 0), 0.0);
+}
+
+TEST(FaultPlanParse, EarliestKillWindowWins)
+{
+    const auto plan_or =
+        FaultPlan::parse("kill:dev=1@win=3;kill:dev=1@win=1");
+    ASSERT_TRUE(plan_or.isOk());
+    EXPECT_EQ(plan_or->killWindow(1), 1);
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs)
+{
+    const char *bad[] = {
+        "bogus:clause",        // unknown clause
+        "kill:win=1",          // kill without dev
+        "kill:dev=x",          // non-numeric
+        "corrupt:ns=3",        // corrupt without xfer/dev
+        "delay:dev=1",         // delay without ns
+        "delay:ns=5e8",        // delay without dev
+        "seed:",               // empty seed
+    };
+    for (const char *spec : bad) {
+        const auto plan_or = FaultPlan::parse(spec);
+        EXPECT_FALSE(plan_or.isOk()) << "accepted: " << spec;
+        if (!plan_or.isOk()) {
+            EXPECT_EQ(plan_or.status().code(),
+                      StatusCode::InvalidArgument)
+                << spec;
+        }
+    }
+}
+
+TEST(FaultPlanParse, EmptySpecIsEmptyPlan)
+{
+    const auto plan_or = FaultPlan::parse("");
+    ASSERT_TRUE(plan_or.isOk());
+    EXPECT_TRUE(plan_or->empty());
+    // Stray separators are benign (trailing ';' from shell quoting).
+    const auto trailing = FaultPlan::parse("kill:dev=1;;");
+    ASSERT_TRUE(trailing.isOk());
+    EXPECT_EQ(trailing->events.size(), 1u);
+}
+
+// --- Checksum primitives ---------------------------------------------
+
+TEST(Checksum, DigestDetectsEveryInjectedByteFlip)
+{
+    Prng prng(0xC5);
+    const auto affine = generatePoints<Bn254>(24, prng);
+    std::vector<XYZZPoint<Bn254>> points;
+    points.reserve(affine.size());
+    for (const auto &p : affine)
+        points.push_back(XYZZPoint<Bn254>::fromAffine(p));
+
+    const std::uint64_t seed = 0xC0FFEE;
+    const auto digest = rlcDigest<Bn254>(points, seed, 0);
+
+    for (std::uint64_t xfer = 0; xfer < 32; ++xfer) {
+        auto bytes = serializePoints<Bn254>(points);
+        gpusim::corruptBytes(bytes, /*seed=*/0xFA177 + xfer, xfer);
+        const auto got = deserializePoints<Bn254>(bytes);
+        const auto rederived = rlcDigest<Bn254>(got, seed, 0);
+        EXPECT_FALSE(bitEqual(rederived, digest))
+            << "byte flip of transfer " << xfer << " went undetected";
+    }
+    // Clean round trip must agree.
+    const auto clean = deserializePoints<Bn254>(
+        serializePoints<Bn254>(points));
+    EXPECT_TRUE(bitEqual(rlcDigest<Bn254>(clean, seed, 0), digest));
+}
+
+TEST(Checksum, CorruptBytesIsDeterministic)
+{
+    std::vector<std::uint8_t> a(256, 0xAA), b(256, 0xAA);
+    gpusim::corruptBytes(a, 7, 3);
+    gpusim::corruptBytes(b, 7, 3);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, std::vector<std::uint8_t>(256, 0xAA));
+    std::vector<std::uint8_t> c(256, 0xAA);
+    gpusim::corruptBytes(c, 7, 4); // different transfer index
+    EXPECT_NE(a, c);
+}
+
+// --- Device-loss kill matrix -----------------------------------------
+
+class KillMatrixTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kN = std::size_t{1} << 14;
+
+    void
+    SetUp() override
+    {
+        workload_ = makeWorkload<Bn254>(kN, 0xFA01);
+        const auto clean_or = tryComputeDistMsm<Bn254>(
+            workload_.points, workload_.scalars, cluster_,
+            faultTestOptions());
+        ASSERT_TRUE(clean_or.isOk());
+        clean_ = *clean_or;
+        ASSERT_EQ(clean_.fault.devicesLost, 0u);
+    }
+
+    Cluster cluster_{DeviceSpec::a100(), 4};
+    Workload<Bn254> workload_;
+    MsmResult<Bn254> clean_;
+};
+
+TEST_F(KillMatrixTest, EachDeviceLossRecoversBitIdentically)
+{
+    // Kill every device in turn, at its first window and at its
+    // second: survivors recompute the lost windows and the final
+    // point, the simulator statistics and the host-op count are all
+    // bit-identical to the fault-free run.
+    for (int dev = 0; dev < 4; ++dev) {
+        for (int win = 0; win < 2; ++win) {
+            auto options = faultTestOptions();
+            options.faults.events.push_back(
+                {FaultKind::KillDevice, dev, win, 0, 0.0});
+            const auto result_or = tryComputeDistMsm<Bn254>(
+                workload_.points, workload_.scalars, cluster_,
+                options);
+            ASSERT_TRUE(result_or.isOk())
+                << "dev=" << dev << " win=" << win << ": "
+                << result_or.status().toString();
+            const auto &r = *result_or;
+            EXPECT_TRUE(bitEqual(r.value, clean_.value))
+                << "dev=" << dev << " win=" << win;
+            EXPECT_EQ(r.stats, clean_.stats)
+                << "dev=" << dev << " win=" << win;
+            EXPECT_EQ(r.hostOps, clean_.hostOps)
+                << "dev=" << dev << " win=" << win;
+            EXPECT_EQ(r.fault.devicesLost, 1u);
+            EXPECT_GE(r.fault.windowsResharded, 1u);
+            // Killing at window 1 spares the ordinal-0 window.
+            if (win == 1) {
+                EXPECT_LT(r.fault.windowsResharded,
+                          r.plan.numWindows / 4 + 1);
+            }
+        }
+    }
+}
+
+TEST_F(KillMatrixTest, TwoSimultaneousLossesStillRecover)
+{
+    auto options = faultTestOptions();
+    options.faults.events.push_back(
+        {FaultKind::KillDevice, 0, 0, 0, 0.0});
+    options.faults.events.push_back(
+        {FaultKind::KillDevice, 3, 1, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_TRUE(result_or.isOk()) << result_or.status().toString();
+    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
+    EXPECT_EQ(result_or->stats, clean_.stats);
+    EXPECT_EQ(result_or->fault.devicesLost, 2u);
+}
+
+TEST(DeviceLoss, AllDevicesLostReturnsTypedError)
+{
+    const auto w = makeWorkload<Bn254>(256, 0xFA02);
+    const Cluster cluster(DeviceSpec::a100(), 2);
+    auto options = faultTestOptions();
+    options.faults.events.push_back(
+        {FaultKind::KillDevice, 0, 0, 0, 0.0});
+    options.faults.events.push_back(
+        {FaultKind::KillDevice, 1, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_FALSE(result_or.isOk());
+    EXPECT_EQ(result_or.status().code(), StatusCode::DeviceLost);
+}
+
+TEST(DeviceLoss, CombinedPrecomputePathRecovers)
+{
+    // The fixed-base precompute path shards bucket slices instead of
+    // windows; a kill clause must reshard the dead device's whole
+    // slice onto a survivor with a bit-identical result.
+    const auto w = makeWorkload<Bn254>(1 << 10, 0xFA03);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    auto options = faultTestOptions(0);
+    options.precompute = true;
+
+    const auto clean_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_TRUE(clean_or.isOk());
+    ASSERT_TRUE(clean_or->plan.precompute)
+        << "planner declined precompute; test needs the combined path";
+
+    for (int dev = 0; dev < 4; ++dev) {
+        auto faulty = options;
+        faulty.faults.events.push_back(
+            {FaultKind::KillDevice, dev, 0, 0, 0.0});
+        const auto result_or = tryComputeDistMsm<Bn254>(
+            w.points, w.scalars, cluster, faulty);
+        ASSERT_TRUE(result_or.isOk())
+            << "dev=" << dev << ": " << result_or.status().toString();
+        EXPECT_TRUE(bitEqual(result_or->value, clean_or->value))
+            << "dev=" << dev;
+        EXPECT_EQ(result_or->stats, clean_or->stats) << "dev=" << dev;
+        EXPECT_EQ(result_or->fault.devicesLost, 1u);
+        EXPECT_GE(result_or->fault.windowsResharded, 1u);
+    }
+}
+
+// --- Transfer corruption ---------------------------------------------
+
+TEST(Corruption, SeededSweepAllDetectedAndRecovered)
+{
+    // 32 cases: corrupt each transfer index under a per-case seed.
+    // Indices past the run's transfer count inject nothing; every
+    // injected corruption must be detected by the RLC checksum and
+    // healed by a retry, with a bit-identical final result.
+    const auto w = makeWorkload<Bn254>(1 << 10, 0xFA04);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    const auto clean_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, faultTestOptions());
+    ASSERT_TRUE(clean_or.isOk());
+    const std::uint64_t live_transfers = clean_or->fault.transfers;
+    ASSERT_GE(live_transfers, 4u);
+
+    std::uint64_t injected_cases = 0;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        auto options = faultTestOptions();
+        options.faults.seed = 0xFA177 + i * 0x9E37;
+        options.faults.events.push_back(
+            {FaultKind::CorruptTransfer, -1, 0, i, 0.0});
+        const auto result_or = tryComputeDistMsm<Bn254>(
+            w.points, w.scalars, cluster, options);
+        ASSERT_TRUE(result_or.isOk())
+            << "xfer=" << i << ": " << result_or.status().toString();
+        const auto &r = *result_or;
+        EXPECT_TRUE(bitEqual(r.value, clean_or->value)) << "xfer=" << i;
+        EXPECT_EQ(r.stats, clean_or->stats) << "xfer=" << i;
+        if (i < live_transfers) {
+            EXPECT_EQ(r.fault.corruptInjected, 1u) << "xfer=" << i;
+            EXPECT_EQ(r.fault.corruptDetected, 1u)
+                << "undetected corruption at xfer=" << i;
+            EXPECT_GE(r.fault.retries, 1u) << "xfer=" << i;
+            ++injected_cases;
+        } else {
+            EXPECT_EQ(r.fault.corruptInjected, 0u) << "xfer=" << i;
+        }
+    }
+    EXPECT_EQ(injected_cases, live_transfers);
+}
+
+TEST(Corruption, PersistentCorruptionExhaustsRetries)
+{
+    const auto w = makeWorkload<Bn254>(512, 0xFA05);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    auto options = faultTestOptions();
+    options.faults.events.push_back(
+        {FaultKind::CorruptDeviceTransfers, 1, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_FALSE(result_or.isOk());
+    EXPECT_EQ(result_or.status().code(), StatusCode::TransferCorrupt);
+}
+
+TEST(Corruption, UndetectableWithoutChecksumsButStillInjected)
+{
+    // With checksums off the engine cannot detect corruption: the
+    // run completes, the result differs from the clean run, and the
+    // report shows injected > detected. (trace_summary --check flags
+    // exactly this imbalance.)
+    const auto w = makeWorkload<Bn254>(512, 0xFA06);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    auto clean_options = faultTestOptions();
+    clean_options.verifyChecksums = false;
+    const auto clean_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, clean_options);
+    ASSERT_TRUE(clean_or.isOk());
+
+    auto options = clean_options;
+    options.faults.events.push_back(
+        {FaultKind::CorruptTransfer, -1, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_TRUE(result_or.isOk());
+    EXPECT_EQ(result_or->fault.corruptInjected, 1u);
+    EXPECT_EQ(result_or->fault.corruptDetected, 0u);
+    EXPECT_FALSE(bitEqual(result_or->value, clean_or->value))
+        << "the corrupted payload happened to round-trip cleanly; "
+           "pick a different seed";
+}
+
+TEST(Corruption, ZeroRetriesTurnsTransientIntoFatal)
+{
+    const auto w = makeWorkload<Bn254>(512, 0xFA07);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    auto options = faultTestOptions();
+    options.maxRetries = 0;
+    options.faults.events.push_back(
+        {FaultKind::CorruptTransfer, -1, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_FALSE(result_or.isOk());
+    EXPECT_EQ(result_or.status().code(), StatusCode::TransferCorrupt);
+}
+
+// --- Transfer delay / timeout ----------------------------------------
+
+TEST(Timeout, DelayedTransferTimesOutThenRetriesClean)
+{
+    const auto w = makeWorkload<Bn254>(512, 0xFA08);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    const auto clean_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, faultTestOptions());
+    ASSERT_TRUE(clean_or.isOk());
+
+    auto options = faultTestOptions();
+    options.transferTimeoutNs = 1e6;
+    options.faults.events.push_back(
+        {FaultKind::DelayTransfer, 2, 0, 0, /*delayNs=*/1e9});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_TRUE(result_or.isOk()) << result_or.status().toString();
+    EXPECT_TRUE(bitEqual(result_or->value, clean_or->value));
+    EXPECT_GE(result_or->fault.timeouts, 1u);
+    EXPECT_GE(result_or->fault.retries, 1u);
+}
+
+TEST(Timeout, SlowButWithinBudgetJustAccumulatesDelay)
+{
+    const auto w = makeWorkload<Bn254>(512, 0xFA09);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    auto options = faultTestOptions();
+    options.transferTimeoutNs = 1e8;
+    options.faults.events.push_back(
+        {FaultKind::DelayTransfer, 0, 0, 0, /*delayNs=*/1e6});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_TRUE(result_or.isOk());
+    EXPECT_EQ(result_or->fault.timeouts, 0u);
+    EXPECT_DOUBLE_EQ(result_or->fault.delayNs, 1e6);
+}
+
+// --- Prover integration ----------------------------------------------
+
+TEST(ProverFaults, ExhaustedRetriesSurfaceFromTryProve)
+{
+    using F = Bn254Fr;
+    Prng circuit_prng(0x21);
+    const auto built =
+        zksnark::buildMulChainCircuit<F>(20, 3, circuit_prng);
+    Prng trapdoor_prng(0x6789);
+    const auto trapdoor = zksnark::Trapdoor<F>::random(trapdoor_prng);
+    const auto keys = zksnark::setup<Bn254>(built.r1cs, trapdoor);
+    const Cluster cluster(DeviceSpec::a100(), 2);
+
+    // Clean engines first: tryProve succeeds and verifies.
+    Prng prng_ok(0x1111);
+    const zksnark::ProverEngines<Bn254> engines(
+        keys.pk, cluster, faultTestOptions());
+    const auto proof_or = zksnark::tryProve<Bn254>(
+        keys.pk, built.r1cs, built.wires, prng_ok, nullptr, nullptr,
+        &engines);
+    ASSERT_TRUE(proof_or.isOk()) << proof_or.status().toString();
+    const std::vector<F> public_inputs(
+        built.wires.begin() + 1,
+        built.wires.begin() + 1 + built.r1cs.numPublic());
+    EXPECT_TRUE(
+        zksnark::verify<Bn254>(keys.vk, *proof_or, public_inputs));
+
+    // Persistent corruption on every device: the first MSM exhausts
+    // its retries and tryProve returns the typed Status — no abort,
+    // no wrong proof.
+    auto faulty_options = faultTestOptions();
+    faulty_options.faults.events.push_back(
+        {FaultKind::CorruptDeviceTransfers, 0, 0, 0, 0.0});
+    faulty_options.faults.events.push_back(
+        {FaultKind::CorruptDeviceTransfers, 1, 0, 0, 0.0});
+    const zksnark::ProverEngines<Bn254> faulty_engines(
+        keys.pk, cluster, faulty_options);
+    Prng prng_bad(0x1111);
+    const auto bad_or = zksnark::tryProve<Bn254>(
+        keys.pk, built.r1cs, built.wires, prng_bad, nullptr, nullptr,
+        &faulty_engines);
+    ASSERT_FALSE(bad_or.isOk());
+    EXPECT_EQ(bad_or.status().code(), StatusCode::TransferCorrupt);
+}
+
+TEST(ProverFaults, RecoverableFaultsLeaveProofVerifiable)
+{
+    using F = Bn254Fr;
+    Prng circuit_prng(0x22);
+    const auto built =
+        zksnark::buildMulChainCircuit<F>(16, 3, circuit_prng);
+    Prng trapdoor_prng(0x6790);
+    const auto trapdoor = zksnark::Trapdoor<F>::random(trapdoor_prng);
+    const auto keys = zksnark::setup<Bn254>(built.r1cs, trapdoor);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    auto options = faultTestOptions();
+    options.faults.events.push_back(
+        {FaultKind::KillDevice, 1, 0, 0, 0.0});
+    options.faults.events.push_back(
+        {FaultKind::CorruptTransfer, -1, 0, 1, 0.0});
+    const zksnark::ProverEngines<Bn254> engines(keys.pk, cluster,
+                                                options);
+    Prng prng(0x3333);
+    const auto proof_or = zksnark::tryProve<Bn254>(
+        keys.pk, built.r1cs, built.wires, prng, nullptr, nullptr,
+        &engines);
+    ASSERT_TRUE(proof_or.isOk()) << proof_or.status().toString();
+    const std::vector<F> public_inputs(
+        built.wires.begin() + 1,
+        built.wires.begin() + 1 + built.r1cs.numPublic());
+    EXPECT_TRUE(
+        zksnark::verify<Bn254>(keys.vk, *proof_or, public_inputs));
+}
+
+// --- Determinism of the fault pipeline -------------------------------
+
+TEST(FaultDeterminism, TraceBytesIdenticalAcrossHostThreads)
+{
+    // The full degraded-mode pipeline — kill, reshard, corruption,
+    // detection, retry — must emit byte-identical traces and metrics
+    // at every hostThreads setting, exactly like the fault-free path
+    // (trace.h's determinism contract).
+    const auto w = makeWorkload<Bn254>(1 << 10, 0xFA0A);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    std::string reference_trace, reference_metrics;
+    XYZZPoint<Bn254> reference_value;
+    for (const int threads : {1, 2, 8}) {
+        support::TraceRecorder trace;
+        auto options = faultTestOptions();
+        options.hostThreads = threads;
+        options.trace = &trace;
+        options.faults.events.push_back(
+            {FaultKind::KillDevice, 2, 1, 0, 0.0});
+        options.faults.events.push_back(
+            {FaultKind::CorruptTransfer, -1, 0, 1, 0.0});
+        options.faults.events.push_back(
+            {FaultKind::DelayTransfer, 0, 0, 0, /*delayNs=*/1e9});
+        options.transferTimeoutNs = 1e6;
+        const auto result_or = tryComputeDistMsm<Bn254>(
+            w.points, w.scalars, cluster, options);
+        ASSERT_TRUE(result_or.isOk())
+            << result_or.status().toString();
+
+        std::ostringstream trace_os, metrics_os;
+        trace.writeChromeJson(trace_os);
+        trace.writeMetricsJson(metrics_os);
+        if (threads == 1) {
+            reference_trace = trace_os.str();
+            reference_metrics = metrics_os.str();
+            reference_value = result_or->value;
+            EXPECT_GT(reference_trace.size(), 2u);
+            EXPECT_NE(reference_trace.find("fault/"),
+                      std::string::npos);
+            EXPECT_NE(reference_metrics.find("fault/retries"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(bitEqual(result_or->value, reference_value));
+            EXPECT_EQ(trace_os.str(), reference_trace)
+                << "fault trace drifted at hostThreads=" << threads;
+            EXPECT_EQ(metrics_os.str(), reference_metrics)
+                << "fault metrics drifted at hostThreads=" << threads;
+        }
+    }
+}
+
+TEST(FaultDeterminism, ReportIdenticalAcrossHostThreads)
+{
+    const auto w = makeWorkload<Bn254>(512, 0xFA0B);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    gpusim::FaultReport reference;
+    for (const int threads : {1, 4}) {
+        auto options = faultTestOptions();
+        options.hostThreads = threads;
+        options.faults.events.push_back(
+            {FaultKind::KillDevice, 0, 0, 0, 0.0});
+        options.faults.events.push_back(
+            {FaultKind::CorruptTransfer, -1, 0, 2, 0.0});
+        const auto result_or = tryComputeDistMsm<Bn254>(
+            w.points, w.scalars, cluster, options);
+        ASSERT_TRUE(result_or.isOk());
+        if (threads == 1) {
+            reference = result_or->fault;
+            EXPECT_EQ(reference.devicesLost, 1u);
+        } else {
+            const auto &r = result_or->fault;
+            EXPECT_EQ(r.faultsInjected, reference.faultsInjected);
+            EXPECT_EQ(r.corruptInjected, reference.corruptInjected);
+            EXPECT_EQ(r.corruptDetected, reference.corruptDetected);
+            EXPECT_EQ(r.retries, reference.retries);
+            EXPECT_EQ(r.windowsResharded,
+                      reference.windowsResharded);
+            EXPECT_EQ(r.transfers, reference.transfers);
+            EXPECT_EQ(r.checksummed, reference.checksummed);
+            EXPECT_EQ(r.verifyEcOps, reference.verifyEcOps);
+        }
+    }
+}
+
+// --- Zero-fault overhead ---------------------------------------------
+
+TEST(FaultOverhead, ChecksumsOffReproducesPreFaultStatistics)
+{
+    // verifyChecksums must not leak into the determinism books:
+    // stats, hostOps and the result are identical with and without
+    // the verification layer (its EC work lives in FaultReport).
+    const auto w = makeWorkload<Bn254>(1 << 10, 0xFA0C);
+    const Cluster cluster(DeviceSpec::a100(), 4);
+
+    auto with = faultTestOptions();
+    const auto with_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, with);
+    ASSERT_TRUE(with_or.isOk());
+
+    auto without = faultTestOptions();
+    without.verifyChecksums = false;
+    const auto without_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, without);
+    ASSERT_TRUE(without_or.isOk());
+
+    EXPECT_TRUE(bitEqual(with_or->value, without_or->value));
+    EXPECT_EQ(with_or->stats, without_or->stats);
+    EXPECT_EQ(with_or->hostOps, without_or->hostOps);
+    EXPECT_GT(with_or->fault.verifyEcOps, 0u);
+    EXPECT_EQ(without_or->fault.verifyEcOps, 0u);
+}
+
+TEST(FaultOverhead, ChecksumOverheadUnderThreePercentAt2e18)
+{
+    // The acceptance gate: enabling transfer checksums must move the
+    // fault-free end-to-end estimate at 2^18 by less than 3%. The
+    // raw digest work (verifyNs) is nonzero, but it overlaps the GPU
+    // stage exactly like the CPU bucket-reduce, so almost none of it
+    // reaches the critical path.
+    const auto curve = gpusim::CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    MsmOptions options; // defaults: checksums on
+    const auto t =
+        estimateDistMsm(curve, 1ull << 18, cluster, options);
+    ASSERT_GT(t.verifyNs, 0.0);
+
+    MsmOptions off;
+    off.verifyChecksums = false;
+    const auto t_off =
+        estimateDistMsm(curve, 1ull << 18, cluster, off);
+    EXPECT_DOUBLE_EQ(t_off.verifyNs, 0.0);
+    const double overhead = t.totalNs() - t_off.totalNs();
+    EXPECT_GE(overhead, 0.0);
+    EXPECT_LT(overhead, 0.03 * t_off.totalNs())
+        << "checksum overhead " << overhead << " ns on a "
+        << t_off.totalNs() << " ns baseline";
+    // The exposed overhead can never exceed the raw digest work.
+    EXPECT_LE(overhead, t.verifyNs);
+}
+
+} // namespace
+} // namespace distmsm::msm

@@ -10,9 +10,12 @@
 # rebuilt every iteration). The JSON reports each row, the
 # both-flags-vs-legacy speedup, the precompute-vs-both-flags speedup,
 # and the cold-vs-warm ablation; the script FAILS if the warm
-# precompute row is not faster than the cold one. The simulated
-# one-knob ablation table (bench/bench_ablation_msm.cc) rides along
-# verbatim for context.
+# precompute row is not faster than the cold one, or if enabling the
+# fault layer's transfer checksums moves the simulated end-to-end
+# total at the trace geometry by 3% or more (the verify work must
+# stay hidden under the GPU stage). The simulated one-knob ablation
+# table (bench/bench_ablation_msm.cc) rides along verbatim for
+# context.
 #
 # Timing rows are only meaningful from an optimized build: the script
 # refuses to write BENCH_msm.json when the bench binary reports a
@@ -101,11 +104,22 @@ DISTMSM_TRACE="${trace_pre_json}" "${build_dir}/examples/msm_cli" \
     --naive-scatter --window=16 > /dev/null
 "${repo_root}/tools/trace_summary.py" "${trace_pre_json}" --check \
     --json > "${build_dir}/trace_summary_precompute.json"
+# Checksum-overhead gate: the same geometry with transfer checksums
+# disabled. The default trace above has them on; enabling them must
+# move the simulated end-to-end total by < 3% (the verify work
+# overlaps the GPU stage — see MsmTimeline::verifyNs).
+trace_nock_json="${build_dir}/trace_msm_nochecksum.json"
+DISTMSM_TRACE="${trace_nock_json}" "${build_dir}/examples/msm_cli" \
+    bn254 "${log_n}" 8 --signed --window=13 --no-checksums \
+    > /dev/null
+"${repo_root}/tools/trace_summary.py" "${trace_nock_json}" --check \
+    --json > "${build_dir}/trace_summary_nochecksum.json"
 
 SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
     ABLATION_TXT="${ablation_txt}" OUT="${repo_root}/BENCH_msm.json" \
     TRACE_SUMMARY="${build_dir}/trace_summary.json" \
     TRACE_SUMMARY_PRE="${build_dir}/trace_summary_precompute.json" \
+    TRACE_SUMMARY_NOCK="${build_dir}/trace_summary_nochecksum.json" \
     TRACE_LOG_N="${log_n}" \
     BUILD_TYPE="${build_type}" \
     ALLOW_DEBUG="${DISTMSM_ALLOW_DEBUG_BENCH:-0}" \
@@ -122,6 +136,8 @@ with open(os.environ["TRACE_SUMMARY"]) as f:
     trace_summary = json.load(f)
 with open(os.environ["TRACE_SUMMARY_PRE"]) as f:
     trace_summary_pre = json.load(f)
+with open(os.environ["TRACE_SUMMARY_NOCK"]) as f:
+    trace_summary_nock = json.load(f)
 
 # Release guard. The build tree's CMAKE_BUILD_TYPE governs how the
 # distmsm library under test was compiled — refuse anything but
@@ -221,6 +237,39 @@ else:
           file=sys.stderr)
     sys.exit(1)
 
+# Checksum-overhead gate: transfer-checksum verification (on by
+# default) must cost < 3% of the simulated end-to-end total at the
+# acceptance geometry. The verify work overlaps the GPU stage, so
+# the exposed overhead is the delta of the two totals, not the raw
+# verify_ns.
+def timeline_total_ms(summary):
+    tls = summary.get("timelines", [])
+    if not tls:
+        print("error: trace summary has no timelines", file=sys.stderr)
+        sys.exit(1)
+    return tls[0]["total_ms"]
+
+def timeline_phase_ms(summary, phase):
+    for row in summary.get("timelines", [{}])[0].get("phases", []):
+        if row["phase"] == phase:
+            return row["ms"]
+    return 0.0
+
+total_on_ms = timeline_total_ms(trace_summary)
+total_off_ms = timeline_total_ms(trace_summary_nock)
+verify_ms = timeline_phase_ms(trace_summary, "checksum verify")
+overhead_ms = total_on_ms - total_off_ms
+overhead_pct = 100.0 * overhead_ms / total_off_ms if total_off_ms else 0.0
+if verify_ms <= 0.0:
+    print("error: checksummed trace reports no verify phase — the "
+          "fault layer did not run.", file=sys.stderr)
+    sys.exit(1)
+if overhead_pct >= 3.0:
+    print(f"error: checksum overhead {overhead_ms:.3f} ms "
+          f"({overhead_pct:.2f}%) of the {total_off_ms:.3f} ms "
+          "baseline exceeds the 3% acceptance gate.", file=sys.stderr)
+    sys.exit(1)
+
 doc = {
     "bench": "msm_hot_path",
     "curve": "BN254",
@@ -239,6 +288,15 @@ doc = {
         "timelines": trace_summary["timelines"],
         "timelines_precompute": trace_summary_pre["timelines"],
     },
+    "checksum_overhead": {
+        "n": 1 << int(os.environ["TRACE_LOG_N"]),
+        "verify_ms": verify_ms,
+        "total_with_checksums_ms": total_on_ms,
+        "total_without_checksums_ms": total_off_ms,
+        "overhead_ms": round(overhead_ms, 6),
+        "overhead_pct": round(overhead_pct, 4),
+        "gate_pct": 3.0,
+    },
 }
 if non_release:
     doc["non_release_build"] = True
@@ -254,4 +312,6 @@ for n, s in speedups_pre.items():
     print(f"  n={n}: precompute (warm) vs glv+batch = {s}x")
 print(f"  n=16384: warm vs cold = "
       f"{ablation_cache['speedup_warm_vs_cold']}x")
+print(f"  checksum overhead at n=2^{os.environ['TRACE_LOG_N']}: "
+      f"{overhead_pct:.2f}% (gate 3%)")
 PY

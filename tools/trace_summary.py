@@ -28,8 +28,12 @@ The metrics file is located automatically next to the trace
   * the overlap contract: for each recorded timeline, the latest
     span end across its host + device lanes equals the recorded
     timeline/<label>/total_ns metric (transfers overlap compute;
-    an overlapped CPU bucket-reduce only contributes its exposed
-    tail — the accounting model of MsmTimeline::totalNs()).
+    an overlapped CPU bucket-reduce or checksum-verify only
+    contributes its exposed tail — the accounting model of
+    MsmTimeline::totalNs());
+  * the fault contract: fault/corrupt_injected must not exceed
+    fault/corrupt_detected (an undetected injected corruption means
+    the checksum layer silently passed a wrong payload).
 """
 
 import argparse
@@ -49,6 +53,7 @@ PHASES = [
     ("bucket_sum_ns", "bucket sum"),
     ("transfer_ns", "transfer"),
     ("bucket_reduce_ns", "bucket reduce"),
+    ("verify_ns", "checksum verify"),
     ("window_reduce_ns", "window reduce"),
 ]
 
@@ -182,13 +187,33 @@ def breakdown(metrics):
 
 
 def other_sections(metrics):
-    """Non-timeline metric groups worth echoing (prover, pipeline)."""
+    """Non-timeline metric groups worth echoing (prover, pipeline,
+    fault-injection counters)."""
     groups = {}
     for key, value in metrics.items():
         top = key.split("/", 1)[0]
-        if top in ("prover", "pipeline"):
+        if top in ("prover", "pipeline", "fault"):
             groups.setdefault(top, {})[key] = value
     return groups
+
+
+def check_fault_contract(metrics):
+    """Every injected corruption must have been detected.
+
+    The engine only emits fault/* counters when the fault layer ran;
+    an injected-but-undetected corruption means the checksum layer
+    silently passed a wrong payload — exactly the failure --check
+    exists to catch.
+    """
+    problems = []
+    injected = metrics.get("fault/corrupt_injected", 0)
+    detected = metrics.get("fault/corrupt_detected", 0)
+    if injected > detected:
+        problems.append(
+            f"fault contract: {injected:g} corrupted transfer(s) "
+            f"injected but only {detected:g} detected "
+            "(checksum verification missed a byte flip)")
+    return problems
 
 
 def print_tables(summary):
@@ -237,6 +262,7 @@ def main():
     if args.check:
         problems = validate_trace(doc)
         problems += check_overlap_contract(doc, metrics)
+        problems += check_fault_contract(metrics)
 
     summary = {
         "trace": args.trace,

@@ -10,6 +10,7 @@
  *   gpus:    simulated A100 count                 (default 8)
  *   flags:   --naive-scatter --gpu-reduce --signed --no-tc
  *            --glv --batch-affine --precompute
+ *            --topology=<spec> --collective=<gather|ring|tree|auto>
  *            --window=<s> --functional=<log2 n>
  *            --faults=<spec> --max-retries=<n> --no-checksums
  *            --fault-report --help
@@ -68,6 +69,22 @@ printHelp()
         "  --batch-affine       batched-affine bucket accumulation\n"
         "  --precompute         fixed-base precompute tables\n"
         "  --no-tc              disable tensor-core Montgomery\n"
+        "  --topology=<spec>    hierarchical cluster topology;\n"
+        "                       comma-separated keys:\n"
+        "                         nodes=N      node count\n"
+        "                         gpus=G       GPUs per node\n"
+        "                         intra=ring|fc  NVLink wiring\n"
+        "                         nvlink=GBs nvlink_us=US  NVLink "
+        "link\n"
+        "                         ib=GBs ib_us=US  inter-node link\n"
+        "                         nics=K       NICs per node\n"
+        "                       example: "
+        "--topology='nodes=4,gpus=8,intra=ring'\n"
+        "                       (overrides the positional gpu "
+        "count)\n"
+        "  --collective=<c>     bucket/window merge strategy:\n"
+        "                       gather | ring | tree | auto "
+        "(tuner)\n"
         "  --window=<s>         pin the window size\n"
         "  --functional=<ln>    run functionally at N = 2^ln and\n"
         "                       check against serial Pippenger\n"
@@ -175,6 +192,8 @@ main(int argc, char **argv)
     int gpus = 8;
     unsigned functional = 0;
     bool fault_report = false;
+    bool have_topology = false;
+    gpusim::Topology topology;
     msm::MsmOptions options;
 
     int positional = 0;
@@ -211,6 +230,25 @@ main(int argc, char **argv)
                 return 2;
             }
             options.faults = *plan_or;
+        } else if (arg.rfind("--topology=", 0) == 0) {
+            const auto topo_or =
+                gpusim::Topology::parse(arg.substr(11));
+            if (!topo_or.isOk()) {
+                std::fprintf(stderr, "bad --topology spec: %s\n",
+                             topo_or.status().toString().c_str());
+                return 2;
+            }
+            topology = *topo_or;
+            have_topology = true;
+        } else if (arg.rfind("--collective=", 0) == 0) {
+            const auto policy_or =
+                gpusim::parseCollectivePolicy(arg.substr(13));
+            if (!policy_or.isOk()) {
+                std::fprintf(stderr, "bad --collective: %s\n",
+                             policy_or.status().toString().c_str());
+                return 2;
+            }
+            options.collective = *policy_or;
         } else if (arg.rfind("--max-retries=", 0) == 0) {
             options.maxRetries = std::atoi(arg.c_str() + 14);
         } else if (arg.rfind("--window=", 0) == 0) {
@@ -236,9 +274,14 @@ main(int argc, char **argv)
     options.trace = support::globalTraceFromEnv();
 
     const auto curve = curveByName(curve_name);
-    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(), gpus);
-    std::printf("DistMSM: %s, N = 2^%u, %d simulated A100(s)\n\n",
-                curve.name, log_n, gpus);
+    if (!have_topology)
+        topology = gpusim::Topology::flat(gpus);
+    const gpusim::Cluster cluster(gpusim::DeviceSpec::a100(),
+                                  topology);
+    std::printf("DistMSM: %s, N = 2^%u, %d simulated A100(s)\n",
+                curve.name, log_n, cluster.numGpus());
+    std::printf("topology: %s\n\n",
+                cluster.topology().describe().c_str());
 
     const auto plan =
         msm::planMsm(curve, 1ull << log_n, cluster, options);
@@ -257,6 +300,19 @@ main(int argc, char **argv)
     } else if (options.precompute) {
         std::printf("      fixed-base precompute declined by the "
                     "planner (table exceeds the memory budget)\n");
+    }
+    {
+        const gpusim::CollectiveTimeEstimator est(
+            cluster.topology(), cluster.device());
+        const auto merge_costs =
+            est.costs(cluster.numGpus(), plan.mergeBytesPerGpu);
+        std::printf(
+            "      merge: %s (policy %s); predicted gather %.3f / "
+            "ring %.3f / tree %.3f ms\n",
+            gpusim::collectiveAlgoName(plan.collective),
+            gpusim::collectivePolicyName(options.collective),
+            merge_costs.gatherNs / 1e6, merge_costs.ringNs / 1e6,
+            merge_costs.treeNs / 1e6);
     }
 
     const auto t =

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "src/gpusim/collectives.h"
 #include "src/support/check.h"
 #include "src/support/thread_pool.h"
 #include "src/support/trace.h"
@@ -13,9 +14,22 @@ namespace distmsm::gpusim {
 Cluster::Cluster(DeviceSpec device, int num_gpus, HostSpec host,
                  CostParams params)
     : device_(std::move(device)), num_gpus_(num_gpus),
-      host_(std::move(host)), model_(device_, params)
+      topology_(Topology::flat(num_gpus)), host_(std::move(host)),
+      model_(device_, params)
 {
     DISTMSM_REQUIRE(num_gpus >= 1, "cluster needs at least one GPU");
+}
+
+Cluster::Cluster(DeviceSpec device, Topology topology, HostSpec host,
+                 CostParams params)
+    : device_(std::move(device)), num_gpus_(topology.numGpus()),
+      topology_(topology), host_(std::move(host)),
+      model_(device_, params)
+{
+    DISTMSM_REQUIRE(num_gpus_ >= 1,
+                    "cluster needs at least one GPU");
+    DISTMSM_REQUIRE(topology_.gpusPerNode >= 1,
+                    "topology needs at least one GPU per node");
 }
 
 double
@@ -62,27 +76,17 @@ Cluster::forEachDeviceChecked(
 int
 Cluster::numNodes() const
 {
-    return (num_gpus_ + gpusPerNode() - 1) / gpusPerNode();
+    return topology_.numNodes();
 }
 
 double
 Cluster::gatherNs(std::uint64_t bytes_per_gpu) const
 {
-    // Local node: its GPUs share the NVLink/PCIe complex serially.
-    const int local_gpus = std::min(num_gpus_, gpusPerNode());
-    const double local_ns =
-        local_gpus * bytes_per_gpu /
-        (device_.transferBandwidthGBs * 1e9) * 1e9;
-
-    // Remote nodes: each aggregates its GPUs' shares and all remote
-    // nodes contend for the host's inter-node NIC.
-    const int remote_gpus = num_gpus_ - local_gpus;
-    const double remote_ns =
-        remote_gpus * bytes_per_gpu /
-        (kInterNodeBandwidthGBs * 1e9) * 1e9;
-
-    return device_.transferLatencyUs * 1e3 +
-           std::max(local_ns, remote_ns);
+    // Single source of truth for gather pricing: the collective
+    // estimator's gather branch (legacy flat topologies reproduce
+    // the original formula bit-exactly; see collectives.h).
+    return CollectiveTimeEstimator(topology_, device_)
+        .gatherNs(num_gpus_, bytes_per_gpu);
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/device.h"
+#include "src/gpusim/topology.h"
 #include "src/support/status.h"
 
 namespace distmsm::support {
@@ -30,7 +31,13 @@ namespace distmsm::gpusim {
 class Cluster
 {
   public:
+    /** Legacy flat cluster: Topology::flat(num_gpus). */
     Cluster(DeviceSpec device, int num_gpus,
+            HostSpec host = HostSpec{},
+            CostParams params = CostParams{});
+
+    /** Hierarchical cluster over an explicit topology. */
+    Cluster(DeviceSpec device, Topology topology,
             HostSpec host = HostSpec{},
             CostParams params = CostParams{});
 
@@ -41,9 +48,10 @@ class Cluster
     const DeviceSpec &device() const { return device_; }
     const HostSpec &host() const { return host_; }
     const CostModel &model() const { return model_; }
+    const Topology &topology() const { return topology_; }
 
-    /** GPUs per DGX node (transfers within a node use NVLink). */
-    int gpusPerNode() const { return 8; }
+    /** GPUs per node (transfers within a node use NVLink). */
+    int gpusPerNode() const { return topology_.gpusPerNode; }
 
     /**
      * Makespan (ns) of per-GPU work items executed concurrently:
@@ -124,6 +132,7 @@ class Cluster
   private:
     DeviceSpec device_;
     int num_gpus_;
+    Topology topology_;
     HostSpec host_;
     CostModel model_;
 };

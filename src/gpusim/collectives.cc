@@ -1,0 +1,238 @@
+#include "src/gpusim/collectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace distmsm::gpusim {
+
+const char *
+collectiveAlgoName(CollectiveAlgo algo)
+{
+    switch (algo) {
+    case CollectiveAlgo::Ring:
+        return "ring";
+    case CollectiveAlgo::Tree:
+        return "tree";
+    default:
+        return "gather";
+    }
+}
+
+const char *
+collectivePolicyName(CollectivePolicy policy)
+{
+    switch (policy) {
+    case CollectivePolicy::Ring:
+        return "ring";
+    case CollectivePolicy::Tree:
+        return "tree";
+    case CollectivePolicy::Auto:
+        return "auto";
+    default:
+        return "gather";
+    }
+}
+
+support::StatusOr<CollectivePolicy>
+parseCollectivePolicy(const std::string &name)
+{
+    if (name == "gather")
+        return CollectivePolicy::Gather;
+    if (name == "ring")
+        return CollectivePolicy::Ring;
+    if (name == "tree")
+        return CollectivePolicy::Tree;
+    if (name == "auto")
+        return CollectivePolicy::Auto;
+    return support::Status(support::StatusCode::InvalidArgument,
+                           "unknown collective '" + name +
+                               "' (gather|ring|tree|auto)");
+}
+
+CollectiveSchedule
+buildCollectiveSchedule(CollectiveAlgo algo, const Topology &topo,
+                        const std::vector<int> &members)
+{
+    CollectiveSchedule sched;
+    sched.algo = algo;
+    if (algo == CollectiveAlgo::Gather || members.empty())
+        return sched;
+    sched.root = members.front();
+    if (members.size() == 1)
+        return sched;
+
+    if (algo == CollectiveAlgo::Ring) {
+        // Chain descending: the payload flows toward the lowest
+        // member, which sits on (or nearest) the host's node.
+        for (std::size_t i = members.size(); i-- > 1;)
+            sched.steps.push_back({members[i], members[i - 1]});
+        return sched;
+    }
+
+    // Tree: binomial reduce of each list into its first element.
+    // Rounds ascending, senders ascending inside a round, so every
+    // destination has absorbed its earlier-round payload before it
+    // forwards.
+    const auto binomial = [&](const std::vector<int> &list) {
+        for (std::size_t stride = 1; stride < list.size();
+             stride *= 2) {
+            for (std::size_t j = stride; j < list.size();
+                 j += 2 * stride)
+                sched.steps.push_back(
+                    {list[j], list[j - stride]});
+        }
+    };
+    std::vector<int> leaders;
+    std::vector<int> group;
+    for (std::size_t i = 0; i < members.size();) {
+        const int node = topo.nodeOf(members[i]);
+        group.clear();
+        while (i < members.size() &&
+               topo.nodeOf(members[i]) == node)
+            group.push_back(members[i++]);
+        binomial(group);
+        leaders.push_back(group.front());
+    }
+    binomial(leaders);
+    return sched;
+}
+
+double
+CollectiveTimeEstimator::hostHopNs(
+    int num_gpus, std::uint64_t bytes_per_gpu) const
+{
+    const std::uint64_t union_bytes =
+        static_cast<std::uint64_t>(num_gpus) * bytes_per_gpu;
+    return device_.transferLatencyUs * 1e3 +
+           static_cast<double>(union_bytes) /
+               (device_.transferBandwidthGBs * 1e9) * 1e9;
+}
+
+double
+CollectiveTimeEstimator::gatherNs(
+    int num_gpus, std::uint64_t bytes_per_gpu) const
+{
+    const int local_gpus = std::min(num_gpus, topo_.gpusPerNode);
+    const int remote_gpus = num_gpus - local_gpus;
+    if (!topo_.hierarchical) {
+        // The original flat formula, bit-exactly: the local node's
+        // GPUs serialize over the host complex, every remote GPU
+        // contends for the host's NIC, one latency term total.
+        const double local_ns =
+            local_gpus * bytes_per_gpu /
+            (device_.transferBandwidthGBs * 1e9) * 1e9;
+        const double remote_ns =
+            remote_gpus * bytes_per_gpu /
+            (topo_.interLink.bandwidthGBs * 1e9) * 1e9;
+        return device_.transferLatencyUs * 1e3 +
+               std::max(local_ns, remote_ns);
+    }
+    // Hierarchical pricing: each device's DMA is a separate message
+    // paying its own link latency; remote traffic stripes over the
+    // host node's NICs but still funnels into that one node.
+    const double local_ns =
+        local_gpus *
+        (device_.transferLatencyUs * 1e3 +
+         static_cast<double>(bytes_per_gpu) /
+             (device_.transferBandwidthGBs * 1e9) * 1e9);
+    const double nic_gbs = topo_.interLink.bandwidthGBs *
+                           std::max(1, topo_.nicsPerNode);
+    const double remote_ns =
+        remote_gpus *
+        (topo_.interLink.latencyUs * 1e3 +
+         static_cast<double>(bytes_per_gpu) / (nic_gbs * 1e9) *
+             1e9);
+    return std::max(local_ns, remote_ns);
+}
+
+double
+CollectiveTimeEstimator::ringNs(
+    int num_gpus, std::uint64_t bytes_per_gpu) const
+{
+    if (num_gpus <= 1)
+        return hostHopNs(num_gpus, bytes_per_gpu);
+    // Node-grouped chain of num_gpus - 1 hops moving fixed
+    // bytes_per_gpu chunks in a pipeline: with p - 1 chunks over
+    // p - 1 stages, the makespan is (2p - 3) slot times of the
+    // slowest hop (an inter-node hop whenever the chain spans
+    // nodes).
+    const double intra_hop =
+        topo_.intraLink.latencyUs * 1e3 +
+        static_cast<double>(bytes_per_gpu) /
+            (topo_.intraLink.bandwidthGBs * 1e9) * 1e9;
+    const int nodes =
+        (num_gpus + topo_.gpusPerNode - 1) / topo_.gpusPerNode;
+    double slot = intra_hop;
+    if (nodes > 1) {
+        const double nic_gbs = topo_.interLink.bandwidthGBs *
+                               std::max(1, topo_.nicsPerNode);
+        const double inter_hop =
+            topo_.interLink.latencyUs * 1e3 +
+            static_cast<double>(bytes_per_gpu) / (nic_gbs * 1e9) *
+                1e9;
+        slot = std::max(slot, inter_hop);
+    }
+    return (2.0 * num_gpus - 3.0) * slot +
+           hostHopNs(num_gpus, bytes_per_gpu);
+}
+
+double
+CollectiveTimeEstimator::treeNs(
+    int num_gpus, std::uint64_t bytes_per_gpu) const
+{
+    if (num_gpus <= 1)
+        return hostHopNs(num_gpus, bytes_per_gpu);
+    const double b = static_cast<double>(bytes_per_gpu);
+    // Intra-node binomial reduce: round r moves 2^r-member unions
+    // between partners 2^r lanes apart. On a ring fabric the
+    // forwarded traffic occupies every intermediate link, so the
+    // round is charged its ring distance; NVSwitch pairs are one
+    // hop.
+    const int g = std::min(num_gpus, topo_.gpusPerNode);
+    double intra_ns = 0.0;
+    for (int span = 1; span < g; span *= 2) {
+        const int dist = topo_.intra == IntraTopo::FullyConnected
+                             ? 1
+                             : std::min(span, g - span);
+        intra_ns += dist * (topo_.intraLink.latencyUs * 1e3 +
+                            span * b /
+                                (topo_.intraLink.bandwidthGBs *
+                                 1e9) *
+                                1e9);
+    }
+    // Leader binomial across nodes: disjoint leader pairs transfer
+    // concurrently on their own NICs, so each round costs one
+    // message of the round's union size.
+    const int nodes =
+        (num_gpus + topo_.gpusPerNode - 1) / topo_.gpusPerNode;
+    const double nic_gbs = topo_.interLink.bandwidthGBs *
+                           std::max(1, topo_.nicsPerNode);
+    double inter_ns = 0.0;
+    for (int span = 1; span < nodes; span *= 2) {
+        const double union_bytes =
+            static_cast<double>(span) * g * b;
+        inter_ns += topo_.interLink.latencyUs * 1e3 +
+                    union_bytes / (nic_gbs * 1e9) * 1e9;
+    }
+    return intra_ns + inter_ns +
+           hostHopNs(num_gpus, bytes_per_gpu);
+}
+
+CollectiveAlgo
+CollectiveTimeEstimator::pick(CollectivePolicy policy, int num_gpus,
+                              std::uint64_t bytes_per_gpu) const
+{
+    switch (policy) {
+    case CollectivePolicy::Gather:
+        return CollectiveAlgo::Gather;
+    case CollectivePolicy::Ring:
+        return CollectiveAlgo::Ring;
+    case CollectivePolicy::Tree:
+        return CollectiveAlgo::Tree;
+    case CollectivePolicy::Auto:
+        break;
+    }
+    return costs(num_gpus, bytes_per_gpu).best();
+}
+
+} // namespace distmsm::gpusim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Collective merge strategies over the hierarchical topology, with a
+ * cost-model-driven tuner.
+ *
+ * The MSM bucket/window merge moves each device's disjoint partial
+ * results (window points, or bucket-slice sums) to the host. Three
+ * strategies:
+ *
+ *   gather   every device ships straight to the host (the paper's
+ *            all-to-host baseline; remote devices contend for the
+ *            host node's NICs)
+ *   ring     devices forward along a node-grouped chain; only the
+ *            chain's head (on the host's node) crosses the host link
+ *   tree     binomial reduce inside each node over NVLink, then a
+ *            binomial combine across node leaders over InfiniBand
+ *            (disjoint leader pairs use their own NICs concurrently),
+ *            then one host hop
+ *
+ * Because every merged key has exactly one non-identity contributor
+ * (the distributions partition windows/buckets) and padd() returns
+ * its non-identity operand bit-exactly, any combine order yields the
+ * gather result bit-for-bit — the strategies differ only in modeled
+ * time and per-link traffic.
+ *
+ * CollectiveTimeEstimator predicts per-(topology, message-size,
+ * device-count) merge time from the link model, in the style of
+ * FlagCX's FlagCXAlgoTimeEstimator; pick() is the tuner (argmin over
+ * the predicted times). On the legacy flat topology the gather
+ * branch reproduces Cluster::gatherNs's original formula bit-exactly
+ * and the refined per-message pricing stays off, so pre-existing
+ * timelines never move.
+ */
+
+#ifndef DISTMSM_GPUSIM_COLLECTIVES_H
+#define DISTMSM_GPUSIM_COLLECTIVES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/device.h"
+#include "src/gpusim/topology.h"
+#include "src/support/status.h"
+
+namespace distmsm::gpusim {
+
+/** A concrete merge strategy. */
+enum class CollectiveAlgo { Gather, Ring, Tree };
+
+/** The planner-facing knob: a forced strategy, or the tuner. */
+enum class CollectivePolicy { Gather, Ring, Tree, Auto };
+
+const char *collectiveAlgoName(CollectiveAlgo algo);
+const char *collectivePolicyName(CollectivePolicy policy);
+
+/** Parse "gather" | "ring" | "tree" | "auto". */
+support::StatusOr<CollectivePolicy>
+parseCollectivePolicy(const std::string &name);
+
+/** Predicted merge time (ns) of every strategy for one merge. */
+struct CollectiveCosts
+{
+    double gatherNs = 0.0;
+    double ringNs = 0.0;
+    double treeNs = 0.0;
+
+    double
+    ns(CollectiveAlgo algo) const
+    {
+        switch (algo) {
+        case CollectiveAlgo::Ring:
+            return ringNs;
+        case CollectiveAlgo::Tree:
+            return treeNs;
+        default:
+            return gatherNs;
+        }
+    }
+
+    /** Argmin; ties prefer gather, then ring (the simpler plans). */
+    CollectiveAlgo
+    best() const
+    {
+        CollectiveAlgo algo = CollectiveAlgo::Gather;
+        double best_ns = gatherNs;
+        if (ringNs < best_ns) {
+            algo = CollectiveAlgo::Ring;
+            best_ns = ringNs;
+        }
+        if (treeNs < best_ns)
+            algo = CollectiveAlgo::Tree;
+        return algo;
+    }
+};
+
+/** One device-to-device reduce edge; dst absorbs src's payload. */
+struct CollectiveStep
+{
+    int src = 0;
+    int dst = 0;
+};
+
+/**
+ * A deterministic reduce plan over a member set: the steps in
+ * dependency order (a device sends only after every step targeting
+ * it in an earlier position ran), then the root ships the merged
+ * payload to the host. Gather has no steps and root -1 (every member
+ * ships directly).
+ */
+struct CollectiveSchedule
+{
+    CollectiveAlgo algo = CollectiveAlgo::Gather;
+    std::vector<CollectiveStep> steps;
+    int root = -1;
+};
+
+/**
+ * Build the reduce schedule of @p algo over @p members (ascending
+ * device ids; ascending order is node-major, so consecutive members
+ * share nodes). Ring chains members descending into the lowest
+ * member; tree reduces each node's members binomially into the
+ * node's first member, then the leaders binomially into the global
+ * first member — which lives closest to the host. Pure function of
+ * its arguments, so schedules are identical at every hostThreads.
+ */
+CollectiveSchedule
+buildCollectiveSchedule(CollectiveAlgo algo, const Topology &topo,
+                        const std::vector<int> &members);
+
+/**
+ * Analytic per-strategy merge-time model over one topology
+ * (FlagCXAlgoTimeEstimator-style). All devices participate; each
+ * contributes @p bytes_per_gpu of disjoint payload, and the merged
+ * union (num_gpus * bytes_per_gpu) crosses the host link once for
+ * ring/tree. The host link comes from the DeviceSpec
+ * (transferBandwidthGBs / transferLatencyUs), the device links from
+ * the Topology.
+ */
+class CollectiveTimeEstimator
+{
+  public:
+    CollectiveTimeEstimator(const Topology &topo,
+                            const DeviceSpec &device)
+        : topo_(topo), device_(device)
+    {
+    }
+
+    /**
+     * All-to-host gather. Legacy flat topologies reproduce the
+     * original Cluster::gatherNs formula bit-exactly (one latency
+     * term, local NVLink/PCIe complex vs remote NIC contention);
+     * hierarchical topologies price each device's DMA with its own
+     * link latency, remote traffic striped over the host node's
+     * NICs.
+     */
+    double gatherNs(int num_gpus, std::uint64_t bytes_per_gpu) const;
+
+    /** Node-grouped pipelined chain into the host node's member. */
+    double ringNs(int num_gpus, std::uint64_t bytes_per_gpu) const;
+
+    /** Intra-node binomial + leader binomial + one host hop. */
+    double treeNs(int num_gpus, std::uint64_t bytes_per_gpu) const;
+
+    CollectiveCosts
+    costs(int num_gpus, std::uint64_t bytes_per_gpu) const
+    {
+        CollectiveCosts c;
+        c.gatherNs = gatherNs(num_gpus, bytes_per_gpu);
+        c.ringNs = ringNs(num_gpus, bytes_per_gpu);
+        c.treeNs = treeNs(num_gpus, bytes_per_gpu);
+        return c;
+    }
+
+    /** The tuner: a forced policy maps through; Auto is argmin. */
+    CollectiveAlgo pick(CollectivePolicy policy, int num_gpus,
+                        std::uint64_t bytes_per_gpu) const;
+
+  private:
+    /** Merged-union hop root -> host, ns. */
+    double hostHopNs(int num_gpus,
+                     std::uint64_t bytes_per_gpu) const;
+
+    Topology topo_;
+    DeviceSpec device_;
+};
+
+} // namespace distmsm::gpusim
+
+#endif // DISTMSM_GPUSIM_COLLECTIVES_H

@@ -120,6 +120,11 @@ struct FaultReport
     std::uint64_t timeouts = 0;         ///< transfer attempts timed out
     std::uint64_t retries = 0;          ///< transfer attempts repeated
     std::uint64_t windowsResharded = 0; ///< windows re-run on survivors
+    /** Reshard targets on the dead device's own node (the
+     *  topology-aware policy prefers these: NVLink-local recovery). */
+    std::uint64_t reshardsIntraNode = 0;
+    /** Reshard targets that had to cross the inter-node fabric. */
+    std::uint64_t reshardsCrossNode = 0;
     std::uint64_t devicesLost = 0;      ///< devices the plan killed
     std::uint64_t transfers = 0;        ///< transfer attempts, total
     std::uint64_t checksummed = 0;      ///< payloads digest-verified
@@ -135,6 +140,8 @@ struct FaultReport
         timeouts += other.timeouts;
         retries += other.retries;
         windowsResharded += other.windowsResharded;
+        reshardsIntraNode += other.reshardsIntraNode;
+        reshardsCrossNode += other.reshardsCrossNode;
         devicesLost += other.devicesLost;
         transfers += other.transfers;
         checksummed += other.checksummed;

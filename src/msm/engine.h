@@ -486,6 +486,13 @@ class MsmEngine
         // reshard round-robin across the survivors after the healthy
         // pass; a window recomputes from the same scattered input on
         // any device, so recovery is bit-identical by construction.
+        //
+        // Collective merges (plan_.collective != Gather) tighten the
+        // kill: a dead device can neither source nor relay reduce
+        // steps, so *every* window it owned reshards — nothing was
+        // streamed out before the merge.
+        const bool collective_merge =
+            plan_.collective != gpusim::CollectiveAlgo::Gather;
         const int num_gpus = cluster_.numGpus();
         std::vector<int> exec_dev(plan_.numWindows);
         std::vector<std::uint8_t> lost_window(plan_.numWindows, 0);
@@ -505,7 +512,8 @@ class MsmEngine
             for (unsigned w = static_cast<unsigned>(d);
                  w < plan_.numWindows;
                  w += static_cast<unsigned>(num_gpus)) {
-                if (static_cast<int>(w - d) / num_gpus >= kw)
+                if (collective_merge ||
+                    static_cast<int>(w - d) / num_gpus >= kw)
                     lost_window[w] = 1;
             }
         }
@@ -533,8 +541,10 @@ class MsmEngine
                         " devices lost; no survivor to reshard "
                         "onto");
             for (std::size_t i = 0; i < resharded.size(); ++i)
-                exec_dev[resharded[i]] =
-                    survivors[i % survivors.size()];
+                exec_dev[resharded[i]] = pickSurvivor(
+                    survivors,
+                    static_cast<int>(resharded[i]) % num_gpus, i,
+                    result.fault);
             pool.parallelFor(
                 0, resharded.size(),
                 [&](std::size_t i) {
@@ -554,30 +564,59 @@ class MsmEngine
         // attempt — exactly the counter the fault plan's
         // corrupt:xfer clause names, so injection, detection and
         // retry are identical at every hostThreads setting.
+        //
+        // Gather ships every device straight to the host (the legacy
+        // path, untouched). Ring/tree route the same disjoint
+        // payloads device-to-device along the collective schedule
+        // first — every key still has exactly one contributor, so
+        // the merged points reaching the host are bit-identical to
+        // the gather's.
         std::uint64_t xfer_counter = 0;
-        for (int d = 0; d < num_gpus; ++d) {
-            std::vector<unsigned> wins;
-            for (unsigned w = 0; w < plan_.numWindows; ++w)
-                if (exec_dev[w] == d)
-                    wins.push_back(w);
-            if (wins.empty())
-                continue;
-            std::vector<Xyzz> payload;
-            std::vector<std::uint64_t> keys;
-            payload.reserve(wins.size());
-            keys.reserve(wins.size());
-            for (const unsigned w : wins) {
-                payload.push_back(partials[w].windowPoint);
-                keys.push_back(w);
+        if (!collective_merge) {
+            for (int d = 0; d < num_gpus; ++d) {
+                std::vector<unsigned> wins;
+                for (unsigned w = 0; w < plan_.numWindows; ++w)
+                    if (exec_dev[w] == d)
+                        wins.push_back(w);
+                if (wins.empty())
+                    continue;
+                std::vector<Xyzz> payload;
+                std::vector<std::uint64_t> keys;
+                payload.reserve(wins.size());
+                keys.reserve(wins.size());
+                for (const unsigned w : wins) {
+                    payload.push_back(partials[w].windowPoint);
+                    keys.push_back(w);
+                }
+                std::vector<Xyzz> received;
+                const support::Status shipped = shipPayload(
+                    d, payload, keys, fplan, xfer_counter,
+                    result.fault, fault_log, received);
+                if (!shipped.isOk())
+                    return shipped;
+                for (std::size_t i = 0; i < wins.size(); ++i)
+                    partials[wins[i]].windowPoint = received[i];
             }
-            std::vector<Xyzz> received;
-            const support::Status shipped = shipPayload(
-                d, payload, keys, fplan, xfer_counter, result.fault,
-                fault_log, received);
+        } else {
+            std::vector<std::vector<Xyzz>> dev_payload(num_gpus);
+            std::vector<std::vector<std::uint64_t>> dev_keys(
+                num_gpus);
+            for (unsigned w = 0; w < plan_.numWindows; ++w) {
+                dev_payload[exec_dev[w]].push_back(
+                    partials[w].windowPoint);
+                dev_keys[exec_dev[w]].push_back(w);
+            }
+            std::vector<Xyzz> merged;
+            std::vector<std::uint64_t> merged_keys;
+            const support::Status shipped = mergeViaCollective(
+                dev_payload, dev_keys, fplan, xfer_counter,
+                result.fault, fault_log, trace_prefix, merged,
+                merged_keys);
             if (!shipped.isOk())
                 return shipped;
-            for (std::size_t i = 0; i < wins.size(); ++i)
-                partials[wins[i]].windowPoint = received[i];
+            for (std::size_t i = 0; i < merged.size(); ++i)
+                partials[static_cast<std::size_t>(merged_keys[i])]
+                    .windowPoint = merged[i];
         }
 
         // Merge strictly high-to-low exactly like the serial Horner
@@ -796,7 +835,8 @@ class MsmEngine
                         " devices lost; no survivor to reshard "
                         "onto");
             for (std::size_t i = 0; i < dead.size(); ++i)
-                ship_dev[dead[i]] = survivors[i % survivors.size()];
+                ship_dev[dead[i]] = pickSurvivor(
+                    survivors, dead[i], i, result.fault);
         }
 
         cluster_.forEachDevice(
@@ -823,29 +863,63 @@ class MsmEngine
         // (sequential, slices ascending; see the window path for the
         // canonical-attempt-index contract). The RLC coefficients
         // are keyed by global bucket index, so resharding never
-        // changes the digest a slice must match.
+        // changes the digest a slice must match. Under a collective
+        // merge the slices route device-to-device along the schedule
+        // before one root->host hop; the slices are disjoint bucket
+        // ranges, so the merged array is bit-identical either way.
         std::uint64_t xfer_counter = 0;
-        for (int g = 0; g < groups; ++g) {
-            const std::size_t lo = 1 + (n_buckets - 1) * g / groups;
-            const std::size_t hi =
-                1 + (n_buckets - 1) * (g + 1) / groups;
-            if (lo >= hi)
-                continue;
-            std::vector<Xyzz> payload(
-                bucket_sums.begin() + static_cast<std::ptrdiff_t>(lo),
-                bucket_sums.begin() + static_cast<std::ptrdiff_t>(hi));
-            std::vector<std::uint64_t> keys(hi - lo);
-            for (std::size_t b = lo; b < hi; ++b)
-                keys[b - lo] = b;
-            std::vector<Xyzz> received;
-            const support::Status shipped = shipPayload(
-                ship_dev[g], payload, keys, fplan, xfer_counter,
-                result.fault, fault_log, received);
+        if (plan_.collective == gpusim::CollectiveAlgo::Gather) {
+            for (int g = 0; g < groups; ++g) {
+                const std::size_t lo =
+                    1 + (n_buckets - 1) * g / groups;
+                const std::size_t hi =
+                    1 + (n_buckets - 1) * (g + 1) / groups;
+                if (lo >= hi)
+                    continue;
+                std::vector<Xyzz> payload(
+                    bucket_sums.begin() +
+                        static_cast<std::ptrdiff_t>(lo),
+                    bucket_sums.begin() +
+                        static_cast<std::ptrdiff_t>(hi));
+                std::vector<std::uint64_t> keys(hi - lo);
+                for (std::size_t b = lo; b < hi; ++b)
+                    keys[b - lo] = b;
+                std::vector<Xyzz> received;
+                const support::Status shipped = shipPayload(
+                    ship_dev[g], payload, keys, fplan, xfer_counter,
+                    result.fault, fault_log, received);
+                if (!shipped.isOk())
+                    return shipped;
+                std::copy(received.begin(), received.end(),
+                          bucket_sums.begin() +
+                              static_cast<std::ptrdiff_t>(lo));
+            }
+        } else {
+            const int n_dev = cluster_.numGpus();
+            std::vector<std::vector<Xyzz>> dev_payload(n_dev);
+            std::vector<std::vector<std::uint64_t>> dev_keys(n_dev);
+            for (int g = 0; g < groups; ++g) {
+                const std::size_t lo =
+                    1 + (n_buckets - 1) * g / groups;
+                const std::size_t hi =
+                    1 + (n_buckets - 1) * (g + 1) / groups;
+                for (std::size_t b = lo; b < hi; ++b) {
+                    dev_payload[ship_dev[g]].push_back(
+                        bucket_sums[b]);
+                    dev_keys[ship_dev[g]].push_back(b);
+                }
+            }
+            std::vector<Xyzz> merged;
+            std::vector<std::uint64_t> merged_keys;
+            const support::Status shipped = mergeViaCollective(
+                dev_payload, dev_keys, fplan, xfer_counter,
+                result.fault, fault_log, trace_prefix, merged,
+                merged_keys);
             if (!shipped.isOk())
                 return shipped;
-            std::copy(received.begin(), received.end(),
-                      bucket_sums.begin() +
-                          static_cast<std::ptrdiff_t>(lo));
+            for (std::size_t i = 0; i < merged.size(); ++i)
+                bucket_sums[static_cast<std::size_t>(
+                    merged_keys[i])] = merged[i];
         }
 
         ReduceStats reduce_stats;
@@ -1048,6 +1122,159 @@ class MsmEngine
     }
 
     /**
+     * Topology-aware reshard target: the preference list puts the
+     * dead device's same-node survivors first (NVLink-local
+     * recovery), then cross-node survivors, both ascending; the
+     * global reshard ordinal round-robins over it. On a single-node
+     * cluster the preference list IS the ascending survivor list, so
+     * the assignment is bit-for-bit the legacy
+     * survivors[i % survivors.size()].
+     */
+    int
+    pickSurvivor(const std::vector<int> &survivors, int original,
+                 std::size_t ordinal,
+                 gpusim::FaultReport &report) const
+    {
+        const gpusim::Topology &topo = cluster_.topology();
+        std::vector<int> pref;
+        pref.reserve(survivors.size());
+        for (int s : survivors)
+            if (topo.sameNode(s, original))
+                pref.push_back(s);
+        for (int s : survivors)
+            if (!topo.sameNode(s, original))
+                pref.push_back(s);
+        const int target = pref[ordinal % pref.size()];
+        if (topo.sameNode(target, original))
+            ++report.reshardsIntraNode;
+        else
+            ++report.reshardsCrossNode;
+        return target;
+    }
+
+    /**
+     * Functional ring/tree merge: route the per-device (points,
+     * keys) payloads device-to-device along the collective schedule
+     * — each hop a checksummed shipPayload, receivers concatenating
+     * — then one root->host hop carrying the union. The keys are
+     * disjoint (each window/bucket has exactly one contributor), so
+     * no point is ever combined in-flight and the union reaching the
+     * host is bit-identical to the all-to-host gather; the RLC
+     * digests are keyed by global index, so re-routing never changes
+     * the digest a payload must match. Steps execute sequentially in
+     * schedule order — one deterministic transfer-counter stream, so
+     * injected faults hit the same hop at every hostThreads setting.
+     * On success @p out_points / @p out_keys hold the union;
+     * @p payloads / @p keys are consumed.
+     */
+    support::Status
+    mergeViaCollective(
+        std::vector<std::vector<XYZZPoint<Curve>>> &payloads,
+        std::vector<std::vector<std::uint64_t>> &keys,
+        const gpusim::FaultPlan &fplan,
+        std::uint64_t &xfer_counter, gpusim::FaultReport &report,
+        std::vector<std::string> &fault_log,
+        const std::string &trace_prefix,
+        std::vector<XYZZPoint<Curve>> &out_points,
+        std::vector<std::uint64_t> &out_keys) const
+    {
+        using Xyzz = XYZZPoint<Curve>;
+        out_points.clear();
+        out_keys.clear();
+        std::vector<int> members;
+        for (int d = 0; d < cluster_.numGpus(); ++d)
+            if (!payloads[static_cast<std::size_t>(d)].empty())
+                members.push_back(d);
+        if (members.empty())
+            return support::Status::ok();
+        const gpusim::Topology &topo = cluster_.topology();
+        const gpusim::CollectiveSchedule sched =
+            gpusim::buildCollectiveSchedule(plan_.collective, topo,
+                                            members);
+        namespace lane = support::tracelane;
+        support::TraceRecorder *trace = options_.trace;
+        const std::uint64_t digest_pts =
+            options_.verifyChecksums ? 1 : 0;
+        double cursor = 0.0;
+        std::uint64_t bytes_intra = 0;
+        std::uint64_t bytes_inter = 0;
+        for (const gpusim::CollectiveStep &step : sched.steps) {
+            auto &src_pts = payloads[
+                static_cast<std::size_t>(step.src)];
+            auto &src_keys = keys[
+                static_cast<std::size_t>(step.src)];
+            std::vector<Xyzz> received;
+            const support::Status shipped = shipPayload(
+                step.src, src_pts, src_keys, fplan, xfer_counter,
+                report, fault_log, received);
+            if (!shipped.isOk())
+                return shipped;
+            const std::uint64_t wire_bytes =
+                (received.size() + digest_pts) * sizeof(Xyzz);
+            if (topo.sameNode(step.src, step.dst))
+                bytes_intra += wire_bytes;
+            else
+                bytes_inter += wire_bytes;
+            if (trace != nullptr) {
+                const double dur =
+                    topo.linkNs(step.src, step.dst, wire_bytes);
+                trace->labelThread(
+                    lane::engineDevicePid(step.src),
+                    lane::kTransferTid, "transfer");
+                trace->span(
+                    "collective/" + trace_prefix +
+                        std::string(gpusim::collectiveAlgoName(
+                            plan_.collective)),
+                    "transfer", lane::engineDevicePid(step.src),
+                    lane::kTransferTid, cursor, dur,
+                    support::TraceArgs()
+                        .arg("dst", std::to_string(step.dst))
+                        .arg("points", static_cast<double>(
+                                           received.size())));
+                cursor += dur;
+            }
+            auto &dst_pts = payloads[
+                static_cast<std::size_t>(step.dst)];
+            auto &dst_keys = keys[
+                static_cast<std::size_t>(step.dst)];
+            dst_pts.insert(dst_pts.end(), received.begin(),
+                           received.end());
+            dst_keys.insert(dst_keys.end(), src_keys.begin(),
+                            src_keys.end());
+            src_pts.clear();
+            src_keys.clear();
+        }
+        auto &root_pts = payloads[
+            static_cast<std::size_t>(sched.root)];
+        auto &root_keys = keys[
+            static_cast<std::size_t>(sched.root)];
+        std::vector<Xyzz> received;
+        const support::Status shipped = shipPayload(
+            sched.root, root_pts, root_keys, fplan, xfer_counter,
+            report, fault_log, received);
+        if (!shipped.isOk())
+            return shipped;
+        out_points = std::move(received);
+        out_keys = root_keys;
+        if (trace != nullptr) {
+            auto &metrics = trace->metrics();
+            const std::string cp = "collective/" + trace_prefix;
+            metrics.add(cp + "steps",
+                        static_cast<double>(sched.steps.size()));
+            metrics.add(cp + "bytes_intra",
+                        static_cast<double>(bytes_intra));
+            metrics.add(cp + "bytes_inter",
+                        static_cast<double>(bytes_inter));
+            metrics.add(
+                cp + "bytes_host",
+                static_cast<double>(
+                    (out_points.size() + digest_pts) *
+                    sizeof(Xyzz)));
+        }
+        return support::Status::ok();
+    }
+
+    /**
      * The fault layer's trace track: one instant per injection or
      * detection (deterministic ordinals as the logical time axis) on
      * the engine-host process, plus the flat "fault/" counters.
@@ -1077,6 +1304,10 @@ class MsmEngine
                     static_cast<double>(report.retries));
         metrics.add("fault/windows_resharded",
                     static_cast<double>(report.windowsResharded));
+        metrics.add("fault/reshards_intra_node",
+                    static_cast<double>(report.reshardsIntraNode));
+        metrics.add("fault/reshards_cross_node",
+                    static_cast<double>(report.reshardsCrossNode));
         metrics.add("fault/devices_lost",
                     static_cast<double>(report.devicesLost));
         metrics.add("fault/transfers",

@@ -128,6 +128,25 @@ planMsm(const CurveProfile &curve, std::uint64_t n,
     while (tpb < want && tpb < 1024 && tpb < 2 * points_per_bucket)
         tpb *= 2;
     plan.threadsPerBucket = std::max(tpb, options.threadsPerBucket);
+
+    // Collective tuner: price the dominant merge payload (the
+    // per-device bucket-sum share of the CPU-reduce placement, the
+    // same message estimateDistMsm charges transferNs for) against
+    // the topology's link model and resolve the policy to a
+    // concrete strategy. A forced policy maps straight through;
+    // Auto takes the argmin of the per-strategy predictions.
+    const double windows_per_gpu_f =
+        static_cast<double>(plan.numWindows) / cluster.numGpus();
+    const double sums_per_gpu = std::min(
+        static_cast<double>(plan.numBuckets),
+        static_cast<double>(plan.numBuckets) * windows_per_gpu_f);
+    plan.mergeBytesPerGpu = static_cast<std::uint64_t>(
+        sums_per_gpu * xyzzBytes(curve));
+    plan.collective =
+        gpusim::CollectiveTimeEstimator(cluster.topology(),
+                                        cluster.device())
+            .pick(options.collective, cluster.numGpus(),
+                  plan.mergeBytesPerGpu);
     return plan;
 }
 
@@ -301,13 +320,24 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
 
     // Each placement implies its own transfer volume (the CPU reduce
     // pulls every bucket sum to the host; the GPU reduce ships one
-    // partial result per GPU), so both are priced before the choice.
-    // Scalars and points are staged on the devices before the timed
-    // region, as in the baselines' MSM benchmarks, so their upload
-    // is not charged here.
-    const double transfer_cpu_ns = cluster.gatherNs(
+    // partial result per GPU), so both are priced before the choice
+    // — under the plan's merge strategy. Gather reproduces the
+    // legacy cluster.gatherNs pricing bit-exactly; ring/tree route
+    // the same disjoint payloads over the topology's NVLink/IB
+    // links instead of all-to-host. Scalars and points are staged on
+    // the devices before the timed region, as in the baselines' MSM
+    // benchmarks, so their upload is not charged here.
+    const gpusim::CollectiveTimeEstimator merge_est(
+        cluster.topology(), cluster.device());
+    const gpusim::CollectiveCosts cpu_merge_costs = merge_est.costs(
+        cluster.numGpus(),
         static_cast<std::uint64_t>(sums_per_gpu * xyzzBytes(curve)));
-    const double transfer_gpu_ns = cluster.gatherNs(xyzzBytes(curve));
+    const gpusim::CollectiveCosts gpu_merge_costs = merge_est.costs(
+        cluster.numGpus(), xyzzBytes(curve));
+    const double transfer_cpu_ns =
+        cpu_merge_costs.ns(plan.collective);
+    const double transfer_gpu_ns =
+        gpu_merge_costs.ns(plan.collective);
 
     // The overlapped host reduce hides behind the GPU *stage* —
     // kernels plus the transfer streaming the sums out (Section
@@ -323,6 +353,8 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     t.cpuReduce = cpu_reduce;
     t.bucketReduceNs = cpu_reduce ? host_reduce_ns : gpu_reduce_ns;
     t.transferNs = cpu_reduce ? transfer_cpu_ns : transfer_gpu_ns;
+    t.collective = plan.collective;
+    t.mergeCosts = cpu_reduce ? cpu_merge_costs : gpu_merge_costs;
 
     // --- Transfer checksum verification (fault layer) ---
     // Each device folds its per-window partial sums into one RLC
@@ -489,6 +521,15 @@ traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
     metrics.set(mp + "table_build_ns", t.tableBuildNs);
     metrics.set(mp + "num_gpus",
                 static_cast<double>(cluster.numGpus()));
+    // Merge strategy and the tuner's per-strategy predictions for
+    // the same payload (0 = gather, 1 = ring, 2 = tree), so bench
+    // harnesses can read the gather-vs-collective spread without
+    // re-deriving the link model.
+    metrics.set(mp + "collective",
+                static_cast<double>(static_cast<int>(t.collective)));
+    metrics.set(mp + "merge_gather_ns", t.mergeCosts.gatherNs);
+    metrics.set(mp + "merge_ring_ns", t.mergeCosts.ringNs);
+    metrics.set(mp + "merge_tree_ns", t.mergeCosts.treeNs);
 }
 
 MsmTimeline

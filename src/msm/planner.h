@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/gpusim/cluster.h"
+#include "src/gpusim/collectives.h"
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/faults.h"
 #include "src/msm/scatter.h"
@@ -60,6 +61,15 @@ struct MsmOptions
      *  sums whose addition slopes share one Montgomery batch
      *  inversion per round (~6 muls per accumulation vs pacc's 10). */
     bool batchAffine = false;
+    /**
+     * Merge strategy for the bucket/window merge (gpusim/
+     * collectives.h): a forced gather/ring/tree, or Auto to let the
+     * link-cost tuner pick per (topology, message size, device
+     * count). Gather — the default — is the paper's all-to-host
+     * baseline and reproduces the legacy execution exactly.
+     */
+    gpusim::CollectivePolicy collective =
+        gpusim::CollectivePolicy::Gather;
     /** EC kernel optimization set (Section 4). */
     gpusim::EcKernelVariant kernel = gpusim::EcKernelVariant::full();
     /** Scatter launch geometry. */
@@ -140,6 +150,15 @@ struct MsmPlan
     bool precompute = false;
     /** Bytes of the per-device precompute table (0 when declined). */
     std::uint64_t tableBytes = 0;
+    /**
+     * The concrete merge strategy: MsmOptions::collective resolved
+     * by the link-cost tuner (Auto), or the forced choice. Drives
+     * both the functional engine's merge path and the analytic
+     * transfer pricing.
+     */
+    gpusim::CollectiveAlgo collective = gpusim::CollectiveAlgo::Gather;
+    /** Per-device payload bytes the tuner priced the merge at. */
+    std::uint64_t mergeBytesPerGpu = 0;
 };
 
 /** Build the plan for @p n points on @p cluster. */

@@ -6,6 +6,8 @@
 #ifndef DISTMSM_MSM_TIMELINE_H
 #define DISTMSM_MSM_TIMELINE_H
 
+#include "src/gpusim/collectives.h"
+
 namespace distmsm::msm {
 
 /** Per-step simulated times (ns) for one MSM. */
@@ -37,6 +39,15 @@ struct MsmTimeline
     double tableBuildNs = 0.0;
     /** True when bucket-reduce runs on the host CPU. */
     bool cpuReduce = false;
+    /**
+     * The merge strategy transferNs was priced with (the plan's
+     * tuner-resolved collective), plus the per-strategy predictions
+     * for the same merge so traces and benches can show the
+     * gather-vs-ring-vs-tree spread. Gather with all-zero costs
+     * before the estimator runs.
+     */
+    gpusim::CollectiveAlgo collective = gpusim::CollectiveAlgo::Gather;
+    gpusim::CollectiveCosts mergeCosts;
     /**
      * True when the CPU reduce overlaps GPU work (Section 3.2.3:
      * proof generation pipelines several MSMs, so the host reduce of

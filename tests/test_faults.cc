@@ -437,6 +437,138 @@ TEST(Timeout, SlowButWithinBudgetJustAccumulatesDelay)
     EXPECT_DOUBLE_EQ(result_or->fault.delayNs, 1e6);
 }
 
+// --- Faults under hierarchical topologies / collectives --------------
+
+class TopologyFaultTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kN = std::size_t{1} << 12;
+
+    void
+    SetUp() override
+    {
+        workload_ = makeWorkload<Bn254>(kN, 0xFA10);
+        const auto clean_or = tryComputeDistMsm<Bn254>(
+            workload_.points, workload_.scalars, cluster_,
+            faultTestOptions());
+        ASSERT_TRUE(clean_or.isOk());
+        clean_ = *clean_or;
+    }
+
+    gpusim::Topology topo_ = gpusim::Topology::dgx(2, 4);
+    Cluster cluster_{DeviceSpec::a100(), topo_};
+    Workload<Bn254> workload_;
+    MsmResult<Bn254> clean_;
+};
+
+TEST_F(TopologyFaultTest, DeviceKillMidCollectiveReshards)
+{
+    // Kill every device in turn under a forced ring and tree merge:
+    // the dead device drops out of the collective schedule entirely
+    // (ALL its windows reshard onto survivors) and the result stays
+    // bit-identical to the fault-free gather run.
+    for (const auto policy : {gpusim::CollectivePolicy::Ring,
+                              gpusim::CollectivePolicy::Tree}) {
+        for (int dev = 0; dev < 8; ++dev) {
+            auto options = faultTestOptions();
+            options.collective = policy;
+            options.faults.events.push_back(
+                {FaultKind::KillDevice, dev, 0, 0, 0.0});
+            const auto result_or = tryComputeDistMsm<Bn254>(
+                workload_.points, workload_.scalars, cluster_,
+                options);
+            ASSERT_TRUE(result_or.isOk())
+                << gpusim::collectivePolicyName(policy)
+                << " dev=" << dev << ": "
+                << result_or.status().toString();
+            const auto &r = *result_or;
+            EXPECT_TRUE(bitEqual(r.value, clean_.value))
+                << gpusim::collectivePolicyName(policy)
+                << " dev=" << dev;
+            EXPECT_EQ(r.stats, clean_.stats) << "dev=" << dev;
+            EXPECT_EQ(r.hostOps, clean_.hostOps) << "dev=" << dev;
+            EXPECT_EQ(r.fault.devicesLost, 1u);
+            // Under a collective the whole per-device share moves.
+            EXPECT_EQ(r.fault.windowsResharded,
+                      static_cast<std::uint64_t>(
+                          r.plan.numWindows / 8));
+            // The topology-aware policy found same-node survivors.
+            EXPECT_GE(r.fault.reshardsIntraNode, 1u)
+                << "dev=" << dev;
+        }
+    }
+}
+
+TEST_F(TopologyFaultTest, WholeNodeKillReshardsCrossNode)
+{
+    // Lose all of node 1 (devices 4..7) mid-collective: no same-node
+    // survivor exists, so every reshard must cross the inter-node
+    // fabric, and the result is still bit-identical.
+    auto options = faultTestOptions();
+    options.collective = gpusim::CollectivePolicy::Tree;
+    for (int dev = 4; dev < 8; ++dev)
+        options.faults.events.push_back(
+            {FaultKind::KillDevice, dev, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_TRUE(result_or.isOk()) << result_or.status().toString();
+    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
+    EXPECT_EQ(result_or->stats, clean_.stats);
+    EXPECT_EQ(result_or->fault.devicesLost, 4u);
+    EXPECT_GE(result_or->fault.windowsResharded, 4u);
+    EXPECT_EQ(result_or->fault.reshardsIntraNode, 0u);
+    EXPECT_EQ(result_or->fault.reshardsCrossNode,
+              result_or->fault.windowsResharded);
+}
+
+TEST_F(TopologyFaultTest, TransientCorruptionMidCollectiveHeals)
+{
+    // A one-shot corruption of an early device-to-device hop is
+    // detected by the keyed RLC digest at the receiving device and
+    // healed by a retry of that hop alone.
+    auto options = faultTestOptions();
+    options.collective = gpusim::CollectivePolicy::Ring;
+    options.faults.events.push_back(
+        {FaultKind::CorruptTransfer, -1, 0, /*transfer=*/1, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_TRUE(result_or.isOk()) << result_or.status().toString();
+    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
+    EXPECT_EQ(result_or->stats, clean_.stats);
+    EXPECT_EQ(result_or->fault.corruptInjected, 1u);
+    EXPECT_EQ(result_or->fault.corruptDetected, 1u);
+    EXPECT_GE(result_or->fault.retries, 1u);
+}
+
+TEST_F(TopologyFaultTest, PersistentCorruptionMidCollectiveIsTyped)
+{
+    // A device that corrupts every payload it forwards exhausts the
+    // retry budget; the engine surfaces the typed Status instead of
+    // merging poisoned partial sums.
+    auto options = faultTestOptions();
+    options.collective = gpusim::CollectivePolicy::Tree;
+    options.faults.events.push_back(
+        {FaultKind::CorruptDeviceTransfers, 5, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_FALSE(result_or.isOk());
+    EXPECT_EQ(result_or.status().code(),
+              StatusCode::TransferCorrupt);
+}
+
+TEST_F(TopologyFaultTest, AllDevicesLostUnderCollectiveIsTyped)
+{
+    auto options = faultTestOptions();
+    options.collective = gpusim::CollectivePolicy::Ring;
+    for (int dev = 0; dev < 8; ++dev)
+        options.faults.events.push_back(
+            {FaultKind::KillDevice, dev, 0, 0, 0.0});
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_FALSE(result_or.isOk());
+    EXPECT_EQ(result_or.status().code(), StatusCode::DeviceLost);
+}
+
 // --- Prover integration ----------------------------------------------
 
 TEST(ProverFaults, ExhaustedRetriesSurfaceFromTryProve)

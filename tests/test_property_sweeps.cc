@@ -12,6 +12,8 @@
 #include <tuple>
 
 #include "src/ec/curves.h"
+#include "src/gpusim/collectives.h"
+#include "src/gpusim/topology.h"
 #include "src/msm/distmsm.h"
 #include "src/msm/reference.h"
 #include "src/msm/scatter.h"
@@ -124,8 +126,32 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
         const bool batch_affine = prng.below(2) != 0;
         constexpr int kThreadChoices[] = {0, 1, 2, 8};
         const int host_threads = kThreadChoices[prng.below(4)];
+        // Topology shape: the legacy flat cluster, or a
+        // hierarchical nodes x gpus split of the same device count
+        // (possibly ragged) on an NVSwitch or ring NVLink fabric.
+        const int topo_kind = static_cast<int>(prng.below(3));
+        const int gpn = 1 + static_cast<int>(prng.below(4));
+        // Merge strategy: forced gather/ring/tree or the tuner.
+        constexpr gpusim::CollectivePolicy kPolicies[] = {
+            gpusim::CollectivePolicy::Gather,
+            gpusim::CollectivePolicy::Ring,
+            gpusim::CollectivePolicy::Tree,
+            gpusim::CollectivePolicy::Auto,
+        };
+        const gpusim::CollectivePolicy policy =
+            kPolicies[prng.below(4)];
+
+        gpusim::Topology topo = gpusim::Topology::flat(gpus);
+        if (topo_kind != 0) {
+            topo = gpusim::Topology::dgx((gpus + gpn - 1) / gpn,
+                                         gpn);
+            topo.totalGpus = gpus; // ragged last node allowed
+            if (topo_kind == 2)
+                topo.intra = gpusim::IntraTopo::Ring;
+        }
 
         msm::MsmOptions options;
+        options.collective = policy;
         options.windowBitsOverride = s;
         options.signedDigits = use_signed;
         options.glv = use_glv;
@@ -156,11 +182,13 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
                      (use_signed ? " signed" : " plain") +
                      (use_glv ? " glv" : "") +
                      (batch_affine ? " batch" : "") +
-                     " hostThreads=" + std::to_string(host_threads));
+                     " hostThreads=" + std::to_string(host_threads) +
+                     " topo=" + topo.describe() + " collective=" +
+                     gpusim::collectivePolicyName(policy));
 
         const auto points = msm::generatePoints<Bn254>(n, prng);
         const auto scalars = msm::generateScalars<Bn254>(n, prng);
-        const Cluster cluster(DeviceSpec::a100(), gpus);
+        const Cluster cluster(DeviceSpec::a100(), topo);
         const auto result = msm::computeDistMsm<Bn254>(
             points, scalars, cluster, options);
         EXPECT_EQ(result.value,

@@ -9,6 +9,7 @@
  *   log2_N:  input size exponent                  (default 24)
  *   gpus:    simulated A100 count                 (default 8)
  *   flags:   --naive-scatter --gpu-reduce --signed --no-tc
+ *            --field-backend=<auto|cuda-core|tensor-core>
  *            --glv --batch-affine --precompute
  *            --topology=<spec> --collective=<gather|ring|tree|auto>
  *            --window=<s> --functional=<log2 n>
@@ -69,6 +70,18 @@ printHelp()
         "  --batch-affine       batched-affine bucket accumulation\n"
         "  --precompute         fixed-base precompute tables\n"
         "  --no-tc              disable tensor-core Montgomery\n"
+        "  --field-backend=<b>  field-arithmetic backend for the\n"
+        "                       simulated kernels:\n"
+        "                         auto         cost-model pick "
+        "(default)\n"
+        "                         cuda-core    int32 CIOS\n"
+        "                         tensor-core  tcmul differential "
+        "path\n"
+        "                       (functional runs on tensor-core "
+        "execute\n"
+        "                       every field mul through the TC "
+        "model;\n"
+        "                       results stay bit-identical)\n"
         "  --topology=<spec>    hierarchical cluster topology;\n"
         "                       comma-separated keys:\n"
         "                         nodes=N      node count\n"
@@ -217,6 +230,16 @@ main(int argc, char **argv)
         } else if (arg == "--no-tc") {
             options.kernel.tensorCoreMont = false;
             options.kernel.onTheFlyCompact = false;
+        } else if (arg.rfind("--field-backend=", 0) == 0) {
+            if (!gpusim::parseFieldBackend(arg.substr(16),
+                                           &options.fieldBackend)) {
+                std::fprintf(
+                    stderr,
+                    "bad --field-backend '%s' (want auto, "
+                    "cuda-core or tensor-core)\n",
+                    arg.substr(16).c_str());
+                return 2;
+            }
         } else if (arg == "--no-checksums") {
             options.verifyChecksums = false;
         } else if (arg == "--fault-report") {
@@ -293,6 +316,9 @@ main(int argc, char **argv)
                 plan.windowsPerGpu,
                 plan.bucketsSplitAcrossGpus ? ", buckets split" : "",
                 plan.threadsPerBucket);
+    std::printf("      field backend: %s%s\n",
+                gpusim::fieldBackendName(plan.fieldBackend),
+                plan.fieldBackendAuto ? " (auto-selected)" : "");
     if (plan.precompute) {
         std::printf("      fixed-base precompute: %.1f MiB of "
                     "tables, windows merge into one bucket pass\n",

@@ -26,6 +26,16 @@ struct OpCounters
     std::uint64_t sqr = 0;
     std::uint64_t add = 0; ///< additions and subtractions
     std::uint64_t inv = 0; ///< full modular inversions
+    /**
+     * Fp products this thread actually retired through the
+     * tensor-core differential path (field/backend.h scope active).
+     * Counted at the field-dispatch layer, one per executed
+     * multiplication or squaring — unlike `mul`/`sqr`, which the EC
+     * formulas charge at their nominal per-op constants — so tests
+     * can assert both that the backend engaged (tcMul > 0) and that
+     * it did all the work (tcMul covers every runtime product).
+     */
+    std::uint64_t tcMul = 0;
 
     void
     reset()
@@ -34,6 +44,7 @@ struct OpCounters
         sqr = 0;
         add = 0;
         inv = 0;
+        tcMul = 0;
     }
 };
 

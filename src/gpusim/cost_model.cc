@@ -66,7 +66,8 @@ schedNumbers()
     return numbers;
 }
 
-/** Modular multiplications of one EC op under kernel variant @p v. */
+} // namespace
+
 int
 ecOpModmuls(const EcKernelVariant &v, EcOp op, bool a_is_zero)
 {
@@ -85,7 +86,59 @@ ecOpModmuls(const EcKernelVariant &v, EcOp op, bool a_is_zero)
     return 14;
 }
 
-} // namespace
+const char *
+fieldBackendName(FieldBackend backend)
+{
+    switch (backend) {
+      case FieldBackend::Auto:
+        return "auto";
+      case FieldBackend::CudaCore:
+        return "cuda-core";
+      case FieldBackend::TensorCore:
+        return "tensor-core";
+    }
+    return "?";
+}
+
+bool
+parseFieldBackend(std::string_view text, FieldBackend *out)
+{
+    if (text == "auto") {
+        *out = FieldBackend::Auto;
+    } else if (text == "cuda-core" || text == "cuda" ||
+               text == "cudacore") {
+        *out = FieldBackend::CudaCore;
+    } else if (text == "tensor-core" || text == "tensor" ||
+               text == "tc" || text == "tensorcore") {
+        *out = FieldBackend::TensorCore;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+EcKernelVariant
+applyFieldBackend(EcKernelVariant v, FieldBackend backend)
+{
+    switch (backend) {
+      case FieldBackend::Auto:
+        break;
+      case FieldBackend::CudaCore:
+        v.tensorCoreMont = false;
+        v.onTheFlyCompact = false;
+        break;
+      case FieldBackend::TensorCore:
+        // Variants that already model tensor cores keep their
+        // compaction choice (the conventional store-to-memory path
+        // stays priceable); otherwise engage the paper's preferred
+        // in-register compaction along with the offload.
+        if (!v.tensorCoreMont)
+            v.onTheFlyCompact = true;
+        v.tensorCoreMont = true;
+        break;
+    }
+    return v;
+}
 
 CurveProfile
 CurveProfile::bn254()

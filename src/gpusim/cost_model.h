@@ -31,6 +31,7 @@
 #define DISTMSM_GPUSIM_COST_MODEL_H
 
 #include <cstdint>
+#include <string_view>
 
 #include "src/gpusim/device.h"
 #include "src/gpusim/stats.h"
@@ -77,6 +78,36 @@ struct EcKernelVariant
         return {true, true, true, true, true};
     }
 };
+
+/**
+ * Field-arithmetic backend for the simulated EC kernels: which unit
+ * retires the wide Montgomery multiplications. `CudaCore` is the
+ * classic CIOS path on the int32 ALUs; `TensorCore` offloads the
+ * constant-operand half (m * n) to the uint8 digit-matrix product of
+ * Figure 6/7, priced at the device's int8 tensor throughput plus the
+ * fragment pack / column-sum compaction marshalling. `Auto` lets the
+ * planner pick per (curve, N, window bits) from the cost model —
+ * tensor cores win on <=384-bit fields and lose on MNT4753, where
+ * compaction's zero lanes swamp the offloaded MACs (Section 5.3.3).
+ */
+enum class FieldBackend { Auto, CudaCore, TensorCore };
+
+const char *fieldBackendName(FieldBackend backend);
+
+/** Parses "auto" / "cuda-core" / "tensor-core" (also "cuda", "tc",
+ *  "tensor"). Returns false and leaves @p out untouched on junk. */
+bool parseFieldBackend(std::string_view text, FieldBackend *out);
+
+/**
+ * Resolves a kernel variant against an explicit backend choice:
+ * `CudaCore` strips the tensor-core legs (tensorCoreMont,
+ * onTheFlyCompact), `TensorCore` forces them on, `Auto` returns the
+ * variant unchanged (the planner has already folded its pick into
+ * the plan). Every cost-model call in the MSM path routes through
+ * this so pricing and attribution agree with the executed backend.
+ */
+EcKernelVariant applyFieldBackend(EcKernelVariant v,
+                                  FieldBackend backend);
 
 /** Tunable coefficients of the analytic model. */
 struct CostParams
@@ -127,6 +158,10 @@ struct CostParams
  *  muls and epsilon inversions), priced at 7 modmuls against pacc's
  *  10 with pacc-like register pressure. */
 enum class EcOp { Pacc, Padd, Pdbl, AffineAdd };
+
+/** Modular multiplications of one EC op under kernel variant @p v —
+ *  the unit the per-backend op accounting is denominated in. */
+int ecOpModmuls(const EcKernelVariant &v, EcOp op, bool a_is_zero);
 
 /**
  * Timing model bound to one device.

@@ -56,6 +56,30 @@ enum class IntraTopo {
     FullyConnected, ///< NVSwitch: every pair is one hop
 };
 
+/**
+ * Link-class presets: the alpha/beta (latency/bandwidth) constants
+ * the CollectiveTimeEstimator prices merges with, calibrated against
+ * published numbers rather than invented per call site.
+ *
+ * kNvlink3NvSwitch — A100 NVSwitch fabric. beta: 600 GB/s aggregate
+ * per GPU (12 NVLink3 links x 50 GB/s, NVIDIA A100 datasheet; the
+ * DGX-A100 NVSwitch is non-blocking, so a pair sustains the full
+ * aggregate). alpha: 2 us, NCCL's measured intra-node base latency
+ * for a small message through the proxy/NVSwitch path (nccl-tests
+ * busbw tables report 1-3 us alpha for 8xA100 NVLink rings; the
+ * midpoint keeps the legacy timelines byte-identical).
+ *
+ * kInfinibandHdrNic — one HDR InfiniBand NIC. beta: 200 Gb/s = 25
+ * GB/s per NIC (HDR data rate; DGX-A100 ships 8 such NICs). alpha:
+ * 10 us, NCCL's inter-node base latency through the IB verbs
+ * transport (nccl-tests reports 8-15 us small-message latency for
+ * cross-node rings/trees; ring alpha dominates at small sizes,
+ * matching the tuner's preference for tree on deep multi-node
+ * merges).
+ */
+inline constexpr LinkSpec kNvlink3NvSwitch{600.0, 2.0};
+inline constexpr LinkSpec kInfinibandHdrNic{25.0, 10.0};
+
 /** Hierarchical cluster shape: nodes x devices plus link classes. */
 struct Topology
 {
@@ -64,10 +88,10 @@ struct Topology
     int totalGpus = 8;
     int gpusPerNode = 8;
     IntraTopo intra = IntraTopo::FullyConnected;
-    /** NVLink per-pair link (A100 NVSwitch: 600 GB/s aggregate). */
-    LinkSpec intraLink{600.0, 2.0};
-    /** InfiniBand HDR per-NIC link. */
-    LinkSpec interLink{25.0, 10.0};
+    /** NVLink per-pair link (defaults to the calibrated preset). */
+    LinkSpec intraLink = kNvlink3NvSwitch;
+    /** InfiniBand per-NIC link (defaults to the calibrated preset). */
+    LinkSpec interLink = kInfinibandHdrNic;
     /** NICs striping each node's inter-node traffic. */
     int nicsPerNode = 1;
     /**

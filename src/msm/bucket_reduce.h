@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/ec/point.h"
+#include "src/field/backend.h"
 #include "src/support/check.h"
 
 namespace distmsm::msm {
@@ -41,6 +42,12 @@ struct ReduceStats
 /**
  * Serial running sums: for i from M-1 down to 1,
  * running += B_i; acc += running. Returns sum_i i * B_i.
+ *
+ * Field-backend attribution: this is the CPU-offloaded step, so its
+ * field arithmetic always executes CIOS even when the calling thread
+ * holds a tensor-core field::TcBackendScope — the host has no tensor
+ * cores. The device-resident forms below (chunked / weighted) model
+ * GPU kernels and inherit the caller's scope instead.
  */
 template <typename Curve>
 XYZZPoint<Curve>
@@ -48,6 +55,7 @@ bucketReduceSerial(const std::vector<XYZZPoint<Curve>> &buckets,
                    ReduceStats *stats = nullptr)
 {
     using Xyzz = XYZZPoint<Curve>;
+    const field::TcBackendScope host_scope(false);
     Xyzz running = Xyzz::identity();
     Xyzz acc = Xyzz::identity();
     for (std::size_t b = buckets.size(); b-- > 1;) {

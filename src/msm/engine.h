@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/ec/point.h"
+#include "src/field/backend.h"
 #include "src/field/batch_inverse.h"
 #include "src/gpusim/faults.h"
 #include "src/msm/batch_affine.h"
@@ -139,6 +140,16 @@ class MsmEngine
                                              : 0};
         plan_ = planMsm(curve_profile_, points_.size(), cluster_,
                         options_);
+        // Every cost-model price below uses the kernel variant as
+        // the plan's resolved field backend executes it; the
+        // differential tcmul execution engages only on a *forced*
+        // TensorCore (the planner's Auto pick prices TC while the
+        // functional path stays on CIOS — bit-identical either way).
+        eff_kernel_ =
+            gpusim::applyFieldBackend(options_.kernel,
+                                      plan_.fieldBackend);
+        tc_exec_ = options_.fieldBackend ==
+                   gpusim::FieldBackend::TensorCore;
         const int host_threads =
             support::resolveHostThreads(options_.hostThreads);
         if (plan_.glv) {
@@ -333,11 +344,17 @@ class MsmEngine
         };
 
         auto run_window = [&](unsigned w, WindowPartial &wp) {
+            // Simulated-kernel field muls of this window (bucket
+            // sums, window reduce) execute on the forced backend;
+            // entered per worker thread, so the pool-distributed
+            // bucket groups below re-enter it themselves.
+            const field::TcBackendScope tc_scope(tc_exec_);
             std::vector<std::uint32_t> ids;
             std::vector<std::uint8_t> negs;
             window_ids(w, ids, negs);
 
             ScatterConfig scatter_cfg = options_.scatter;
+            scatter_cfg.fieldBackend = plan_.fieldBackend;
             if (options_.trace != nullptr) {
                 // One kernel-launch lane per window: the launch span
                 // (emitted by ~KernelLaunch) carries the measured
@@ -373,6 +390,8 @@ class MsmEngine
             cluster_.forEachDevice(
                 groups,
                 [&](int g) {
+                    const field::TcBackendScope group_scope(
+                        tc_exec_);
                     const std::size_t lo =
                         1 + (n_buckets - 1) * g / groups;
                     const std::size_t hi =
@@ -641,8 +660,10 @@ class MsmEngine
         }
 
         result.value = total;
-        if (trace != nullptr)
+        if (trace != nullptr) {
+            emitFieldBackendMetrics(*trace, result.stats);
             emitFaultTrace(*trace, result.fault, fault_log);
+        }
         return result;
     }
 
@@ -706,7 +727,7 @@ class MsmEngine
             // Priced from the op count (deterministic), never wall
             // clock: (W-1) * s doublings per base at GPU throughput.
             const double build_ns = cluster_.model().ecThroughputNs(
-                curve_profile_, options_.kernel, gpusim::EcOp::Pdbl,
+                curve_profile_, eff_kernel_, gpusim::EcOp::Pdbl,
                 table_->buildPdbls);
             trace->span("precompute/table-build", "phase",
                         lane::kEngineHostPid, kPrecomputeTid, 0.0,
@@ -761,6 +782,7 @@ class MsmEngine
             host_threads);
 
         ScatterConfig scatter_cfg = options_.scatter;
+        scatter_cfg.fieldBackend = plan_.fieldBackend;
         if (options_.trace != nullptr) {
             scatter_cfg.trace = options_.trace;
             scatter_cfg.traceLabel =
@@ -788,6 +810,7 @@ class MsmEngine
         const int groups = cluster_.numGpus();
         std::vector<gpusim::KernelStats> group_stats(groups);
         auto sum_slice = [&](int g) {
+            const field::TcBackendScope tc_scope(tc_exec_);
             const std::size_t lo = 1 + (n_buckets - 1) * g / groups;
             const std::size_t hi =
                 1 + (n_buckets - 1) * (g + 1) / groups;
@@ -977,6 +1000,7 @@ class MsmEngine
         metrics.add("engine/" + trace_prefix +
                         "combined/bucket_reduce_ns",
                     reduce_ns);
+        emitFieldBackendMetrics(*trace, ec_stats);
         return support::Status::ok();
     }
 
@@ -1334,26 +1358,83 @@ class MsmEngine
     bucketSumNs(const gpusim::KernelStats &ec) const
     {
         const auto &m = cluster_.model();
-        return m.ecThroughputNs(curve_profile_, options_.kernel,
+        return m.ecThroughputNs(curve_profile_, eff_kernel_,
                                 gpusim::EcOp::Pacc, ec.paccOps) +
-               m.ecThroughputNs(curve_profile_, options_.kernel,
+               m.ecThroughputNs(curve_profile_, eff_kernel_,
                                 gpusim::EcOp::Padd, ec.paddOps) +
-               m.ecThroughputNs(curve_profile_, options_.kernel,
+               m.ecThroughputNs(curve_profile_, eff_kernel_,
                                 gpusim::EcOp::Pdbl, ec.pdblOps) +
-               m.ecThroughputNs(curve_profile_, options_.kernel,
+               m.ecThroughputNs(curve_profile_, eff_kernel_,
                                 gpusim::EcOp::AffineAdd,
                                 ec.affineAddOps);
+    }
+
+    /**
+     * Modular multiplications the measured EC work retired, in the
+     * cost model's per-op units — the denomination of the
+     * per-backend attribution metrics.
+     */
+    double
+    kernelModmuls(const gpusim::KernelStats &ec) const
+    {
+        const bool az = curve_profile_.aIsZero;
+        return static_cast<double>(ec.paccOps) *
+                   gpusim::ecOpModmuls(eff_kernel_,
+                                       gpusim::EcOp::Pacc, az) +
+               static_cast<double>(ec.paddOps) *
+                   gpusim::ecOpModmuls(eff_kernel_,
+                                       gpusim::EcOp::Padd, az) +
+               static_cast<double>(ec.pdblOps) *
+                   gpusim::ecOpModmuls(eff_kernel_,
+                                       gpusim::EcOp::Pdbl, az) +
+               static_cast<double>(ec.affineAddOps) *
+                   gpusim::ecOpModmuls(eff_kernel_,
+                                       gpusim::EcOp::AffineAdd, az);
+    }
+
+    /**
+     * Flat per-backend attribution for one compute(): which backend
+     * the run's kernel modmuls belong to, derived deterministically
+     * from the merged KernelStats (identical at every hostThreads).
+     */
+    void
+    emitFieldBackendMetrics(support::TraceRecorder &trace,
+                            const gpusim::KernelStats &stats) const
+    {
+        auto &metrics = trace.metrics();
+        const bool tc = plan_.fieldBackend ==
+                        gpusim::FieldBackend::TensorCore;
+        metrics.set("engine/field_backend",
+                    static_cast<double>(
+                        static_cast<int>(plan_.fieldBackend)));
+        metrics.set("engine/field_backend_auto",
+                    plan_.fieldBackendAuto ? 1.0 : 0.0);
+        const double modmuls = kernelModmuls(stats);
+        metrics.add(tc ? "engine/field_backend_tc_modmuls"
+                       : "engine/field_backend_cuda_modmuls",
+                    modmuls);
+        // The differential tcmul execution only runs on a forced
+        // TensorCore; an Auto-resolved TC prices the offload but
+        // executes CIOS (bit-identical), so the flag is separate.
+        metrics.set("engine/field_backend_tc_executed",
+                    tc_exec_ ? 1.0 : 0.0);
     }
 
     void
     labelEngineLanes(support::TraceRecorder &trace) const
     {
         namespace lane = support::tracelane;
+        // Suffix the compute lane with the resolved backend so a
+        // trace viewer shows per-backend lanes without a metric
+        // lookup.
+        const std::string compute_label =
+            std::string("windows [") +
+            gpusim::fieldBackendName(plan_.fieldBackend) + "]";
         for (int d = 0; d < cluster_.numGpus(); ++d) {
             trace.labelProcess(lane::engineDevicePid(d),
                                "engine gpu" + std::to_string(d));
             trace.labelThread(lane::engineDevicePid(d),
-                              lane::kComputeTid, "windows");
+                              lane::kComputeTid, compute_label);
         }
         trace.labelProcess(lane::kEngineHostPid, "engine host");
         trace.labelThread(lane::kEngineHostPid, lane::kComputeTid,
@@ -1372,6 +1453,14 @@ class MsmEngine
     MsmOptions options_;
     gpusim::CurveProfile curve_profile_;
     MsmPlan plan_;
+    /**
+     * options_.kernel with the plan's resolved field backend applied
+     * (gpusim::applyFieldBackend) — the variant every cost-model
+     * query in the engine prices against.
+     */
+    gpusim::EcKernelVariant eff_kernel_;
+    /** Forced-TensorCore runs execute the tcmul differential path. */
+    bool tc_exec_ = false;
     /** Shared precompute table (plan_.precompute; else null). */
     std::shared_ptr<const PrecomputeTable<Curve>> table_;
     bool table_cache_hit_ = false;

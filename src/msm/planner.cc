@@ -147,6 +147,41 @@ planMsm(const CurveProfile &curve, std::uint64_t n,
                                         cluster.device())
             .pick(options.collective, cluster.numGpus(),
                   plan.mergeBytesPerGpu);
+
+    // Field-backend resolution: a forced choice maps straight
+    // through; Auto prices the dominant accumulation kernel (the
+    // bucket sum retiring one EC add per scattered point) under both
+    // backends and takes the argmin. Kernels that never modeled
+    // tensor cores (baseline(), --no-tc) stay on CUDA cores — Auto
+    // must not silently upgrade an explicitly stripped variant.
+    plan.fieldBackend = options.fieldBackend;
+    plan.fieldBackendAuto =
+        options.fieldBackend == gpusim::FieldBackend::Auto;
+    if (plan.fieldBackendAuto) {
+        if (!options.kernel.tensorCoreMont) {
+            plan.fieldBackend = gpusim::FieldBackend::CudaCore;
+        } else {
+            const EcOp acc_op = options.batchAffine
+                                    ? EcOp::AffineAdd
+                                    : EcOp::Pacc;
+            const std::uint64_t acc_ops = std::max<std::uint64_t>(
+                1, n_eff * plan.numWindows / cluster.numGpus());
+            const CostModel &model = cluster.model();
+            const double tc_ns = model.ecThroughputNs(
+                curve,
+                applyFieldBackend(options.kernel,
+                                  gpusim::FieldBackend::TensorCore),
+                acc_op, acc_ops);
+            const double cc_ns = model.ecThroughputNs(
+                curve,
+                applyFieldBackend(options.kernel,
+                                  gpusim::FieldBackend::CudaCore),
+                acc_op, acc_ops);
+            plan.fieldBackend =
+                tc_ns < cc_ns ? gpusim::FieldBackend::TensorCore
+                              : gpusim::FieldBackend::CudaCore;
+        }
+    }
     return plan;
 }
 
@@ -227,6 +262,11 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     const MsmPlan plan = planMsm(curve, n, cluster, options);
     const CostModel &model = cluster.model();
     const auto &spec = cluster.device();
+    // Every EC kernel below is priced under the plan's resolved
+    // field-arithmetic backend, so the timeline and the functional
+    // engine attribute the same work to the same unit.
+    const EcKernelVariant kernel =
+        applyFieldBackend(options.kernel, plan.fieldBackend);
     const double buckets = static_cast<double>(plan.numBuckets);
     // GLV: twice the points flow through scatter and accumulation,
     // but the windows (computed by planMsm) already halved.
@@ -241,6 +281,7 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
 
     MsmTimeline t;
     t.reduceOverlapped = options.overlapReduce;
+    t.fieldBackend = plan.fieldBackend;
 
     // --- Scatter (per GPU, concurrent across GPUs) ---
     // A GPU scans the N coefficients of every window it touches; in
@@ -290,9 +331,9 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
             : static_cast<std::uint64_t>(
                   buckets * std::max(0.0, windows_per_gpu - 1.0));
     t.bucketSumNs =
-        model.ecThroughputNs(curve, options.kernel, acc_op,
+        model.ecThroughputNs(curve, kernel, acc_op,
                              acc_ops) +
-        model.ecThroughputNs(curve, options.kernel, EcOp::Padd,
+        model.ecThroughputNs(curve, kernel, EcOp::Padd,
                              tree_padds + merge_padds);
 
     // --- Bucket reduce ---
@@ -310,11 +351,11 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
     const double nt = spec.maxConcurrentThreads();
     const double gpu_reduce_ns =
         model.ecThroughputNs(
-            curve, options.kernel, EcOp::Padd,
+            curve, kernel, EcOp::Padd,
             static_cast<std::uint64_t>(
                 std::max(0.0, incoming - buckets) / cluster.numGpus() +
                 2.0 * (buckets + 1.0))) +
-        model.ecSerialNs(curve, options.kernel, EcOp::Padd,
+        model.ecSerialNs(curve, kernel, EcOp::Padd,
                          static_cast<std::uint64_t>(
                              plan.windowBits + std::log2(nt)));
 
@@ -367,10 +408,10 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
         const double wpg = std::max(1.0, windows_per_gpu);
         const double device_digest_ns =
             model.ecThroughputNs(
-                curve, options.kernel, EcOp::Pdbl,
+                curve, kernel, EcOp::Pdbl,
                 static_cast<std::uint64_t>(wpg * kRhoBits)) +
             model.ecThroughputNs(
-                curve, options.kernel, EcOp::Padd,
+                curve, kernel, EcOp::Padd,
                 static_cast<std::uint64_t>(wpg * (kRhoBits / 2 + 1)));
         const double host_rederive_ns = model.hostEcNs(
             curve,
@@ -393,7 +434,7 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
         // One-time table construction, amortized across proofs via
         // the base cache; excluded from totalNs() (see MsmTimeline).
         t.tableBuildNs = model.ecThroughputNs(
-            curve, options.kernel, EcOp::Pdbl,
+            curve, kernel, EcOp::Pdbl,
             precomputeBuildPdbls(n_eff, plan.numWindows,
                                  plan.windowBits));
     } else {
@@ -530,6 +571,14 @@ traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
     metrics.set(mp + "merge_gather_ns", t.mergeCosts.gatherNs);
     metrics.set(mp + "merge_ring_ns", t.mergeCosts.ringNs);
     metrics.set(mp + "merge_tree_ns", t.mergeCosts.treeNs);
+    // Resolved field-arithmetic backend the EC kernels were priced
+    // under (gpusim::FieldBackend: 1 = cuda-core, 2 = tensor-core),
+    // plus whether the planner's Auto resolution made the pick.
+    metrics.set(mp + "field_backend",
+                static_cast<double>(
+                    static_cast<int>(plan.fieldBackend)));
+    metrics.set(mp + "field_backend_auto",
+                plan.fieldBackendAuto ? 1.0 : 0.0);
 }
 
 MsmTimeline
@@ -565,6 +614,9 @@ estimateNdimBaseline(const CurveProfile &curve, std::uint64_t n,
 
     MsmTimeline t;
     t.cpuReduce = false;
+    t.fieldBackend = kernel.tensorCoreMont
+                         ? gpusim::FieldBackend::TensorCore
+                         : gpusim::FieldBackend::CudaCore;
 
     ScatterConfig scatter_cfg;
     const std::uint64_t scanned =

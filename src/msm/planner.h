@@ -72,6 +72,18 @@ struct MsmOptions
         gpusim::CollectivePolicy::Gather;
     /** EC kernel optimization set (Section 4). */
     gpusim::EcKernelVariant kernel = gpusim::EcKernelVariant::full();
+    /**
+     * Field-arithmetic backend for the simulated kernels' Montgomery
+     * multiplications (Section 4.3). `Auto` — the default — lets the
+     * planner price both backends with the cost model and pick the
+     * cheaper one per (curve, N, window bits); a forced `CudaCore` /
+     * `TensorCore` overrides both the pricing and, for TensorCore,
+     * routes the functional engine's field muls through the
+     * tcmul::montMulTC differential path (bit-identical to CIOS,
+     * ~10-60x slower to simulate). Auto never engages the
+     * differential path: it prices TC but executes CIOS.
+     */
+    gpusim::FieldBackend fieldBackend = gpusim::FieldBackend::Auto;
     /** Scatter launch geometry. */
     ScatterConfig scatter;
     /**
@@ -159,6 +171,17 @@ struct MsmPlan
     gpusim::CollectiveAlgo collective = gpusim::CollectiveAlgo::Gather;
     /** Per-device payload bytes the tuner priced the merge at. */
     std::uint64_t mergeBytesPerGpu = 0;
+    /**
+     * The resolved field-arithmetic backend: MsmOptions::fieldBackend
+     * with Auto replaced by the cost model's per-(curve, N, s) pick.
+     * Never Auto in a built plan. Drives the kernel variant every
+     * cost-model call prices (via gpusim::applyFieldBackend) and the
+     * engine's per-backend op attribution.
+     */
+    gpusim::FieldBackend fieldBackend = gpusim::FieldBackend::CudaCore;
+    /** True when the planner's Auto resolution chose the backend (vs
+     *  a forced MsmOptions::fieldBackend). */
+    bool fieldBackendAuto = false;
 };
 
 /** Build the plan for @p n points on @p cluster. */

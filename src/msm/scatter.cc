@@ -23,6 +23,23 @@ elemsPerThread(std::size_t n, const ScatterConfig &config)
 }
 
 /**
+ * Span label of a traced scatter launch: the configured (or default)
+ * label suffixed with the resolved field backend, matching the
+ * engine's backend-suffixed compute lanes. Purely an attribution
+ * aid — the scatter kernels execute no field arithmetic.
+ */
+std::string
+scatterTraceLabel(const ScatterConfig &config,
+                  const char *default_label)
+{
+    const std::string base = config.traceLabel.empty()
+                                 ? default_label
+                                 : config.traceLabel;
+    return base + " [" +
+           gpusim::fieldBackendName(config.fieldBackend) + "]";
+}
+
+/**
  * Host-side landing zone for scattered (bucket, point-id) pairs.
  * Blocks of a phase may run on concurrent host threads, so each
  * block appends to its own staging vector; drain() empties them into
@@ -96,9 +113,7 @@ naiveScatter(const std::vector<std::uint32_t> &bucket_ids,
                         config.hostThreads);
     if (config.trace != nullptr)
         launch.setTrace(config.trace,
-                        config.traceLabel.empty()
-                            ? "naive-scatter"
-                            : config.traceLabel,
+                        scatterTraceLabel(config, "naive-scatter"),
                         config.traceLane);
     WordArray counters(n_buckets, WordArray::Space::Global);
     const int k = elemsPerThread(bucket_ids.size(), config);
@@ -175,11 +190,10 @@ hierarchicalScatter(const std::vector<std::uint32_t> &bucket_ids,
     KernelLaunch launch(config.gridDim, config.blockDim,
                         tile_base + tile_words, config.hostThreads);
     if (config.trace != nullptr)
-        launch.setTrace(config.trace,
-                        config.traceLabel.empty()
-                            ? "hierarchical-scatter"
-                            : config.traceLabel,
-                        config.traceLane);
+        launch.setTrace(
+            config.trace,
+            scatterTraceLabel(config, "hierarchical-scatter"),
+            config.traceLane);
     WordArray global_counters(n_buckets, WordArray::Space::Global);
 
     const int k_total = elemsPerThread(bucket_ids.size(), config);

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/gpusim/cost_model.h"
 #include "src/gpusim/executor.h"
 
 namespace distmsm::msm {
@@ -68,6 +69,15 @@ struct ScatterConfig
     support::TraceRecorder *trace = nullptr;
     std::string traceLabel;
     int traceLane = 0;
+    /**
+     * The field backend the surrounding MSM resolved
+     * (MsmPlan::fieldBackend). The scatter kernels are integer-only —
+     * they issue no field multiplications, so the backend never
+     * changes their cost or output — but the knob is threaded through
+     * so traced launches carry the backend in their span label and
+     * the per-backend lanes line up across every kernel of a run.
+     */
+    gpusim::FieldBackend fieldBackend = gpusim::FieldBackend::CudaCore;
 };
 
 /** Output of a scatter: per-bucket point-id lists plus stats. */

@@ -7,6 +7,7 @@
 #define DISTMSM_MSM_TIMELINE_H
 
 #include "src/gpusim/collectives.h"
+#include "src/gpusim/cost_model.h"
 
 namespace distmsm::msm {
 
@@ -48,6 +49,12 @@ struct MsmTimeline
      */
     gpusim::CollectiveAlgo collective = gpusim::CollectiveAlgo::Gather;
     gpusim::CollectiveCosts mergeCosts;
+    /**
+     * The field-arithmetic backend every EC kernel above was priced
+     * under (the plan's resolved MsmOptions::fieldBackend). CudaCore
+     * until an estimator stamps it.
+     */
+    gpusim::FieldBackend fieldBackend = gpusim::FieldBackend::CudaCore;
     /**
      * True when the CPU reduce overlaps GPU work (Section 3.2.3:
      * proof generation pipelines several MSMs, so the host reduce of

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <tuple>
 
@@ -115,7 +116,7 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
     }
     Prng prng(0xF00D);
     for (int c = 0; c < cases; ++c) {
-        const std::size_t n =
+        std::size_t n =
             1 + static_cast<std::size_t>(prng.below(4096));
         const unsigned s =
             2 + static_cast<unsigned>(prng.below(12)); // [2, 13]
@@ -140,6 +141,20 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
         };
         const gpusim::CollectivePolicy policy =
             kPolicies[prng.below(4)];
+        // Field backend: Auto (cost-model pick, CIOS execution),
+        // forced CUDA cores, or forced tensor cores. A forced
+        // TensorCore run executes every field mul through the tcmul
+        // differential model — 1-2 orders of magnitude slower — so
+        // those draws cap n to keep the sweep fast.
+        constexpr gpusim::FieldBackend kBackends[] = {
+            gpusim::FieldBackend::Auto,
+            gpusim::FieldBackend::CudaCore,
+            gpusim::FieldBackend::TensorCore,
+        };
+        const gpusim::FieldBackend backend =
+            kBackends[prng.below(3)];
+        if (backend == gpusim::FieldBackend::TensorCore)
+            n = std::min<std::size_t>(n, 512);
 
         gpusim::Topology topo = gpusim::Topology::flat(gpus);
         if (topo_kind != 0) {
@@ -152,6 +167,7 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
 
         msm::MsmOptions options;
         options.collective = policy;
+        options.fieldBackend = backend;
         options.windowBitsOverride = s;
         options.signedDigits = use_signed;
         options.glv = use_glv;
@@ -184,7 +200,9 @@ TEST(RandomDifferentialSweep, MatchesSerialReference)
                      (batch_affine ? " batch" : "") +
                      " hostThreads=" + std::to_string(host_threads) +
                      " topo=" + topo.describe() + " collective=" +
-                     gpusim::collectivePolicyName(policy));
+                     gpusim::collectivePolicyName(policy) +
+                     " backend=" +
+                     gpusim::fieldBackendName(backend));
 
         const auto points = msm::generatePoints<Bn254>(n, prng);
         const auto scalars = msm::generateScalars<Bn254>(n, prng);

@@ -231,6 +231,42 @@ TEST(CollectiveEstimator, RingKat)
     EXPECT_DOUBLE_EQ(est.ringNs(4, bytes), 5.0 * slot + host_hop);
 }
 
+TEST(CollectiveEstimator, DgxPresetMergeTimeKat)
+{
+    // Pins the calibrated link presets (kNvlink3NvSwitch /
+    // kInfinibandHdrNic, topology.h) through the estimator on the
+    // paper's testbed shape: 4 DGX nodes x 8 A100s. Regenerate these
+    // constants only when deliberately re-calibrating the alpha/beta
+    // link model — they are the contract that keeps every
+    // hierarchical timeline stable.
+    const DeviceSpec dev = DeviceSpec::a100();
+    const Topology topo = Topology::dgx(4, 8);
+    EXPECT_DOUBLE_EQ(topo.intraLink.bandwidthGBs, 600.0);
+    EXPECT_DOUBLE_EQ(topo.intraLink.latencyUs, 2.0);
+    EXPECT_DOUBLE_EQ(topo.interLink.bandwidthGBs, 25.0);
+    EXPECT_DOUBLE_EQ(topo.interLink.latencyUs, 10.0);
+    const CollectiveTimeEstimator est(topo, dev);
+
+    const auto small = est.costs(topo.numGpus(), std::uint64_t{1}
+                                                     << 10);
+    EXPECT_DOUBLE_EQ(small.gatherNs, 240983.03999999998);
+    EXPECT_DOUBLE_EQ(small.ringNs, 622553.17333333322);
+    EXPECT_DOUBLE_EQ(small.treeNs, 37049.599999999999);
+
+    const auto large = est.costs(topo.numGpus(), std::uint64_t{1}
+                                                     << 20);
+    EXPECT_DOUBLE_EQ(large.gatherNs, 1246632.96);
+    EXPECT_DOUBLE_EQ(large.ringNs, 3234449.4933333332);
+    EXPECT_DOUBLE_EQ(large.treeNs, 1110790.3999999999);
+
+    // The tree's log-depth latency advantage at small messages and
+    // its bandwidth discipline at large ones are exactly what the
+    // published NCCL ring-vs-tree crossover shows on multi-node
+    // A100 fabrics: tree wins both here.
+    EXPECT_EQ(small.best(), CollectiveAlgo::Tree);
+    EXPECT_EQ(large.best(), CollectiveAlgo::Tree);
+}
+
 TEST(CollectiveEstimator, TuningIsDeterministic)
 {
     const DeviceSpec dev = DeviceSpec::a100();

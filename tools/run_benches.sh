@@ -18,10 +18,12 @@
 # context.
 #
 # Timing rows are only meaningful from an optimized build: the script
-# refuses to write BENCH_msm.json when the bench binary reports a
-# non-Release library_build_type, unless DISTMSM_ALLOW_DEBUG_BENCH=1
-# is set — in which case it warns loudly and tags the JSON with
-# "non_release_build": true.
+# refuses to write BENCH_msm.json when the build tree or the bench
+# binary's reported library_build_type is not Release, unless --smoke
+# or DISTMSM_ALLOW_DEBUG_BENCH=1 downgrades the refusal — in which
+# case it warns loudly, forces the JSON to mode "smoke" and tags it
+# ("non_release_build" / "benchmark_library_build_type") so tainted
+# rows are never mistaken for full-mode numbers.
 #
 # Usage: tools/run_benches.sh [--smoke] [build-dir]
 #   --smoke    CI mode: only the 2^14 rows, shorter min_time, and no
@@ -138,6 +140,27 @@ for d in ${scale_devices}; do
     done
 done
 
+# Tensor-core vs CUDA-core field-backend ablation (analytic,
+# instant): the same BN254 geometry at 2^14..2^22 priced with each
+# forced backend plus the planner's Auto pick, and one MNT4753 point
+# where the cost model says the tensor path loses (the 12-limb digit
+# matrices drown in compaction zero-lanes). The python stage gates
+# modeled TC < CUDA-core on BN254 at every size, Auto agreeing with
+# the winner on both curves.
+tc_sizes="14 16 18 20 22"
+for ln in ${tc_sizes}; do
+    for fb in cuda-core tensor-core auto; do
+        DISTMSM_TRACE="${build_dir}/tc_${ln}_${fb}.json" \
+            "${build_dir}/examples/msm_cli" bn254 "${ln}" 8 \
+            --field-backend="${fb}" > /dev/null
+    done
+done
+for fb in cuda-core tensor-core auto; do
+    DISTMSM_TRACE="${build_dir}/tc_mnt_20_${fb}.json" \
+        "${build_dir}/examples/msm_cli" mnt4753 20 8 \
+        --field-backend="${fb}" > /dev/null
+done
+
 SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
     ABLATION_TXT="${ablation_txt}" OUT="${repo_root}/BENCH_msm.json" \
     TRACE_SUMMARY="${build_dir}/trace_summary.json" \
@@ -147,6 +170,7 @@ SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
     BUILD_TYPE="${build_type}" \
     BUILD_DIR="${build_dir}" \
     SCALE_DEVICES="${scale_devices}" \
+    TC_SIZES="${tc_sizes}" \
     REPETITIONS="${repetitions}" \
     ALLOW_DEBUG="${DISTMSM_ALLOW_DEBUG_BENCH:-0}" \
     python3 - <<'PY'
@@ -185,12 +209,29 @@ if non_release:
               "Release, or set DISTMSM_ALLOW_DEBUG_BENCH=1 to tag "
               "and proceed.", file=sys.stderr)
         sys.exit(1)
+# The benchmark binary reports the *google-benchmark library* build
+# in context.library_build_type. A debug harness inflates every
+# per-iteration bookkeeping cost, so a mismatch with the Release tree
+# taints the timing rows: fail rather than silently emit them. In
+# --smoke mode (CI) or under DISTMSM_ALLOW_DEBUG_BENCH=1 the run
+# proceeds, but the JSON is forced to mode "smoke" and tagged so no
+# reader mistakes the rows for trustworthy full-mode numbers.
 lib_type = micro.get("context", {}).get("library_build_type", "")
-if lib_type.lower() != "release":
-    print(f"WARNING: google-benchmark library itself was built "
-          f"'{lib_type or 'unknown'}'; harness overhead may be "
-          "inflated (rows tagged benchmark_library_build_type).",
-          file=sys.stderr)
+lib_mismatch = (not non_release) and lib_type.lower() != "release"
+if lib_mismatch:
+    msg = (f"google-benchmark library was built "
+           f"'{lib_type or 'unknown'}' against a "
+           f"'{build_type}' tree — harness overhead taints the "
+           "timing rows")
+    if os.environ["SMOKE"] == "1" or os.environ["ALLOW_DEBUG"] == "1":
+        print(f"WARNING: {msg}; JSON forced to mode 'smoke' and "
+              "tagged benchmark_library_build_type.", file=sys.stderr)
+    else:
+        print(f"error: {msg}. Rebuild the benchmark library as "
+              "Release, run with --smoke, or set "
+              "DISTMSM_ALLOW_DEBUG_BENCH=1 to tag and proceed.",
+              file=sys.stderr)
+        sys.exit(1)
 
 CONFIGS = {
     "BM_EngineMsmLegacy": ("legacy", {"glv": False, "batchAffine": False}),
@@ -353,6 +394,69 @@ if head["devices"] == 256 and \
           file=sys.stderr)
     sys.exit(1)
 
+# Tensor-core field-backend ablation (analytic timelines from
+# msm_cli --field-backend): forced CUDA-core vs forced tensor-core
+# vs the planner's Auto pick. Gates: on BN254 the modeled TC backend
+# must beat CUDA cores at every size and Auto must resolve to TC; on
+# MNT4753 the inverse (TC loses to compaction zero-lanes, Auto keeps
+# CUDA cores). Auto must also never be slower than both forced rows.
+FIELD_BACKENDS = {1: "cuda-core", 2: "tensor-core"}
+
+def tc_metrics(tag, fb):
+    path = os.path.join(os.environ["BUILD_DIR"],
+                        f"tc_{tag}_{fb}.metrics.json")
+    with open(path) as f:
+        return json.load(f)
+
+def tc_row(curve, log_n, tag):
+    row = {"curve": curve, "log2_n": log_n, "n": 1 << log_n}
+    for fb in ("cuda-core", "tensor-core", "auto"):
+        m = tc_metrics(tag, fb)
+        key = fb.replace("-", "_")
+        row[f"{key}_total_ms"] = m["timeline/total_ns"] / 1e6
+        row[f"{key}_bucket_sum_ms"] = m["timeline/bucket_sum_ns"] / 1e6
+        if fb == "auto":
+            row["auto_resolved"] = FIELD_BACKENDS.get(
+                int(m["timeline/field_backend"]), "?")
+    row["bucket_sum_speedup_tc_vs_cuda"] = round(
+        row["cuda_core_bucket_sum_ms"] / row["tensor_core_bucket_sum_ms"],
+        3) if row["tensor_core_bucket_sum_ms"] else None
+    row["total_speedup_tc_vs_cuda"] = round(
+        row["cuda_core_total_ms"] / row["tensor_core_total_ms"], 3) \
+        if row["tensor_core_total_ms"] else None
+    return row
+
+tc_rows = [tc_row("BN254", int(ln), ln)
+           for ln in os.environ["TC_SIZES"].split()]
+tc_rows.append(tc_row("MNT4753", 20, "mnt_20"))
+
+for row in tc_rows:
+    curve, n = row["curve"], row["n"]
+    want = "tensor-core" if curve == "BN254" else "cuda-core"
+    if row["auto_resolved"] != want:
+        print(f"error: {curve} n={n}: auto resolved to "
+              f"'{row['auto_resolved']}', cost model says '{want}'.",
+              file=sys.stderr)
+        sys.exit(1)
+    tc, cc = row["tensor_core_total_ms"], row["cuda_core_total_ms"]
+    if curve == "BN254" and tc >= cc:
+        print(f"error: BN254 n={n}: modeled tensor-core total "
+              f"({tc:.3f} ms) is not below CUDA-core ({cc:.3f} ms).",
+              file=sys.stderr)
+        sys.exit(1)
+    if curve == "MNT4753" and cc >= tc:
+        print(f"error: MNT4753 n={n}: CUDA-core total ({cc:.3f} ms) "
+              f"should beat the tensor path ({tc:.3f} ms) — the "
+              "cost model's compaction penalty vanished.",
+              file=sys.stderr)
+        sys.exit(1)
+    auto_ms = row["auto_total_ms"]
+    if auto_ms > min(tc, cc) * (1.0 + 1e-9):
+        print(f"error: {curve} n={n}: auto ({auto_ms:.3f} ms) is "
+              f"slower than the best forced backend "
+              f"({min(tc, cc):.3f} ms).", file=sys.stderr)
+        sys.exit(1)
+
 # Machine/load guard: the conditions the timing rows were taken
 # under, embedded so a reader (or a CI diff) can spot untrustworthy
 # numbers — a debug build, a loaded box — without re-running.
@@ -379,7 +483,8 @@ doc = {
     "geometry": {
         "gpus": 8, "window_bits": 13, "signed_digits": True,
         "precompute_window_bits": 16},
-    "mode": "smoke" if os.environ["SMOKE"] == "1" else "full",
+    "mode": "smoke" if (os.environ["SMOKE"] == "1" or lib_mismatch)
+            else "full",
     "context": micro.get("context", {}),
     "guard": guard,
     "rows": rows,
@@ -387,6 +492,12 @@ doc = {
         "curve": "BN254", "log2_n": 24,
         "gate": "tuned merge < gather merge at 256 devices",
         "rows": scaling,
+    },
+    "tc_ablation": {
+        "gate": "modeled tensor-core < cuda-core on BN254 at every "
+                "size; auto resolves to the cost-model winner on "
+                "both curves and never loses to a forced backend",
+        "rows": tc_rows,
     },
     "speedup_glv_batch_vs_legacy": speedups,
     "speedup_precompute_warm_vs_glv_batch": speedups_pre,
@@ -411,6 +522,7 @@ if non_release:
     doc["non_release_build"] = True
 if lib_type.lower() != "release":
     doc["benchmark_library_build_type"] = lib_type or "unknown"
+guard["benchmark_library_mismatch"] = lib_mismatch
 with open(os.environ["OUT"], "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -428,4 +540,9 @@ for row in scaling:
           f"{row['gather_merge_ms']:.3f} ms vs tuned "
           f"({row['tuned_collective']}) {row['tuned_merge_ms']:.3f} "
           f"ms = {row['merge_speedup_tuned_vs_gather']}x")
+for row in tc_rows:
+    print(f"  {row['curve']} n=2^{row['log2_n']}: bucket sum "
+          f"tc vs cuda = {row['bucket_sum_speedup_tc_vs_cuda']}x, "
+          f"total = {row['total_speedup_tc_vs_cuda']}x, auto -> "
+          f"{row['auto_resolved']}")
 PY

@@ -11,6 +11,7 @@
  *   flags:   --naive-scatter --gpu-reduce --signed --no-tc
  *            --field-backend=<auto|cuda-core|tensor-core>
  *            --glv --batch-affine --precompute
+ *            --planner=<heuristic|search|cached>
  *            --topology=<spec> --collective=<gather|ring|tree|auto>
  *            --window=<s> --functional=<log2 n>
  *            --faults=<spec> --max-retries=<n> --no-checksums
@@ -82,6 +83,16 @@ printHelp()
         "                       every field mul through the TC "
         "model;\n"
         "                       results stay bit-identical)\n"
+        "  --planner=<p>        plan selection strategy:\n"
+        "                         heuristic  hand-tuned rules "
+        "(default)\n"
+        "                         search     cost-model plan search\n"
+        "                         cached     search behind the "
+        "persisted\n"
+        "                                    plan cache "
+        "(DISTMSM_PLAN_CACHE\n"
+        "                                    or "
+        "~/.cache/distmsm/plans.tsv)\n"
         "  --topology=<spec>    hierarchical cluster topology;\n"
         "                       comma-separated keys:\n"
         "                         nodes=N      node count\n"
@@ -240,6 +251,16 @@ main(int argc, char **argv)
                     arg.substr(16).c_str());
                 return 2;
             }
+        } else if (arg.rfind("--planner=", 0) == 0) {
+            if (!msm::parsePlannerMode(arg.substr(10),
+                                       &options.planner)) {
+                std::fprintf(
+                    stderr,
+                    "bad --planner '%s' (want heuristic, search "
+                    "or cached)\n",
+                    arg.substr(10).c_str());
+                return 2;
+            }
         } else if (arg == "--no-checksums") {
             options.verifyChecksums = false;
         } else if (arg == "--fault-report") {
@@ -319,6 +340,8 @@ main(int argc, char **argv)
     std::printf("      field backend: %s%s\n",
                 gpusim::fieldBackendName(plan.fieldBackend),
                 plan.fieldBackendAuto ? " (auto-selected)" : "");
+    std::printf("      planner: %s\n",
+                msm::plannerModeName(options.planner));
     if (plan.precompute) {
         std::printf("      fixed-base precompute: %.1f MiB of "
                     "tables, windows merge into one bucket pass\n",

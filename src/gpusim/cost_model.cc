@@ -1,6 +1,7 @@
 #include "src/gpusim/cost_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "src/sched/dag.h"
@@ -13,6 +14,15 @@ namespace {
 
 /** Block size assumed for the EC kernels. */
 constexpr int kEcBlockThreads = 256;
+
+/** See CostModel::evaluations(). */
+std::atomic<std::uint64_t> g_evaluations{0};
+
+inline void
+noteEvaluation()
+{
+    g_evaluations.fetch_add(1, std::memory_order_relaxed);
+}
 
 /** Cached schedule results so the model agrees with src/sched. */
 struct SchedNumbers
@@ -265,6 +275,7 @@ CostModel::ecThroughputNs(const CurveProfile &curve,
                           const EcKernelVariant &v, EcOp op,
                           std::uint64_t total_ops) const
 {
+    noteEvaluation();
     if (total_ops == 0)
         return 0.0;
     const double occ = kernelOccupancy(curve, v, op);
@@ -316,6 +327,7 @@ CostModel::ecSerialNs(const CurveProfile &curve,
                       const EcKernelVariant &v, EcOp op,
                       std::uint64_t chain_ops) const
 {
+    noteEvaluation();
     // A lone dependent chain is issue-latency bound: roughly one
     // int32 op per cycle with no latency hiding.
     const double single_thread_rate = spec_.clockGhz * 1e9 * 0.5;
@@ -326,6 +338,7 @@ CostModel::ecSerialNs(const CurveProfile &curve,
 double
 CostModel::atomicNs(const KernelStats &stats, int active_threads) const
 {
+    noteEvaluation();
     DISTMSM_REQUIRE(active_threads > 0, "no active threads");
     double total = 0.0;
     if (stats.globalAtomics > 0) {
@@ -357,6 +370,7 @@ double
 CostModel::scatterComputeNs(std::uint64_t elements,
                             int active_threads) const
 {
+    noteEvaluation();
     const double occ =
         std::min(1.0, static_cast<double>(active_threads) /
                           spec_.maxConcurrentThreads());
@@ -368,12 +382,14 @@ CostModel::scatterComputeNs(std::uint64_t elements,
 double
 CostModel::gmemNs(std::uint64_t bytes) const
 {
+    noteEvaluation();
     return bytes / (spec_.memBandwidthGBs * 1e9) * 1e9;
 }
 
 double
 CostModel::transferNs(std::uint64_t bytes) const
 {
+    noteEvaluation();
     return spec_.transferLatencyUs * 1e3 +
            bytes / (spec_.transferBandwidthGBs * 1e9) * 1e9;
 }
@@ -382,12 +398,19 @@ double
 CostModel::hostEcNs(const CurveProfile &curve, std::uint64_t ops,
                     const HostSpec &host) const
 {
+    noteEvaluation();
     // "a GPU could be up to 128x faster than a high-end CPU": the
     // CPU retires EC additions at 1/128 of the full device rate.
     const EcKernelVariant v = EcKernelVariant::full();
     const double gpu_ns_per_op =
         ecThroughputNs(curve, v, EcOp::Pacc, 1 << 20) / (1 << 20);
     return ops * gpu_ns_per_op * host.gpuToCpuEcRatio;
+}
+
+std::uint64_t
+CostModel::evaluations()
+{
+    return g_evaluations.load(std::memory_order_relaxed);
 }
 
 } // namespace distmsm::gpusim

@@ -234,6 +234,17 @@ class CostModel
     double hostEcNs(const CurveProfile &curve, std::uint64_t ops,
                     const HostSpec &host) const;
 
+    /**
+     * Process-wide monotone count of pricing evaluations (every
+     * ecThroughputNs / ecSerialNs / atomicNs / scatterComputeNs /
+     * gmemNs / transferNs / hostEcNs call, any CostModel instance).
+     * The MSM plan search records the delta across its run as the
+     * `autoplan/cost_model_evals` metric — a warm plan-cache hit
+     * must leave it at exactly zero. Relaxed atomic: a counter, not
+     * a synchronization point.
+     */
+    static std::uint64_t evaluations();
+
   private:
     double effectiveIssue(double occupancy) const;
 

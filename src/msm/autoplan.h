@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cost-model-scored MSM plan search (the autoscheduler).
+ *
+ * The hand-tuned planner (msm/planner.cc) fixes each knob with a
+ * local rule: the window size from the per-thread workload model, the
+ * backend from one kernel comparison, the collective from the link
+ * tuner, everything else from the caller's flags. This module instead
+ * searches the joint space — window bits, signed digits, GLV,
+ * batch-affine, precompute, CPU-vs-GPU reduce placement, field
+ * backend, collective strategy, threads per bucket — and scores every
+ * candidate end to end with the calibrated analytic timeline
+ * (estimateDistMsmWithPlan), in the spirit of Halide's
+ * autoschedulers.
+ *
+ * Guarantees:
+ *  - The heuristic plan is the search's seed: candidates displace it
+ *    only on a *strictly* smaller totalNs (sched::SearchDriver), so
+ *    the searched plan never scores worse than the heuristic one and
+ *    ties return the heuristic's exact plan (bit-compatibility).
+ *  - Candidates are realized through planMsmHeuristic, so every
+ *    searched plan stays inside the space the functional engine can
+ *    execute, and scoring probes pin PlannerMode::Heuristic — the
+ *    search cannot recurse into itself.
+ *  - The search is deterministic: a fixed enumeration order and
+ *    first-seen tie-breaks make repeated calls agree bit-exactly.
+ *
+ * `PlannerMode::Cached` puts the search behind a persisted plan
+ * cache keyed by (curve, N, topology fingerprint, device spec,
+ * option mask). A warm hit returns the stored plan bit-identically
+ * and performs zero cost-model evaluations
+ * (CostModel::evaluations()); entries persist across processes in
+ * DISTMSM_PLAN_CACHE (or ~/.cache/distmsm/plans.tsv).
+ */
+
+#ifndef DISTMSM_MSM_AUTOPLAN_H
+#define DISTMSM_MSM_AUTOPLAN_H
+
+#include <cstdint>
+
+#include "src/gpusim/cluster.h"
+#include "src/gpusim/cost_model.h"
+#include "src/msm/planner.h"
+
+namespace distmsm::msm {
+
+/** Outcome of one plan search (or cache hit). */
+struct AutoPlanResult
+{
+    /** The argmin plan (the heuristic plan when nothing beat it). */
+    MsmPlan plan;
+    /**
+     * The winning candidate's realized options: the caller's options
+     * with the searched functional knobs (signedDigits, batchAffine,
+     * glv, precompute, cpuBucketReduce, ...) applied and planner
+     * reset to Heuristic. The engine adopts these so execution
+     * matches what the score priced.
+     */
+    MsmOptions options;
+    /** Analytic totalNs of the searched / heuristic plans. */
+    double searchedNs = 0.0;
+    double heuristicNs = 0.0;
+    /** Candidates scored (seed included) / discarded unscored. */
+    std::uint64_t evaluated = 0;
+    std::uint64_t pruned = 0;
+    /** CostModel::evaluations() delta across the search — exactly 0
+     *  on a warm cache hit. */
+    std::uint64_t costModelEvals = 0;
+    /** True when the plan came from the persisted cache. */
+    bool cacheHit = false;
+};
+
+/**
+ * Search the plan space for @p n points of @p curve on @p cluster.
+ * @p base supplies the starting knobs and constraints: forced
+ * choices (windowBitsOverride, a non-Auto fieldBackend, a forced
+ * ring/tree collective) pin the corresponding dimension rather than
+ * being second-guessed. PlannerMode::Cached consults the plan cache
+ * first and persists the result on a miss; Search (and Heuristic,
+ * for symmetry) always runs the search.
+ *
+ * Metrics (when base.trace is attached): plan_cache/{hits,misses}
+ * accumulate, autoplan/{evaluated,pruned,cost_model_evals,
+ * searched_ns,heuristic_ns,cache_hit} describe the last search.
+ */
+AutoPlanResult autoplanMsm(const gpusim::CurveProfile &curve,
+                           std::uint64_t n,
+                           const gpusim::Cluster &cluster,
+                           const MsmOptions &base);
+
+/** Drop the in-process plan cache (tests; the persisted file is
+ *  untouched, so a reload exercises the disk round-trip). */
+void resetPlanCacheForTesting();
+
+} // namespace distmsm::msm
+
+#endif // DISTMSM_MSM_AUTOPLAN_H

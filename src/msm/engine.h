@@ -38,6 +38,7 @@
 #include "src/field/backend.h"
 #include "src/field/batch_inverse.h"
 #include "src/gpusim/faults.h"
+#include "src/msm/autoplan.h"
 #include "src/msm/batch_affine.h"
 #include "src/msm/bucket_reduce.h"
 #include "src/msm/checksum.h"
@@ -138,8 +139,29 @@ class MsmEngine
             Curve::kScalarBits, Curve::kAIsZero,
             glv::CurveGlv<Curve>::kSupported ? glv::kHalfScalarBits
                                              : 0};
-        plan_ = planMsm(curve_profile_, points_.size(), cluster_,
-                        options_);
+        // Whether the *user* forced the tensor-core backend must be
+        // read off the original options before the autoscheduler
+        // swaps in the realized candidate: the search may force
+        // TensorCore purely for pricing, and that must not engage
+        // the slow differential execution below.
+        const bool user_forced_tc =
+            options_.fieldBackend ==
+            gpusim::FieldBackend::TensorCore;
+        if (options_.planner != PlannerMode::Heuristic) {
+            // The autoscheduler returns the argmin plan *and* the
+            // winning candidate's realized options (signed digits,
+            // batch-affine, GLV, ... — the functional knobs the
+            // score priced). Adopt both so execution matches the
+            // plan; the realized options carry planner=Heuristic, so
+            // nothing below re-enters the search.
+            AutoPlanResult searched = autoplanMsm(
+                curve_profile_, points_.size(), cluster_, options_);
+            options_ = searched.options;
+            plan_ = searched.plan;
+        } else {
+            plan_ = planMsm(curve_profile_, points_.size(), cluster_,
+                            options_);
+        }
         // Every cost-model price below uses the kernel variant as
         // the plan's resolved field backend executes it; the
         // differential tcmul execution engages only on a *forced*
@@ -148,8 +170,7 @@ class MsmEngine
         eff_kernel_ =
             gpusim::applyFieldBackend(options_.kernel,
                                       plan_.fieldBackend);
-        tc_exec_ = options_.fieldBackend ==
-                   gpusim::FieldBackend::TensorCore;
+        tc_exec_ = user_forced_tc;
         const int host_threads =
             support::resolveHostThreads(options_.hostThreads);
         if (plan_.glv) {

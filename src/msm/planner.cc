@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/msm/autoplan.h"
 #include "src/msm/checksum.h"
 #include "src/msm/precompute.h"
 
@@ -33,9 +34,48 @@ constexpr unsigned kMaxPrecomputeWindowBits = 24;
 
 } // namespace
 
+const char *
+plannerModeName(PlannerMode mode)
+{
+    switch (mode) {
+      case PlannerMode::Heuristic:
+        return "heuristic";
+      case PlannerMode::Search:
+        return "search";
+      case PlannerMode::Cached:
+        return "cached";
+    }
+    return "?";
+}
+
+bool
+parsePlannerMode(std::string_view text, PlannerMode *out)
+{
+    if (text == "heuristic") {
+        *out = PlannerMode::Heuristic;
+    } else if (text == "search") {
+        *out = PlannerMode::Search;
+    } else if (text == "cached") {
+        *out = PlannerMode::Cached;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 MsmPlan
 planMsm(const CurveProfile &curve, std::uint64_t n,
         const gpusim::Cluster &cluster, const MsmOptions &options)
+{
+    if (options.planner != PlannerMode::Heuristic)
+        return autoplanMsm(curve, n, cluster, options).plan;
+    return planMsmHeuristic(curve, n, cluster, options);
+}
+
+MsmPlan
+planMsmHeuristic(const CurveProfile &curve, std::uint64_t n,
+                 const gpusim::Cluster &cluster,
+                 const MsmOptions &options)
 {
     MsmPlan plan;
     // GLV rewrites the problem before planning: 2n points against
@@ -127,7 +167,15 @@ planMsm(const CurveProfile &curve, std::uint64_t n,
     int tpb = 1;
     while (tpb < want && tpb < 1024 && tpb < 2 * points_per_bucket)
         tpb *= 2;
-    plan.threadsPerBucket = std::max(tpb, options.threadsPerBucket);
+    // The override raises the floor but must respect the same
+    // ceilings the grow loop does: the 1024-thread block cap and the
+    // 2x-points-per-bucket idle guard (a forced 4096 comes back
+    // capped, not blowing past what the device can co-schedule).
+    int tpb_cap = static_cast<int>(std::min<double>(
+        1024.0, 2 * points_per_bucket));
+    tpb_cap = std::max(tpb_cap, 1);
+    plan.threadsPerBucket =
+        std::max(tpb, std::min(options.threadsPerBucket, tpb_cap));
 
     // Collective tuner: price the dominant merge payload (the
     // per-device bucket-sum share of the CPU-reduce placement, the
@@ -259,7 +307,26 @@ estimateDistMsm(const CurveProfile &curve, std::uint64_t n,
                 const gpusim::Cluster &cluster,
                 const MsmOptions &options)
 {
-    const MsmPlan plan = planMsm(curve, n, cluster, options);
+    if (options.planner != PlannerMode::Heuristic) {
+        // Price the timeline under the *realized* options (the
+        // winning candidate's functional knobs), not the caller's
+        // starting knobs — that is the configuration the search
+        // scored and the engine will execute.
+        const AutoPlanResult r =
+            autoplanMsm(curve, n, cluster, options);
+        return estimateDistMsmWithPlan(curve, n, cluster, r.options,
+                                       r.plan);
+    }
+    return estimateDistMsmWithPlan(
+        curve, n, cluster, options,
+        planMsmHeuristic(curve, n, cluster, options));
+}
+
+MsmTimeline
+estimateDistMsmWithPlan(const CurveProfile &curve, std::uint64_t n,
+                        const gpusim::Cluster &cluster,
+                        const MsmOptions &options, const MsmPlan &plan)
+{
     const CostModel &model = cluster.model();
     const auto &spec = cluster.device();
     // Every EC kernel below is priced under the plan's resolved
@@ -609,8 +676,12 @@ estimateNdimBaseline(const CurveProfile &curve, std::uint64_t n,
     const unsigned n_win = windowCount(curve.scalarBits, s);
     const double buckets = std::ldexp(1.0, s) - 1.0;
 
-    // Each GPU runs the whole Pippenger on its N / N_gpu slice.
-    const std::uint64_t slice = n / cluster.numGpus();
+    // Each GPU runs the whole Pippenger on its ceil(N / N_gpu) slice:
+    // the makespan is the slowest GPU's share, and truncating here
+    // would silently drop up to numGpus-1 points from the baseline's
+    // scatter/bucket-sum charge at non-divisible N.
+    const std::uint64_t slice =
+        (n + cluster.numGpus() - 1) / cluster.numGpus();
 
     MsmTimeline t;
     t.cpuReduce = false;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/gpusim/cluster.h"
 #include "src/gpusim/collectives.h"
@@ -30,6 +31,26 @@ class TraceRecorder;
 }
 
 namespace distmsm::msm {
+
+/**
+ * How planMsm arrives at the plan.
+ *
+ *  - `Heuristic` — the legacy hand-tuned rules (window model,
+ *    precompute grow-or-decline, bucket-split threshold, ...);
+ *    bit-compatible with every release before the autoscheduler.
+ *  - `Search` — the cost-model-scored plan search of msm/autoplan.h,
+ *    seeded with the heuristic plan so it can only tie or win.
+ *  - `Cached` — `Search` behind the persisted plan cache
+ *    (DISTMSM_PLAN_CACHE / ~/.cache/distmsm); a warm hit performs
+ *    zero cost-model evaluations.
+ */
+enum class PlannerMode { Heuristic, Search, Cached };
+
+const char *plannerModeName(PlannerMode mode);
+
+/** Parses "heuristic" / "search" / "cached". Returns false and
+ *  leaves @p out untouched on junk. */
+bool parsePlannerMode(std::string_view text, PlannerMode *out);
 
 /** User-facing knobs of a DistMSM run. */
 struct MsmOptions
@@ -128,6 +149,12 @@ struct MsmOptions
      * back to the DISTMSM_TRACE environment toggle.
      */
     support::TraceRecorder *trace = nullptr;
+    /**
+     * Plan selection strategy (see PlannerMode). The default keeps
+     * the legacy heuristics; Search/Cached route planMsm through the
+     * autoscheduler in msm/autoplan.h.
+     */
+    PlannerMode planner = PlannerMode::Heuristic;
 };
 
 /** A concrete execution plan. */
@@ -184,10 +211,26 @@ struct MsmPlan
     bool fieldBackendAuto = false;
 };
 
-/** Build the plan for @p n points on @p cluster. */
+/**
+ * Build the plan for @p n points on @p cluster, honoring
+ * MsmOptions::planner: the legacy heuristics, or the cost-model
+ * search (optionally behind the persisted plan cache).
+ */
 MsmPlan planMsm(const gpusim::CurveProfile &curve, std::uint64_t n,
                 const gpusim::Cluster &cluster,
                 const MsmOptions &options);
+
+/**
+ * The legacy hand-tuned planner, ignoring MsmOptions::planner. This
+ * is both `PlannerMode::Heuristic`'s implementation and the search's
+ * seed/pruning oracle: autoplan realizes every candidate through
+ * these rules so searched plans stay inside the space the engine can
+ * execute.
+ */
+MsmPlan planMsmHeuristic(const gpusim::CurveProfile &curve,
+                         std::uint64_t n,
+                         const gpusim::Cluster &cluster,
+                         const MsmOptions &options);
 
 /**
  * Analytically synthesized scatter statistics for @p elements
@@ -207,6 +250,17 @@ MsmTimeline estimateDistMsm(const gpusim::CurveProfile &curve,
                             std::uint64_t n,
                             const gpusim::Cluster &cluster,
                             const MsmOptions &options);
+
+/**
+ * estimateDistMsm against an explicit @p plan instead of re-running
+ * planMsm. The plan search scores candidates through this entry so a
+ * Search-mode options struct cannot recurse back into the search.
+ */
+MsmTimeline estimateDistMsmWithPlan(const gpusim::CurveProfile &curve,
+                                    std::uint64_t n,
+                                    const gpusim::Cluster &cluster,
+                                    const MsmOptions &options,
+                                    const MsmPlan &plan);
 
 /**
  * Analytic timeline of a single-GPU-design Pippenger scaled to

@@ -135,16 +135,23 @@ class SubsetSearch
         auto it = memo_.find(mask);
         if (it != memo_.end())
             return it->second;
-        int best = 1 << 20;
+        // One argmin step of the DP, phrased through the shared
+        // SearchDriver: units in enumeration order, strict
+        // improvement only — first-seen wins ties, exactly the
+        // deterministic contract the MSM plan search reuses.
+        SearchDriver<std::size_t, int> driver;
+        driver.seed(units_.size(), 1 << 20);
         for (std::size_t u = 0; u < units_.size(); ++u) {
             std::uint32_t next = mask;
             int cost = 0;
-            if (!unitReady(mask, u, next, cost))
+            if (!unitReady(mask, u, next, cost)) {
+                driver.prune();
                 continue;
-            best = std::min(best, std::max(cost, solve(next)));
+            }
+            driver.consider(u, std::max(cost, solve(next)));
         }
-        memo_.emplace(mask, best);
-        return best;
+        memo_.emplace(mask, driver.bestScore());
+        return driver.bestScore();
     }
 
     /** Greedy reconstruction of one optimal order. */

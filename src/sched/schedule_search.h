@@ -21,6 +21,76 @@
 
 namespace distmsm::sched {
 
+/**
+ * Deterministic argmin driver shared by the searchers in this repo:
+ * the subset-DP kernel scheduler below and the MSM plan search
+ * (msm/autoplan.*). Candidates are fed in a fixed enumeration order;
+ * only a *strictly* better score displaces the incumbent, so ties
+ * resolve to the first-seen candidate. Seeding the driver with the
+ * heuristic baseline therefore guarantees both that the search never
+ * loses to the heuristic and that it returns the heuristic's exact
+ * answer whenever nothing beats it (bit-compatibility on ties).
+ *
+ * @tparam Candidate copyable candidate description.
+ * @tparam Score totally ordered score (double ns, int registers, ...).
+ */
+template <typename Candidate, typename Score = double>
+class SearchDriver
+{
+  public:
+    /** Counters exported by the search's callers (trace metrics). */
+    struct Stats
+    {
+        /** Candidates scored (seed included). */
+        std::uint64_t evaluated = 0;
+        /** Candidates discarded without scoring. */
+        std::uint64_t pruned = 0;
+        /** Times a candidate strictly improved the incumbent. */
+        std::uint64_t improved = 0;
+    };
+
+    /** Install the baseline candidate; counts as one evaluation. */
+    void
+    seed(const Candidate &candidate, Score score)
+    {
+        best_ = candidate;
+        best_score_ = score;
+        seeded_ = true;
+        ++stats_.evaluated;
+    }
+
+    /**
+     * Offer a scored candidate. Returns true when it strictly beat
+     * the incumbent (or no seed existed yet) and became the new best.
+     */
+    bool
+    consider(const Candidate &candidate, Score score)
+    {
+        ++stats_.evaluated;
+        if (seeded_ && !(score < best_score_))
+            return false;
+        best_ = candidate;
+        best_score_ = score;
+        seeded_ = true;
+        ++stats_.improved;
+        return true;
+    }
+
+    /** Record a candidate discarded before scoring. */
+    void prune(std::uint64_t count = 1) { stats_.pruned += count; }
+
+    bool hasBest() const { return seeded_; }
+    const Candidate &best() const { return best_; }
+    Score bestScore() const { return best_score_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    Candidate best_{};
+    Score best_score_{};
+    bool seeded_ = false;
+    Stats stats_;
+};
+
 /** Result of a schedule search. */
 struct ScheduleResult
 {

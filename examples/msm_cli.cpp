@@ -12,7 +12,9 @@
  *            --field-backend=<auto|cuda-core|tensor-core>
  *            --glv --batch-affine --precompute
  *            --planner=<heuristic|search|cached>
- *            --topology=<spec> --collective=<gather|ring|tree|auto>
+ *            --topology=<spec>
+ *            --collective=<gather|ring|tree|reduce-scatter|auto>
+ *            --pipeline-depth=<d> --partitions=<k>
  *            --window=<s> --functional=<log2 n>
  *            --faults=<spec> --max-retries=<n> --no-checksums
  *            --fault-report --help
@@ -107,8 +109,20 @@ printHelp()
         "                       (overrides the positional gpu "
         "count)\n"
         "  --collective=<c>     bucket/window merge strategy:\n"
-        "                       gather | ring | tree | auto "
-        "(tuner)\n"
+        "                       gather | ring | tree | "
+        "reduce-scatter |\n"
+        "                       auto (tuner re-resolves per merge "
+        "payload)\n"
+        "  --pipeline-depth=<d> MSMs kept in flight per partition "
+        "when\n"
+        "                       pricing the proving pipeline "
+        "(default 1;\n"
+        "                       0 lets --planner=search choose)\n"
+        "  --partitions=<k>     split the cluster into k independent\n"
+        "                       device groups for pricing (default "
+        "1;\n"
+        "                       0 lets --planner=search choose; must\n"
+        "                       divide the GPU count)\n"
         "  --window=<s>         pin the window size\n"
         "  --functional=<ln>    run functionally at N = 2^ln and\n"
         "                       check against serial Pippenger\n"
@@ -293,6 +307,10 @@ main(int argc, char **argv)
                 return 2;
             }
             options.collective = *policy_or;
+        } else if (arg.rfind("--pipeline-depth=", 0) == 0) {
+            options.pipelineDepth = std::atoi(arg.c_str() + 17);
+        } else if (arg.rfind("--partitions=", 0) == 0) {
+            options.devicePartitions = std::atoi(arg.c_str() + 13);
         } else if (arg.rfind("--max-retries=", 0) == 0) {
             options.maxRetries = std::atoi(arg.c_str() + 14);
         } else if (arg.rfind("--window=", 0) == 0) {
@@ -357,11 +375,17 @@ main(int argc, char **argv)
             est.costs(cluster.numGpus(), plan.mergeBytesPerGpu);
         std::printf(
             "      merge: %s (policy %s); predicted gather %.3f / "
-            "ring %.3f / tree %.3f ms\n",
+            "ring %.3f / tree %.3f / reduce-scatter %.3f ms\n",
             gpusim::collectiveAlgoName(plan.collective),
             gpusim::collectivePolicyName(options.collective),
             merge_costs.gatherNs / 1e6, merge_costs.ringNs / 1e6,
-            merge_costs.treeNs / 1e6);
+            merge_costs.treeNs / 1e6,
+            merge_costs.reduceScatterNs / 1e6);
+    }
+    if (plan.pipelineDepth > 1 || plan.devicePartitions > 1) {
+        std::printf("      pipeline: depth %d, %d device "
+                    "partition(s)\n",
+                    plan.pipelineDepth, plan.devicePartitions);
     }
 
     const auto t =

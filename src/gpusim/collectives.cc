@@ -13,6 +13,8 @@ collectiveAlgoName(CollectiveAlgo algo)
         return "ring";
     case CollectiveAlgo::Tree:
         return "tree";
+    case CollectiveAlgo::ReduceScatter:
+        return "reduce-scatter";
     default:
         return "gather";
     }
@@ -26,6 +28,8 @@ collectivePolicyName(CollectivePolicy policy)
         return "ring";
     case CollectivePolicy::Tree:
         return "tree";
+    case CollectivePolicy::ReduceScatter:
+        return "reduce-scatter";
     case CollectivePolicy::Auto:
         return "auto";
     default:
@@ -42,11 +46,14 @@ parseCollectivePolicy(const std::string &name)
         return CollectivePolicy::Ring;
     if (name == "tree")
         return CollectivePolicy::Tree;
+    if (name == "reduce-scatter")
+        return CollectivePolicy::ReduceScatter;
     if (name == "auto")
         return CollectivePolicy::Auto;
-    return support::Status(support::StatusCode::InvalidArgument,
-                           "unknown collective '" + name +
-                               "' (gather|ring|tree|auto)");
+    return support::Status(
+        support::StatusCode::InvalidArgument,
+        "unknown collective '" + name +
+            "' (gather|ring|tree|reduce-scatter|auto)");
 }
 
 CollectiveSchedule
@@ -66,6 +73,34 @@ buildCollectiveSchedule(CollectiveAlgo algo, const Topology &topo,
         // member, which sits on (or nearest) the host's node.
         for (std::size_t i = members.size(); i-- > 1;)
             sched.steps.push_back({members[i], members[i - 1]});
+        return sched;
+    }
+
+    if (algo == CollectiveAlgo::ReduceScatter) {
+        // Ring reduce-scatter over the whole member set (ascending
+        // order is node-major, so most successor hops stay on
+        // NVLink): shard of key k is k % p, member index s owns
+        // shard s. Round r (0..p-2) has every member j forward its
+        // currently-held shard-((j-1-r) mod p) keys to its ring
+        // successor; a key received in round r is exactly the shard
+        // its holder forwards in round r+1, so after p-1 rounds
+        // member s holds ALL keys of shard s and nothing else.
+        // Within a round the forwarded shards of consecutive members
+        // differ, so sequential in-round execution never re-forwards
+        // a key early. Then the allgather: every non-root member
+        // ships its completed shard (whole remaining payload) to the
+        // root. No step ever merges two contributors of one key —
+        // bit-identity with gather is structural.
+        const int p = static_cast<int>(members.size());
+        sched.shardCount = p;
+        for (int r = 0; r + 1 < p; ++r)
+            for (int j = 0; j < p; ++j)
+                sched.steps.push_back(
+                    {members[static_cast<std::size_t>(j)],
+                     members[static_cast<std::size_t>((j + 1) % p)],
+                     (j - 1 - r + 2 * p) % p});
+        for (std::size_t j = 1; j < members.size(); ++j)
+            sched.steps.push_back({members[j], sched.root, -1});
         return sched;
     }
 
@@ -95,6 +130,19 @@ buildCollectiveSchedule(CollectiveAlgo algo, const Topology &topo,
     }
     binomial(leaders);
     return sched;
+}
+
+double
+concurrentTransferNs(const LinkSpec &link, int lanes, int transfers,
+                     double bytes)
+{
+    // One synchronized wave: latency once (posted receives), the
+    // bandwidth terms serialized by occupancy over the link's lanes.
+    const double occupancy =
+        static_cast<double>(std::max(1, transfers)) /
+        static_cast<double>(std::max(1, lanes));
+    return link.latencyUs * 1e3 +
+           occupancy * bytes / (link.bandwidthGBs * 1e9) * 1e9;
 }
 
 double
@@ -218,6 +266,60 @@ CollectiveTimeEstimator::treeNs(
            hostHopNs(num_gpus, bytes_per_gpu);
 }
 
+double
+CollectiveTimeEstimator::reduceScatterNs(
+    int num_gpus, std::uint64_t bytes_per_gpu) const
+{
+    if (num_gpus <= 1)
+        return hostHopNs(num_gpus, bytes_per_gpu);
+    const double b = static_cast<double>(bytes_per_gpu);
+    const int g = std::min(num_gpus, topo_.gpusPerNode);
+    // Phase 1 — intra-node ring reduce-scatter: g - 1 rounds; in
+    // round r every member forwards its accumulated fragment (r
+    // shards of b/g bytes) to its ring successor. All g links are
+    // busy each round, but each transfer occupies a DISTINCT link
+    // (occupancy 1), so a round costs one latency plus the growing
+    // fragment's bandwidth term.
+    double intra_ns = 0.0;
+    for (int r = 1; r < g; ++r)
+        intra_ns += concurrentTransferNs(
+            topo_.intraLink, 1, 1,
+            static_cast<double>(r) * (b / g));
+    const int nodes =
+        (num_gpus + topo_.gpusPerNode - 1) / topo_.gpusPerNode;
+    const int nics = std::max(1, topo_.nicsPerNode);
+    // Phase 2 — inter-node shard exchange: every node streams the
+    // shards owned elsewhere ((nodes-1)/nodes of its g*b bytes) out
+    // of its OWN NIC set, all nodes concurrently — occupancy 1 per
+    // NIC set, one latency for the synchronized wave.
+    double inter_ns = 0.0;
+    if (nodes > 1)
+        inter_ns = concurrentTransferNs(
+            topo_.interLink, nics, 1,
+            static_cast<double>(g) * b *
+                (static_cast<double>(nodes - 1) /
+                 static_cast<double>(nodes)));
+    // Phase 3 — allgather fan-in to the reduce owner: the g - 1
+    // local peers stream their b-byte shards over NVLink (occupancy
+    // g - 1 on the owner's ingress) racing the p - g remote shards
+    // through the host node's NIC set (occupancy p - g over `nics`
+    // lanes). Unlike gather's unsynchronized per-message-latency
+    // funnel, the reduce-scatter left every sender synchronized with
+    // its shard ready, so each wave pays latency once.
+    double ag_ns = concurrentTransferNs(topo_.intraLink, 1, g - 1, b);
+    if (num_gpus > g)
+        ag_ns = std::max(ag_ns,
+                         concurrentTransferNs(topo_.interLink, nics,
+                                              num_gpus - g, b));
+    // The equal-sized shards stream to the host as they arrive, so
+    // the host hop overlaps the fan-in (tree's bursty doubling
+    // unions cannot): charge the max of the two streams plus one
+    // host-link fill latency for the first shard.
+    const double host_ns = hostHopNs(num_gpus, bytes_per_gpu);
+    return intra_ns + inter_ns + std::max(ag_ns, host_ns) +
+           device_.transferLatencyUs * 1e3;
+}
+
 CollectiveAlgo
 CollectiveTimeEstimator::pick(CollectivePolicy policy, int num_gpus,
                               std::uint64_t bytes_per_gpu) const
@@ -229,6 +331,8 @@ CollectiveTimeEstimator::pick(CollectivePolicy policy, int num_gpus,
         return CollectiveAlgo::Ring;
     case CollectivePolicy::Tree:
         return CollectiveAlgo::Tree;
+    case CollectivePolicy::ReduceScatter:
+        return CollectiveAlgo::ReduceScatter;
     case CollectivePolicy::Auto:
         break;
     }

@@ -4,24 +4,33 @@
  * cost-model-driven tuner.
  *
  * The MSM bucket/window merge moves each device's disjoint partial
- * results (window points, or bucket-slice sums) to the host. Three
+ * results (window points, or bucket-slice sums) to the host. Four
  * strategies:
  *
- *   gather   every device ships straight to the host (the paper's
- *            all-to-host baseline; remote devices contend for the
- *            host node's NICs)
- *   ring     devices forward along a node-grouped chain; only the
- *            chain's head (on the host's node) crosses the host link
- *   tree     binomial reduce inside each node over NVLink, then a
- *            binomial combine across node leaders over InfiniBand
- *            (disjoint leader pairs use their own NICs concurrently),
- *            then one host hop
+ *   gather          every device ships straight to the host (the
+ *                   paper's all-to-host baseline; remote devices
+ *                   contend for the host node's NICs)
+ *   ring            devices forward along a node-grouped chain; only
+ *                   the chain's head (on the host's node) crosses
+ *                   the host link
+ *   tree            binomial reduce inside each node over NVLink,
+ *                   then a binomial combine across node leaders over
+ *                   InfiniBand (disjoint leader pairs use their own
+ *                   NICs concurrently), then one host hop
+ *   reduce-scatter  intra-node NVLink ring reduce-scatter so every
+ *                   member ends up owning one key shard, an
+ *                   inter-node shard exchange streaming on every
+ *                   node's own NICs concurrently, then an allgather
+ *                   of the equal-sized shards back to the reduce
+ *                   owner, overlapped with the host hop
  *
  * Because every merged key has exactly one non-identity contributor
  * (the distributions partition windows/buckets) and padd() returns
  * its non-identity operand bit-exactly, any combine order yields the
  * gather result bit-for-bit — the strategies differ only in modeled
- * time and per-link traffic.
+ * time and per-link traffic. Reduce-scatter in particular never
+ * combines in flight either: a "shard" step moves only the keys
+ * owned by the shard, each still with its single contributor.
  *
  * CollectiveTimeEstimator predicts per-(topology, message-size,
  * device-count) merge time from the link model, in the style of
@@ -30,6 +39,31 @@
  * branch reproduces Cluster::gatherNs's original formula bit-exactly
  * and the refined per-message pricing stays off, so pre-existing
  * timelines never move.
+ *
+ * Congestion model
+ * ----------------
+ * Transfers that share a link serialize proportionally to their
+ * concurrent occupancy. concurrentTransferNs() is the primitive: one
+ * wave of `transfers` synchronized senders streaming `bytes` each
+ * over `lanes` independent lanes of one link pays the link latency
+ * once (posted receives — the senders are already synchronized by
+ * the collective's previous phase) and `transfers / lanes` times the
+ * serialized bandwidth term. The legacy formulas are already
+ * congestion-consistent under this reading and stay bit-exact
+ * (KAT-pinned):
+ *
+ *   gather  an *unsynchronized* occupancy-N funnel into the host
+ *           node — each DMA pays its own latency, the bandwidth
+ *           terms serialize (local_gpus x host link, remote_gpus x
+ *           striped NICs)
+ *   ring    each chain hop occupies a distinct link (occupancy 1);
+ *           the slot time is the max over the contended hop kinds
+ *   tree    every round's partner pairs use disjoint links
+ *           (occupancy 1 per link; concurrent pairs don't share)
+ *
+ * reduceScatterNs() prices the new schedule with the primitive where
+ * occupancy exceeds one: the allgather fan-in is a (g-1)-occupancy
+ * NVLink wave racing a (p-g)-occupancy NIC wave into the owner.
  */
 
 #ifndef DISTMSM_GPUSIM_COLLECTIVES_H
@@ -46,15 +80,15 @@
 namespace distmsm::gpusim {
 
 /** A concrete merge strategy. */
-enum class CollectiveAlgo { Gather, Ring, Tree };
+enum class CollectiveAlgo { Gather, Ring, Tree, ReduceScatter };
 
 /** The planner-facing knob: a forced strategy, or the tuner. */
-enum class CollectivePolicy { Gather, Ring, Tree, Auto };
+enum class CollectivePolicy { Gather, Ring, Tree, ReduceScatter, Auto };
 
 const char *collectiveAlgoName(CollectiveAlgo algo);
 const char *collectivePolicyName(CollectivePolicy policy);
 
-/** Parse "gather" | "ring" | "tree" | "auto". */
+/** Parse "gather" | "ring" | "tree" | "reduce-scatter" | "auto". */
 support::StatusOr<CollectivePolicy>
 parseCollectivePolicy(const std::string &name);
 
@@ -64,6 +98,7 @@ struct CollectiveCosts
     double gatherNs = 0.0;
     double ringNs = 0.0;
     double treeNs = 0.0;
+    double reduceScatterNs = 0.0;
 
     double
     ns(CollectiveAlgo algo) const
@@ -73,12 +108,15 @@ struct CollectiveCosts
             return ringNs;
         case CollectiveAlgo::Tree:
             return treeNs;
+        case CollectiveAlgo::ReduceScatter:
+            return reduceScatterNs;
         default:
             return gatherNs;
         }
     }
 
-    /** Argmin; ties prefer gather, then ring (the simpler plans). */
+    /** Argmin; ties prefer gather, then ring, then tree (the
+     *  simpler plans, in schedule-size order). */
     CollectiveAlgo
     best() const
     {
@@ -88,17 +126,27 @@ struct CollectiveCosts
             algo = CollectiveAlgo::Ring;
             best_ns = ringNs;
         }
-        if (treeNs < best_ns)
+        if (treeNs < best_ns) {
             algo = CollectiveAlgo::Tree;
+            best_ns = treeNs;
+        }
+        if (reduceScatterNs < best_ns)
+            algo = CollectiveAlgo::ReduceScatter;
         return algo;
     }
 };
 
-/** One device-to-device reduce edge; dst absorbs src's payload. */
+/**
+ * One device-to-device reduce edge; dst absorbs src's payload.
+ * shard < 0 moves src's whole payload (the legacy semantics); shard
+ * >= 0 moves only the keys k with k % shardCount == shard, leaving
+ * the rest on src (the reduce-scatter rounds).
+ */
 struct CollectiveStep
 {
     int src = 0;
     int dst = 0;
+    int shard = -1;
 };
 
 /**
@@ -106,13 +154,15 @@ struct CollectiveStep
  * dependency order (a device sends only after every step targeting
  * it in an earlier position ran), then the root ships the merged
  * payload to the host. Gather has no steps and root -1 (every member
- * ships directly).
+ * ships directly). shardCount > 0 (reduce-scatter) keys the shard
+ * filter of the sharded steps: shard of key k is k % shardCount.
  */
 struct CollectiveSchedule
 {
     CollectiveAlgo algo = CollectiveAlgo::Gather;
     std::vector<CollectiveStep> steps;
     int root = -1;
+    int shardCount = 0;
 };
 
 /**
@@ -127,6 +177,20 @@ struct CollectiveSchedule
 CollectiveSchedule
 buildCollectiveSchedule(CollectiveAlgo algo, const Topology &topo,
                         const std::vector<int> &members);
+
+/**
+ * Concurrent-transfer congestion primitive: one wave of @p transfers
+ * synchronized senders, each streaming @p bytes over a shared link
+ * of @p lanes independent lanes (NVLink pair, PCIe complex, or a
+ * node's NIC set). The senders were synchronized by the collective's
+ * previous phase and the receives are posted, so the wave pays the
+ * link latency ONCE; the bandwidth terms serialize proportionally to
+ * occupancy (transfers / lanes). Monotone in @p transfers and
+ * antitone in @p lanes by construction (KAT-pinned); transfers == 1
+ * on a single lane degenerates to LinkSpec::ns.
+ */
+double concurrentTransferNs(const LinkSpec &link, int lanes,
+                            int transfers, double bytes);
 
 /**
  * Analytic per-strategy merge-time model over one topology
@@ -162,6 +226,16 @@ class CollectiveTimeEstimator
     /** Intra-node binomial + leader binomial + one host hop. */
     double treeNs(int num_gpus, std::uint64_t bytes_per_gpu) const;
 
+    /**
+     * Intra-node ring reduce-scatter + inter-node shard exchange +
+     * allgather fan-in to the owner, the fan-in wave racing (and
+     * overlapping) the streamed host hop. The congestion primitive
+     * prices the two fan-in waves; see the .cc for the phase
+     * accounting.
+     */
+    double reduceScatterNs(int num_gpus,
+                           std::uint64_t bytes_per_gpu) const;
+
     CollectiveCosts
     costs(int num_gpus, std::uint64_t bytes_per_gpu) const
     {
@@ -169,6 +243,8 @@ class CollectiveTimeEstimator
         c.gatherNs = gatherNs(num_gpus, bytes_per_gpu);
         c.ringNs = ringNs(num_gpus, bytes_per_gpu);
         c.treeNs = treeNs(num_gpus, bytes_per_gpu);
+        c.reduceScatterNs =
+            reduceScatterNs(num_gpus, bytes_per_gpu);
         return c;
     }
 

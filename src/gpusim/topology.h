@@ -61,23 +61,31 @@ enum class IntraTopo {
  * the CollectiveTimeEstimator prices merges with, calibrated against
  * published numbers rather than invented per call site.
  *
- * kNvlink3NvSwitch — A100 NVSwitch fabric. beta: 600 GB/s aggregate
- * per GPU (12 NVLink3 links x 50 GB/s, NVIDIA A100 datasheet; the
- * DGX-A100 NVSwitch is non-blocking, so a pair sustains the full
- * aggregate). alpha: 2 us, NCCL's measured intra-node base latency
- * for a small message through the proxy/NVSwitch path (nccl-tests
- * busbw tables report 1-3 us alpha for 8xA100 NVLink rings; the
- * midpoint keeps the legacy timelines byte-identical).
+ * kNvlink3NvSwitch — A100 NVSwitch fabric. beta: 300 GB/s per GPU
+ * per direction (12 NVLink3 links x 25 GB/s/direction, NVIDIA A100
+ * datasheet — the headline "600 GB/s" is the bidirectional sum; a
+ * collective stream moves payload one direction over a link, and
+ * published nccl-tests bus bandwidth on 8x A100 NVSwitch saturates
+ * at 230-280 GB/s per GPU for large all_gather/reduce_scatter,
+ * i.e. bounded by the 300 GB/s unidirectional injection rate, never
+ * by 600). alpha: 2 us, NCCL's measured intra-node base latency for
+ * a small message through the proxy/NVSwitch path (nccl-tests busbw
+ * tables report 1-3 us alpha for 8xA100 NVLink rings).
  *
  * kInfinibandHdrNic — one HDR InfiniBand NIC. beta: 200 Gb/s = 25
- * GB/s per NIC (HDR data rate; DGX-A100 ships 8 such NICs). alpha:
- * 10 us, NCCL's inter-node base latency through the IB verbs
- * transport (nccl-tests reports 8-15 us small-message latency for
- * cross-node rings/trees; ring alpha dominates at small sizes,
- * matching the tuner's preference for tree on deep multi-node
- * merges).
+ * GB/s per NIC (HDR data rate; DGX-A100 ships 8 such NICs;
+ * nccl-tests cross-node busbw reaches 23-24 GB/s per NIC, so the
+ * nominal rate is the calibrated ceiling). alpha: 10 us, NCCL's
+ * inter-node base latency through the IB verbs transport
+ * (nccl-tests reports 8-15 us small-message latency for cross-node
+ * rings/trees; ring alpha dominates at small sizes, matching the
+ * tuner's preference for tree on deep multi-node merges).
+ *
+ * Each preset is locked by a merge-time KAT in test_topology.cc
+ * (PresetConstantsKat + DgxPresetMergeTimeKat): recalibrating a
+ * constant moves those pinned values, deliberately.
  */
-inline constexpr LinkSpec kNvlink3NvSwitch{600.0, 2.0};
+inline constexpr LinkSpec kNvlink3NvSwitch{300.0, 2.0};
 inline constexpr LinkSpec kInfinibandHdrNic{25.0, 10.0};
 
 /** Hierarchical cluster shape: nodes x devices plus link classes. */
@@ -154,7 +162,7 @@ struct Topology
      *   nodes=N        node count (default 1)
      *   gpus=G         GPUs per node (default 8)
      *   intra=ring|fc  intra-node NVLink wiring (default fc)
-     *   nvlink=GBs     intra-node link bandwidth (default 600)
+     *   nvlink=GBs     intra-node link bandwidth (default 300)
      *   nvlink_us=US   intra-node link latency (default 2)
      *   ib=GBs         inter-node per-NIC bandwidth (default 25)
      *   ib_us=US       inter-node link latency (default 10)

@@ -5,12 +5,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/msm/pipeline.h"
 #include "src/sched/schedule_search.h"
 #include "src/support/trace.h"
 
@@ -36,6 +38,11 @@ struct Candidate
     FieldBackend fieldBackend = FieldBackend::Auto;
     CollectivePolicy collective = CollectivePolicy::Gather;
     int threadsPerBucket = 1;
+    /** Pricing knobs (MsmOptions::pipelineDepth/devicePartitions):
+     *  0 passes the search sentinel through, which planMsmHeuristic
+     *  resolves to 1 — identical to an explicit 1. */
+    int pipelineDepth = 1;
+    int devicePartitions = 1;
 };
 
 /** The caller's own knobs as a candidate — the search's seed. */
@@ -52,6 +59,8 @@ seedCandidate(const MsmOptions &base)
     c.fieldBackend = base.fieldBackend;
     c.collective = base.collective;
     c.threadsPerBucket = base.threadsPerBucket;
+    c.pipelineDepth = base.pipelineDepth;
+    c.devicePartitions = base.devicePartitions;
     return c;
 }
 
@@ -77,7 +86,23 @@ realize(const MsmOptions &base, const Candidate &c)
     o.fieldBackend = c.fieldBackend;
     o.collective = c.collective;
     o.threadsPerBucket = c.threadsPerBucket;
+    o.pipelineDepth = c.pipelineDepth;
+    o.devicePartitions = c.devicePartitions;
     return o;
+}
+
+/**
+ * DISTMSM_AUTOPLAN_BEAM: a positive width turns the exhaustive
+ * enumeration into a staged beam search (see searchPlans); unset,
+ * empty, or <= 0 keeps the exhaustive default.
+ */
+int
+beamWidthFromEnv()
+{
+    const char *v = std::getenv("DISTMSM_AUTOPLAN_BEAM");
+    if (v == nullptr || *v == '\0')
+        return 0;
+    return std::atoi(v);
 }
 
 /** Deterministic 64-bit FNV-1a over the fingerprint string. */
@@ -104,7 +129,7 @@ cacheKey(const CurveProfile &curve, std::uint64_t n,
 {
     std::ostringstream s;
     s.precision(17);
-    s << "v1|" << curve.name << '|' << curve.fieldBits << '|'
+    s << "v2|" << curve.name << '|' << curve.fieldBits << '|'
       << curve.scalarBits << '|' << curve.aIsZero << '|'
       << curve.glvScalarBits << '|' << n << '|'
       << cluster.topology().describe() << '|';
@@ -140,7 +165,8 @@ cacheKey(const CurveProfile &curve, std::uint64_t n,
       << o.scatter.sharedBytesPerBlock << '|'
       << o.scatter.localIdBytes << '|' << o.scatter.globalIdBytes
       << '|' << o.scatter.uncoalescedWriteFactor << '|'
-      << o.verifyChecksums;
+      << o.verifyChecksums << '|' << o.pipelineDepth << '|'
+      << o.devicePartitions << '|' << beamWidthFromEnv();
     return fnv1a(s.str());
 }
 
@@ -172,12 +198,14 @@ formatEntry(std::uint64_t key, const CacheEntry &e)
       << p.tableBytes << '\t' << static_cast<int>(p.collective)
       << '\t' << p.mergeBytesPerGpu << '\t'
       << static_cast<int>(p.fieldBackend) << '\t'
-      << p.fieldBackendAuto << '\t' << c.windowBits << '\t'
+      << p.fieldBackendAuto << '\t' << p.pipelineDepth << '\t'
+      << p.devicePartitions << '\t' << c.windowBits << '\t'
       << c.signedDigits << '\t' << c.glv << '\t' << c.batchAffine
       << '\t' << c.precompute << '\t' << c.cpuBucketReduce << '\t'
       << static_cast<int>(c.fieldBackend) << '\t'
       << static_cast<int>(c.collective) << '\t'
-      << c.threadsPerBucket << '\t' << ns;
+      << c.threadsPerBucket << '\t' << c.pipelineDepth << '\t'
+      << c.devicePartitions << '\t' << ns;
     return s.str();
 }
 
@@ -185,8 +213,8 @@ bool
 parseEntry(const std::string &line, std::uint64_t &key, CacheEntry &e)
 {
     std::istringstream s(line);
-    long long pi[16];
-    long long ci[9];
+    long long pi[18];
+    long long ci[11];
     double ns[2];
     if (!(s >> key))
         return false;
@@ -216,6 +244,8 @@ parseEntry(const std::string &line, std::uint64_t &key, CacheEntry &e)
     p.mergeBytesPerGpu = static_cast<std::uint64_t>(pi[13]);
     p.fieldBackend = static_cast<FieldBackend>(pi[14]);
     p.fieldBackendAuto = pi[15] != 0;
+    p.pipelineDepth = static_cast<int>(pi[16]);
+    p.devicePartitions = static_cast<int>(pi[17]);
     Candidate &c = e.winner;
     c.windowBits = static_cast<unsigned>(ci[0]);
     c.signedDigits = ci[1] != 0;
@@ -226,6 +256,8 @@ parseEntry(const std::string &line, std::uint64_t &key, CacheEntry &e)
     c.fieldBackend = static_cast<FieldBackend>(ci[6]);
     c.collective = static_cast<CollectivePolicy>(ci[7]);
     c.threadsPerBucket = static_cast<int>(ci[8]);
+    c.pipelineDepth = static_cast<int>(ci[9]);
+    c.devicePartitions = static_cast<int>(ci[10]);
     e.searchedNs = ns[0];
     e.heuristicNs = ns[1];
     return true;
@@ -343,15 +375,116 @@ windowCandidates(const MsmOptions &base, unsigned heuristic_bits)
     return out;
 }
 
-/** Score one realized candidate: heuristic plan + analytic total. */
+/**
+ * Score one realized candidate: heuristic plan + analytic timeline.
+ *
+ * At pipelineDepth 1 x devicePartitions 1 (the default, and what the
+ * heuristic seed resolves to) the score is exactly totalNs() — the
+ * pre-existing objective, so the search-never-loses contract holds
+ * bit-exactly. Deeper candidates are scored as a two-stage flow shop
+ * (pipeline.h): depth d keeps d MSMs in flight per partition, and
+ * splitting the cluster into k partitions runs k independent streams
+ * whose GPU stages each take ~k times longer (1/k of the devices);
+ * the objective is the amortized per-MSM makespan, which rewards
+ * depth exactly when the exposed host tail can hide behind another
+ * MSM's GPU stage.
+ */
 double
 scoreCandidate(const CurveProfile &curve, std::uint64_t n,
                const gpusim::Cluster &cluster,
                const MsmOptions &probe, MsmPlan &plan_out)
 {
     plan_out = planMsmHeuristic(curve, n, cluster, probe);
-    return estimateDistMsmWithPlan(curve, n, cluster, probe, plan_out)
-        .totalNs();
+    const MsmTimeline t =
+        estimateDistMsmWithPlan(curve, n, cluster, probe, plan_out);
+    const int d = plan_out.pipelineDepth;
+    const int k = plan_out.devicePartitions;
+    if (d <= 1 && k <= 1)
+        return t.totalNs();
+    const PipelineTask task{t.gpuStageNs() * k,
+                            t.totalNs() - t.gpuStageNs()};
+    const std::vector<PipelineTask> tasks(
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(k),
+        task);
+    return pipelineMakespanNs(tasks) / static_cast<double>(d * k);
+}
+
+/** The knob value lists one search enumerates (fixed order; a
+ *  pinned option collapses its dimension to a singleton). */
+struct SearchDims
+{
+    std::vector<unsigned> windows;
+    std::vector<bool> toggles{false, true};
+    std::vector<bool> glvs;
+    std::vector<bool> cpuReduce;
+    std::vector<FieldBackend> backends;
+    std::vector<CollectivePolicy> collectives;
+    std::vector<int> tpbs;
+    std::vector<int> depths;
+    std::vector<int> partitions;
+
+    std::uint64_t
+    space() const
+    {
+        return static_cast<std::uint64_t>(windows.size()) *
+               toggles.size() * glvs.size() * toggles.size() *
+               toggles.size() * cpuReduce.size() * backends.size() *
+               collectives.size() * tpbs.size() * depths.size() *
+               partitions.size();
+    }
+};
+
+SearchDims
+buildDims(const CurveProfile &curve, const gpusim::Cluster &cluster,
+          const MsmOptions &base, const MsmPlan &seed_plan)
+{
+    SearchDims d;
+    d.windows = windowCandidates(base, seed_plan.windowBits);
+    d.glvs = curve.glvScalarBits == 0 ? std::vector<bool>{false}
+                                      : std::vector<bool>{false, true};
+    d.tpbs = {base.threadsPerBucket};
+    if (2 * seed_plan.threadsPerBucket != base.threadsPerBucket)
+        d.tpbs.push_back(2 * seed_plan.threadsPerBucket);
+    if (base.fieldBackend != FieldBackend::Auto) {
+        d.backends = {base.fieldBackend};
+    } else if (!base.kernel.tensorCoreMont) {
+        // Auto must not resurrect an explicitly stripped variant.
+        d.backends = {FieldBackend::CudaCore};
+    } else {
+        d.backends = {FieldBackend::CudaCore,
+                      FieldBackend::TensorCore};
+    }
+    if (base.collective == CollectivePolicy::Ring ||
+        base.collective == CollectivePolicy::Tree ||
+        base.collective == CollectivePolicy::ReduceScatter) {
+        d.collectives = {base.collective};
+    } else {
+        // Gather (the legacy default) and Auto both mean "merge
+        // strategy not pinned": search the four concrete
+        // strategies against the full timeline, which sees overlap
+        // effects the link tuner's local argmin cannot.
+        d.collectives = {CollectivePolicy::Gather,
+                         CollectivePolicy::Ring,
+                         CollectivePolicy::Tree,
+                         CollectivePolicy::ReduceScatter};
+    }
+    d.cpuReduce = base.cpuBucketReduce ? std::vector<bool>{false, true}
+                                       : std::vector<bool>{false};
+    // Pipeline depth / device partitions: 0 opts the dimension into
+    // the search; any explicit value pins it. Partitions must divide
+    // the cluster evenly (the heuristic falls back to 1 otherwise).
+    if (base.pipelineDepth == 0)
+        d.depths = {1, 2, 4};
+    else
+        d.depths = {std::max(1, base.pipelineDepth)};
+    if (base.devicePartitions == 0) {
+        for (const int k : {1, 2, 4})
+            if (k <= cluster.numGpus() && cluster.numGpus() % k == 0)
+                d.partitions.push_back(k);
+    } else {
+        d.partitions = {std::max(1, base.devicePartitions)};
+    }
+    return d;
 }
 
 /** The search proper (no cache involvement). */
@@ -371,72 +504,183 @@ searchPlans(const CurveProfile &curve, std::uint64_t n,
                        seed_plan);
     driver.seed(seed, seed_ns);
 
-    const std::vector<unsigned> windows =
-        windowCandidates(base, seed_plan.windowBits);
-    std::vector<int> tpbs{base.threadsPerBucket};
-    if (2 * seed_plan.threadsPerBucket != base.threadsPerBucket)
-        tpbs.push_back(2 * seed_plan.threadsPerBucket);
-    std::vector<FieldBackend> backends;
-    if (base.fieldBackend != FieldBackend::Auto) {
-        backends = {base.fieldBackend};
-    } else if (!base.kernel.tensorCoreMont) {
-        // Auto must not resurrect an explicitly stripped variant.
-        backends = {FieldBackend::CudaCore};
-    } else {
-        backends = {FieldBackend::CudaCore, FieldBackend::TensorCore};
-    }
-    std::vector<CollectivePolicy> collectives;
-    if (base.collective == CollectivePolicy::Ring ||
-        base.collective == CollectivePolicy::Tree) {
-        collectives = {base.collective};
-    } else {
-        // Gather (the legacy default) and Auto both mean "merge
-        // strategy not pinned": search the three concrete
-        // strategies against the full timeline, which sees overlap
-        // effects the link tuner's local argmin cannot.
-        collectives = {CollectivePolicy::Gather,
-                       CollectivePolicy::Ring,
-                       CollectivePolicy::Tree};
-    }
-    const std::vector<bool> toggles{false, true};
-    std::vector<bool> cpu_reduce{false, true};
-    if (!base.cpuBucketReduce)
-        cpu_reduce = {false};
+    const SearchDims dims = buildDims(curve, cluster, base, seed_plan);
+    const auto score = [&](const Candidate &c) {
+        MsmPlan plan;
+        return scoreCandidate(curve, n, cluster, realize(base, c),
+                              plan);
+    };
 
-    for (const unsigned w : windows) {
-        for (const bool sd : toggles) {
-            for (const bool glv : toggles) {
-                if (glv && curve.glvScalarBits == 0) {
-                    driver.prune();
-                    continue;
+    const int beam = beamWidthFromEnv();
+    if (beam > 0) {
+        // Staged beam: fix one knob per stage, keeping the `beam`
+        // best partially-refined candidates (every unfixed knob holds
+        // its stem's value, so each stem is always a complete,
+        // scoreable candidate). Every scored candidate also feeds
+        // the driver, and the driver was seeded first — so however
+        // narrow the beam, the result never loses to the heuristic
+        // seed. Stems carry their scores forward between stages
+        // (offered to the next pool unscored); only genuinely new
+        // knob values cost an evaluation.
+        using Setter = std::function<std::vector<Candidate>(
+            const Candidate &)>;
+        const std::vector<Setter> stages{
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const unsigned v : dims.windows)
+                    if (v != s.windowBits) {
+                        out.push_back(s);
+                        out.back().windowBits = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const bool v : dims.toggles)
+                    if (v != s.signedDigits) {
+                        out.push_back(s);
+                        out.back().signedDigits = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const bool v : dims.glvs)
+                    if (v != s.glv) {
+                        out.push_back(s);
+                        out.back().glv = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const bool v : dims.toggles)
+                    if (v != s.batchAffine) {
+                        out.push_back(s);
+                        out.back().batchAffine = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const bool v : dims.toggles)
+                    if (v != s.precompute) {
+                        out.push_back(s);
+                        out.back().precompute = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const bool v : dims.cpuReduce)
+                    if (v != s.cpuBucketReduce) {
+                        out.push_back(s);
+                        out.back().cpuBucketReduce = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const FieldBackend v : dims.backends)
+                    if (v != s.fieldBackend) {
+                        out.push_back(s);
+                        out.back().fieldBackend = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const CollectivePolicy v : dims.collectives)
+                    if (v != s.collective) {
+                        out.push_back(s);
+                        out.back().collective = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const int v : dims.tpbs)
+                    if (v != s.threadsPerBucket) {
+                        out.push_back(s);
+                        out.back().threadsPerBucket = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const int v : dims.depths)
+                    if (v != s.pipelineDepth) {
+                        out.push_back(s);
+                        out.back().pipelineDepth = v;
+                    }
+                return out;
+            },
+            [&](const Candidate &s) {
+                std::vector<Candidate> out;
+                for (const int v : dims.partitions)
+                    if (v != s.devicePartitions) {
+                        out.push_back(s);
+                        out.back().devicePartitions = v;
+                    }
+                return out;
+            },
+        };
+        std::vector<sched::BeamPool<Candidate, double>::Entry> stems{
+            {seed, seed_ns}};
+        for (const Setter &stage : stages) {
+            sched::BeamPool<Candidate, double> pool(beam);
+            for (const auto &stem : stems) {
+                pool.offer(stem.candidate, stem.score);
+                for (const Candidate &c : stage(stem.candidate)) {
+                    const double ns = score(c);
+                    driver.consider(c, ns);
+                    pool.offer(c, ns);
                 }
-                for (const bool ba : toggles)
-                    for (const bool pre : toggles)
-                        for (const bool cpu : cpu_reduce)
-                            for (const FieldBackend fb : backends)
-                                for (const CollectivePolicy cp :
-                                     collectives)
-                                    for (const int tpb : tpbs) {
-                                        Candidate c;
-                                        c.windowBits = w;
-                                        c.signedDigits = sd;
-                                        c.glv = glv;
-                                        c.batchAffine = ba;
-                                        c.precompute = pre;
-                                        c.cpuBucketReduce = cpu;
-                                        c.fieldBackend = fb;
-                                        c.collective = cp;
-                                        c.threadsPerBucket = tpb;
-                                        MsmPlan plan;
-                                        driver.consider(
-                                            c,
-                                            scoreCandidate(
-                                                curve, n, cluster,
-                                                realize(base, c),
-                                                plan));
-                                    }
             }
+            stems = pool.entries();
         }
+        // Everything the narrowed beam never reached counts as
+        // pruned — the exhaustive space minus what was scored.
+        const std::uint64_t space = dims.space();
+        if (space > driver.stats().evaluated)
+            driver.prune(space - driver.stats().evaluated);
+    } else {
+        for (const unsigned w : dims.windows)
+            for (const bool sd : dims.toggles)
+                for (const bool glv : dims.glvs)
+                    for (const bool ba : dims.toggles)
+                        for (const bool pre : dims.toggles)
+                            for (const bool cpu : dims.cpuReduce)
+                                for (const FieldBackend fb :
+                                     dims.backends)
+                                    for (const CollectivePolicy cp :
+                                         dims.collectives)
+                                        for (const int tpb : dims.tpbs)
+                                            for (const int dep :
+                                                 dims.depths)
+                                                for (const int par :
+                                                     dims.partitions) {
+                                                    Candidate c;
+                                                    c.windowBits = w;
+                                                    c.signedDigits =
+                                                        sd;
+                                                    c.glv = glv;
+                                                    c.batchAffine = ba;
+                                                    c.precompute = pre;
+                                                    c.cpuBucketReduce =
+                                                        cpu;
+                                                    c.fieldBackend =
+                                                        fb;
+                                                    c.collective = cp;
+                                                    c.threadsPerBucket =
+                                                        tpb;
+                                                    c.pipelineDepth =
+                                                        dep;
+                                                    c.devicePartitions =
+                                                        par;
+                                                    driver.consider(
+                                                        c, score(c));
+                                                }
     }
 
     AutoPlanResult r;

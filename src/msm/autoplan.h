@@ -8,10 +8,19 @@
  * tuner, everything else from the caller's flags. This module instead
  * searches the joint space — window bits, signed digits, GLV,
  * batch-affine, precompute, CPU-vs-GPU reduce placement, field
- * backend, collective strategy, threads per bucket — and scores every
- * candidate end to end with the calibrated analytic timeline
- * (estimateDistMsmWithPlan), in the spirit of Halide's
- * autoschedulers.
+ * backend, collective strategy (gather/ring/tree/reduce-scatter),
+ * threads per bucket, pipeline depth, and device partitions — and
+ * scores every candidate end to end with the calibrated analytic
+ * timeline (estimateDistMsmWithPlan; candidates with pipeline depth
+ * or partitions > 1 score the amortized two-stage flow-shop makespan
+ * instead), in the spirit of Halide's autoschedulers.
+ *
+ * DISTMSM_AUTOPLAN_BEAM=<width> replaces the exhaustive enumeration
+ * with a staged beam search: one knob is fixed per stage and only
+ * the `width` best partial refinements survive to the next stage.
+ * The heuristic seed is always scored first, so even width 1 never
+ * returns a plan scoring worse than the heuristic's. Unset or <= 0
+ * keeps the exhaustive default.
  *
  * Guarantees:
  *  - The heuristic plan is the search's seed: candidates displace it

@@ -1198,17 +1198,28 @@ class MsmEngine
     }
 
     /**
-     * Functional ring/tree merge: route the per-device (points,
-     * keys) payloads device-to-device along the collective schedule
-     * — each hop a checksummed shipPayload, receivers concatenating
-     * — then one root->host hop carrying the union. The keys are
-     * disjoint (each window/bucket has exactly one contributor), so
-     * no point is ever combined in-flight and the union reaching the
-     * host is bit-identical to the all-to-host gather; the RLC
-     * digests are keyed by global index, so re-routing never changes
-     * the digest a payload must match. Steps execute sequentially in
-     * schedule order — one deterministic transfer-counter stream, so
-     * injected faults hit the same hop at every hostThreads setting.
+     * Functional ring/tree/reduce-scatter merge: route the
+     * per-device (points, keys) payloads device-to-device along the
+     * collective schedule — each hop a checksummed shipPayload,
+     * receivers concatenating — then one root->host hop carrying the
+     * union. A sharded step (reduce-scatter rounds) moves only the
+     * keys k with k % shardCount == step.shard, leaving the rest on
+     * the sender. The keys are disjoint (each window/bucket has
+     * exactly one contributor), so no point is ever combined
+     * in-flight and the union reaching the host is bit-identical to
+     * the all-to-host gather; the RLC digests are keyed by global
+     * index, so re-routing never changes the digest a payload must
+     * match. Steps execute sequentially in schedule order — one
+     * deterministic transfer-counter stream, so injected faults hit
+     * the same hop at every hostThreads setting.
+     *
+     * Under CollectivePolicy::Auto the strategy is re-resolved here
+     * against the merge's *actual* payload size (the plan resolved
+     * it once, at the planning-time estimate): the congestion-priced
+     * winner executes at each merge point. When the per-payload pick
+     * is Gather, every member ships its payload straight to the host
+     * (the schedule has no steps and no root).
+     *
      * On success @p out_points / @p out_keys hold the union;
      * @p payloads / @p keys are consumed.
      */
@@ -1233,24 +1244,91 @@ class MsmEngine
         if (members.empty())
             return support::Status::ok();
         const gpusim::Topology &topo = cluster_.topology();
+        gpusim::CollectiveAlgo algo = plan_.collective;
+        if (options_.collective ==
+            gpusim::CollectivePolicy::Auto) {
+            // Deterministic payload size for the re-resolution: the
+            // busiest member's bytes (identical at every hostThreads
+            // — the payload partition is fixed by the plan).
+            std::uint64_t max_bytes = 0;
+            for (const int m : members)
+                max_bytes = std::max<std::uint64_t>(
+                    max_bytes,
+                    payloads[static_cast<std::size_t>(m)].size() *
+                        sizeof(Xyzz));
+            algo = gpusim::CollectiveTimeEstimator(
+                       topo, cluster_.device())
+                       .pick(gpusim::CollectivePolicy::Auto,
+                             static_cast<int>(members.size()),
+                             max_bytes);
+        }
         const gpusim::CollectiveSchedule sched =
-            gpusim::buildCollectiveSchedule(plan_.collective, topo,
-                                            members);
+            gpusim::buildCollectiveSchedule(algo, topo, members);
         namespace lane = support::tracelane;
         support::TraceRecorder *trace = options_.trace;
         const std::uint64_t digest_pts =
             options_.verifyChecksums ? 1 : 0;
+        if (sched.root < 0) {
+            // The per-payload pick degenerated to Gather: each
+            // member ships straight to the host, ascending.
+            for (const int m : members) {
+                auto &m_pts =
+                    payloads[static_cast<std::size_t>(m)];
+                auto &m_keys = keys[static_cast<std::size_t>(m)];
+                std::vector<Xyzz> received;
+                const support::Status shipped = shipPayload(
+                    m, m_pts, m_keys, fplan, xfer_counter, report,
+                    fault_log, received);
+                if (!shipped.isOk())
+                    return shipped;
+                out_points.insert(out_points.end(),
+                                  received.begin(), received.end());
+                out_keys.insert(out_keys.end(), m_keys.begin(),
+                                m_keys.end());
+                m_pts.clear();
+                m_keys.clear();
+            }
+            return support::Status::ok();
+        }
         double cursor = 0.0;
         std::uint64_t bytes_intra = 0;
         std::uint64_t bytes_inter = 0;
+        std::vector<Xyzz> ship_pts;
+        std::vector<std::uint64_t> ship_keys;
         for (const gpusim::CollectiveStep &step : sched.steps) {
             auto &src_pts = payloads[
                 static_cast<std::size_t>(step.src)];
             auto &src_keys = keys[
                 static_cast<std::size_t>(step.src)];
+            if (step.shard < 0) {
+                ship_pts = std::move(src_pts);
+                ship_keys = std::move(src_keys);
+            } else {
+                // Sharded step: split the sender's payload into the
+                // forwarded shard and the rest, preserving order on
+                // both sides (deterministic at every hostThreads).
+                ship_pts.clear();
+                ship_keys.clear();
+                std::vector<Xyzz> stay_pts;
+                std::vector<std::uint64_t> stay_keys;
+                for (std::size_t i = 0; i < src_keys.size(); ++i) {
+                    if (static_cast<int>(
+                            src_keys[i] %
+                            static_cast<std::uint64_t>(
+                                sched.shardCount)) == step.shard) {
+                        ship_pts.push_back(src_pts[i]);
+                        ship_keys.push_back(src_keys[i]);
+                    } else {
+                        stay_pts.push_back(src_pts[i]);
+                        stay_keys.push_back(src_keys[i]);
+                    }
+                }
+                src_pts = std::move(stay_pts);
+                src_keys = std::move(stay_keys);
+            }
             std::vector<Xyzz> received;
             const support::Status shipped = shipPayload(
-                step.src, src_pts, src_keys, fplan, xfer_counter,
+                step.src, ship_pts, ship_keys, fplan, xfer_counter,
                 report, fault_log, received);
             if (!shipped.isOk())
                 return shipped;
@@ -1268,8 +1346,8 @@ class MsmEngine
                     lane::kTransferTid, "transfer");
                 trace->span(
                     "collective/" + trace_prefix +
-                        std::string(gpusim::collectiveAlgoName(
-                            plan_.collective)),
+                        std::string(
+                            gpusim::collectiveAlgoName(algo)),
                     "transfer", lane::engineDevicePid(step.src),
                     lane::kTransferTid, cursor, dur,
                     support::TraceArgs()
@@ -1284,10 +1362,10 @@ class MsmEngine
                 static_cast<std::size_t>(step.dst)];
             dst_pts.insert(dst_pts.end(), received.begin(),
                            received.end());
-            dst_keys.insert(dst_keys.end(), src_keys.begin(),
-                            src_keys.end());
-            src_pts.clear();
-            src_keys.clear();
+            dst_keys.insert(dst_keys.end(), ship_keys.begin(),
+                            ship_keys.end());
+            ship_pts.clear();
+            ship_keys.clear();
         }
         auto &root_pts = payloads[
             static_cast<std::size_t>(sched.root)];

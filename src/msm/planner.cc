@@ -196,6 +196,19 @@ planMsmHeuristic(const CurveProfile &curve, std::uint64_t n,
             .pick(options.collective, cluster.numGpus(),
                   plan.mergeBytesPerGpu);
 
+    // Pipeline depth and device partitions: the heuristic planner
+    // resolves the searchable sentinel (0) to the legacy single-MSM
+    // geometry; only the plan search enumerates deeper values. A
+    // partition count that does not divide the cluster falls back to
+    // the whole-cluster plan rather than a ragged split.
+    plan.pipelineDepth = std::max(1, options.pipelineDepth);
+    const int want_parts = std::max(1, options.devicePartitions);
+    plan.devicePartitions =
+        (want_parts <= cluster.numGpus() &&
+         cluster.numGpus() % want_parts == 0)
+            ? want_parts
+            : 1;
+
     // Field-backend resolution: a forced choice maps straight
     // through; Auto prices the dominant accumulation kernel (the
     // bucket sum retiring one EC add per scattered point) under both
@@ -442,10 +455,22 @@ estimateDistMsmWithPlan(const CurveProfile &curve, std::uint64_t n,
         static_cast<std::uint64_t>(sums_per_gpu * xyzzBytes(curve)));
     const gpusim::CollectiveCosts gpu_merge_costs = merge_est.costs(
         cluster.numGpus(), xyzzBytes(curve));
-    const double transfer_cpu_ns =
-        cpu_merge_costs.ns(plan.collective);
-    const double transfer_gpu_ns =
-        gpu_merge_costs.ns(plan.collective);
+    // CollectivePolicy::Auto re-resolves per (topology, payload):
+    // the CPU-reduce placement merges the full bucket-sum share, the
+    // GPU-reduce placement ships one partial per GPU — two very
+    // different payloads, so each gets its own congestion-priced
+    // argmin instead of inheriting the plan-time pick (which was
+    // made at the CPU placement's payload). Forced policies keep the
+    // plan's resolved strategy for both, bit-compatible with every
+    // earlier timeline.
+    const bool auto_collective =
+        options.collective == gpusim::CollectivePolicy::Auto;
+    const gpusim::CollectiveAlgo cpu_algo =
+        auto_collective ? cpu_merge_costs.best() : plan.collective;
+    const gpusim::CollectiveAlgo gpu_algo =
+        auto_collective ? gpu_merge_costs.best() : plan.collective;
+    const double transfer_cpu_ns = cpu_merge_costs.ns(cpu_algo);
+    const double transfer_gpu_ns = gpu_merge_costs.ns(gpu_algo);
 
     // The overlapped host reduce hides behind the GPU *stage* —
     // kernels plus the transfer streaming the sums out (Section
@@ -461,7 +486,7 @@ estimateDistMsmWithPlan(const CurveProfile &curve, std::uint64_t n,
     t.cpuReduce = cpu_reduce;
     t.bucketReduceNs = cpu_reduce ? host_reduce_ns : gpu_reduce_ns;
     t.transferNs = cpu_reduce ? transfer_cpu_ns : transfer_gpu_ns;
-    t.collective = plan.collective;
+    t.collective = cpu_reduce ? cpu_algo : gpu_algo;
     t.mergeCosts = cpu_reduce ? cpu_merge_costs : gpu_merge_costs;
 
     // --- Transfer checksum verification (fault layer) ---
@@ -630,14 +655,22 @@ traceMsmTimeline(support::TraceRecorder &trace, const MsmPlan &plan,
     metrics.set(mp + "num_gpus",
                 static_cast<double>(cluster.numGpus()));
     // Merge strategy and the tuner's per-strategy predictions for
-    // the same payload (0 = gather, 1 = ring, 2 = tree), so bench
-    // harnesses can read the gather-vs-collective spread without
-    // re-deriving the link model.
+    // the same payload (0 = gather, 1 = ring, 2 = tree, 3 = reduce-
+    // scatter), so bench harnesses can read the gather-vs-collective
+    // spread without re-deriving the link model.
     metrics.set(mp + "collective",
                 static_cast<double>(static_cast<int>(t.collective)));
     metrics.set(mp + "merge_gather_ns", t.mergeCosts.gatherNs);
     metrics.set(mp + "merge_ring_ns", t.mergeCosts.ringNs);
     metrics.set(mp + "merge_tree_ns", t.mergeCosts.treeNs);
+    metrics.set(mp + "merge_reduce_scatter_ns",
+                t.mergeCosts.reduceScatterNs);
+    // The plan's pipeline geometry (searchable knobs; 1/1 is the
+    // legacy single-MSM objective).
+    metrics.set(mp + "pipeline_depth",
+                static_cast<double>(plan.pipelineDepth));
+    metrics.set(mp + "device_partitions",
+                static_cast<double>(plan.devicePartitions));
     // Resolved field-arithmetic backend the EC kernels were priced
     // under (gpusim::FieldBackend: 1 = cuda-core, 2 = tensor-core),
     // plus whether the planner's Auto resolution made the pick.

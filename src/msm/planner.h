@@ -84,13 +84,35 @@ struct MsmOptions
     bool batchAffine = false;
     /**
      * Merge strategy for the bucket/window merge (gpusim/
-     * collectives.h): a forced gather/ring/tree, or Auto to let the
-     * link-cost tuner pick per (topology, message size, device
-     * count). Gather — the default — is the paper's all-to-host
+     * collectives.h): a forced gather/ring/tree/reduce-scatter, or
+     * Auto to let the link-cost tuner pick per (topology, message
+     * size, device count) — re-resolved at every merge point, not
+     * once per plan, so congestion-priced winners are picked per
+     * payload. Gather — the default — is the paper's all-to-host
      * baseline and reproduces the legacy execution exactly.
      */
     gpusim::CollectivePolicy collective =
         gpusim::CollectivePolicy::Gather;
+    /**
+     * MSMs kept in flight per partition in the two-stage proving
+     * flow shop (msm/pipeline.h): the planner scores candidates by
+     * the depth-amortized makespan instead of one MSM's latency.
+     * 1 — the default — prices exactly the single-MSM totalNs (the
+     * legacy objective); 0 lets the plan search choose the depth
+     * from {1, 2, 4}. Values > 1 never change the functional result
+     * — only the planner's objective and the plan's recorded
+     * geometry.
+     */
+    int pipelineDepth = 1;
+    /**
+     * Independent device partitions serving concurrent MSMs: the
+     * cluster splits into this many equal groups, each running its
+     * own proof stream while the single host serializes the reduce
+     * tails. 1 — the default — is the whole-cluster plan; 0 lets the
+     * search choose from the divisors of the device count in
+     * {1, 2, 4}. Like pipelineDepth, a pricing/geometry knob only.
+     */
+    int devicePartitions = 1;
     /** EC kernel optimization set (Section 4). */
     gpusim::EcKernelVariant kernel = gpusim::EcKernelVariant::full();
     /**
@@ -209,6 +231,12 @@ struct MsmPlan
     /** True when the planner's Auto resolution chose the backend (vs
      *  a forced MsmOptions::fieldBackend). */
     bool fieldBackendAuto = false;
+    /** Resolved MsmOptions::pipelineDepth (search picks when the
+     *  option was 0); >= 1 in a built plan. */
+    int pipelineDepth = 1;
+    /** Resolved MsmOptions::devicePartitions; >= 1 and dividing the
+     *  device count in a built plan. */
+    int devicePartitions = 1;
 };
 
 /**

@@ -44,8 +44,8 @@ struct MsmTimeline
      * The merge strategy transferNs was priced with (the plan's
      * tuner-resolved collective), plus the per-strategy predictions
      * for the same merge so traces and benches can show the
-     * gather-vs-ring-vs-tree spread. Gather with all-zero costs
-     * before the estimator runs.
+     * gather-vs-ring-vs-tree-vs-reduce-scatter spread. Gather with
+     * all-zero costs before the estimator runs.
      */
     gpusim::CollectiveAlgo collective = gpusim::CollectiveAlgo::Gather;
     gpusim::CollectiveCosts mergeCosts;

@@ -63,7 +63,9 @@ samePlan(const MsmPlan &a, const MsmPlan &b)
            a.collective == b.collective &&
            a.mergeBytesPerGpu == b.mergeBytesPerGpu &&
            a.fieldBackend == b.fieldBackend &&
-           a.fieldBackendAuto == b.fieldBackendAuto;
+           a.fieldBackendAuto == b.fieldBackendAuto &&
+           a.pipelineDepth == b.pipelineDepth &&
+           a.devicePartitions == b.devicePartitions;
 }
 
 CurveProfile
@@ -132,8 +134,9 @@ TEST(AutoplanSweep, SearchNeverLosesToHeuristic)
                 8 + static_cast<unsigned>(prng.below(10));
         constexpr CollectivePolicy kPolicies[] = {
             CollectivePolicy::Gather, CollectivePolicy::Ring,
-            CollectivePolicy::Tree, CollectivePolicy::Auto};
-        base.collective = kPolicies[prng.below(4)];
+            CollectivePolicy::Tree, CollectivePolicy::ReduceScatter,
+            CollectivePolicy::Auto};
+        base.collective = kPolicies[prng.below(5)];
         constexpr FieldBackend kBackends[] = {
             FieldBackend::Auto, FieldBackend::CudaCore,
             FieldBackend::TensorCore};
@@ -189,6 +192,101 @@ TEST(AutoplanSweep, SeedIsHeuristicPlan)
     EXPECT_TRUE(r.plan.fieldBackendAuto);
     EXPECT_LE(r.searchedNs, r.heuristicNs);
     EXPECT_GE(r.evaluated, 1u);
+}
+
+// ---------------------------------------------------------------
+// Beam search (DISTMSM_AUTOPLAN_BEAM): even the narrowest beam is
+// seeded with the heuristic plan and so never loses to it; an
+// unbounded beam enumerates exactly the exhaustive candidate set
+// and reproduces the exhaustive argmin score.
+// ---------------------------------------------------------------
+TEST(AutoplanBeam, NarrowBeamNeverLosesWideBeamMatchesExhaustive)
+{
+    const CurveProfile curve = CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), Topology::dgx(2, 4));
+    const std::uint64_t n = 1ull << 18;
+    MsmOptions base;
+    base.planner = PlannerMode::Search;
+
+    unsetenv("DISTMSM_AUTOPLAN_BEAM");
+    const AutoPlanResult exhaustive =
+        autoplanMsm(curve, n, cluster, base);
+
+    ASSERT_EQ(setenv("DISTMSM_AUTOPLAN_BEAM", "1", 1), 0);
+    const AutoPlanResult narrow =
+        autoplanMsm(curve, n, cluster, base);
+    EXPECT_LE(narrow.searchedNs, narrow.heuristicNs);
+    EXPECT_DOUBLE_EQ(narrow.heuristicNs, exhaustive.heuristicNs);
+    EXPECT_LT(narrow.evaluated, exhaustive.evaluated);
+    EXPECT_GT(narrow.pruned, 0u);
+
+    // Width far beyond every stage's fan-out: the staged expansion
+    // covers the full Cartesian product, so the argmin score is the
+    // exhaustive one.
+    ASSERT_EQ(setenv("DISTMSM_AUTOPLAN_BEAM", "65536", 1), 0);
+    const AutoPlanResult wide = autoplanMsm(curve, n, cluster, base);
+    EXPECT_DOUBLE_EQ(wide.searchedNs, exhaustive.searchedNs);
+
+    // Determinism under a fixed width.
+    ASSERT_EQ(setenv("DISTMSM_AUTOPLAN_BEAM", "2", 1), 0);
+    const AutoPlanResult a = autoplanMsm(curve, n, cluster, base);
+    const AutoPlanResult b = autoplanMsm(curve, n, cluster, base);
+    EXPECT_TRUE(samePlan(a.plan, b.plan));
+    EXPECT_DOUBLE_EQ(a.searchedNs, b.searchedNs);
+
+    unsetenv("DISTMSM_AUTOPLAN_BEAM");
+}
+
+// ---------------------------------------------------------------
+// Pipeline depth and device partitions as search dimensions.
+// ---------------------------------------------------------------
+TEST(AutoplanPipeline, SearchableDepthNeverLosesAndHidesHostTail)
+{
+    const CurveProfile curve = CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const std::uint64_t n = 1ull << 20;
+    MsmOptions base;
+    base.pipelineDepth = 0;    // let the search choose
+    base.devicePartitions = 0; // let the search choose
+    base.planner = PlannerMode::Search;
+
+    const AutoPlanResult r = autoplanMsm(curve, n, cluster, base);
+    EXPECT_LE(r.searchedNs, r.heuristicNs);
+    // The default plan has a real host tail (the window reduce at
+    // minimum), so keeping more MSMs in flight strictly lowers the
+    // amortized per-MSM makespan: the search must engage the depth.
+    EXPECT_GT(r.plan.pipelineDepth, 1);
+    EXPECT_TRUE(r.plan.pipelineDepth == 2 ||
+                r.plan.pipelineDepth == 4);
+    EXPECT_GE(r.plan.devicePartitions, 1);
+    EXPECT_EQ(cluster.numGpus() % r.plan.devicePartitions, 0);
+    EXPECT_LT(r.searchedNs, r.heuristicNs);
+}
+
+TEST(AutoplanPipeline, ExplicitKnobsPassThroughAndValidate)
+{
+    const CurveProfile curve = CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    MsmOptions o;
+    o.windowBitsOverride = 8;
+    o.pipelineDepth = 2;
+    o.devicePartitions = 4;
+    MsmPlan plan = planMsm(curve, 1ull << 18, cluster, o);
+    EXPECT_EQ(plan.pipelineDepth, 2);
+    EXPECT_EQ(plan.devicePartitions, 4);
+
+    // A partition count that does not divide the cluster falls back
+    // to 1 rather than fabricating ragged device groups.
+    o.devicePartitions = 3;
+    plan = planMsm(curve, 1ull << 18, cluster, o);
+    EXPECT_EQ(plan.devicePartitions, 1);
+
+    // Defaults keep the legacy single-MSM objective bit-exactly.
+    MsmOptions plain;
+    plain.windowBitsOverride = 8;
+    plan = planMsm(curve, 1ull << 18, cluster, plain);
+    EXPECT_EQ(plan.pipelineDepth, 1);
+    EXPECT_EQ(plan.devicePartitions, 1);
 }
 
 // ---------------------------------------------------------------
@@ -248,6 +346,39 @@ TEST(PlanCache, WarmHitIsBitIdenticalAndFree)
         planMsm(curve, n * 2, cluster, options);
     EXPECT_EQ(trace.metrics().value("plan_cache/misses"), 2.0);
     (void)other;
+
+    std::remove(path.c_str());
+    unsetenv("DISTMSM_PLAN_CACHE");
+    resetPlanCacheForTesting();
+}
+
+// The v2 cache records round-trip the pipeline knobs: a searched
+// depth/partition choice must come back bit-identical from the
+// persisted file, not silently reset to 1.
+TEST(PlanCache, PipelineKnobsRoundTripThroughPersistedFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "distmsm_plan_cache_pipeline.tsv";
+    std::remove(path.c_str());
+    ASSERT_EQ(setenv("DISTMSM_PLAN_CACHE", path.c_str(), 1), 0);
+    resetPlanCacheForTesting();
+
+    const CurveProfile curve = CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const std::uint64_t n = 1ull << 18;
+    MsmOptions options;
+    options.planner = PlannerMode::Cached;
+    options.pipelineDepth = 0;
+    options.devicePartitions = 0;
+
+    const MsmPlan cold = planMsm(curve, n, cluster, options);
+    EXPECT_GT(cold.pipelineDepth, 1);
+
+    resetPlanCacheForTesting(); // force the disk round-trip
+    const std::uint64_t evals_before = CostModel::evaluations();
+    const MsmPlan reloaded = planMsm(curve, n, cluster, options);
+    EXPECT_EQ(CostModel::evaluations(), evals_before);
+    EXPECT_TRUE(samePlan(cold, reloaded));
 
     std::remove(path.c_str());
     unsetenv("DISTMSM_PLAN_CACHE");

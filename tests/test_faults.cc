@@ -463,12 +463,15 @@ class TopologyFaultTest : public ::testing::Test
 
 TEST_F(TopologyFaultTest, DeviceKillMidCollectiveReshards)
 {
-    // Kill every device in turn under a forced ring and tree merge:
-    // the dead device drops out of the collective schedule entirely
-    // (ALL its windows reshard onto survivors) and the result stays
-    // bit-identical to the fault-free gather run.
-    for (const auto policy : {gpusim::CollectivePolicy::Ring,
-                              gpusim::CollectivePolicy::Tree}) {
+    // Kill every device in turn under a forced ring, tree and
+    // reduce-scatter merge: the dead device drops out of the
+    // collective schedule entirely (ALL its windows reshard onto
+    // survivors) and the result stays bit-identical to the
+    // fault-free gather run.
+    for (const auto policy :
+         {gpusim::CollectivePolicy::Ring,
+          gpusim::CollectivePolicy::Tree,
+          gpusim::CollectivePolicy::ReduceScatter}) {
         for (int dev = 0; dev < 8; ++dev) {
             auto options = faultTestOptions();
             options.collective = policy;
@@ -525,19 +528,27 @@ TEST_F(TopologyFaultTest, TransientCorruptionMidCollectiveHeals)
 {
     // A one-shot corruption of an early device-to-device hop is
     // detected by the keyed RLC digest at the receiving device and
-    // healed by a retry of that hop alone.
-    auto options = faultTestOptions();
-    options.collective = gpusim::CollectivePolicy::Ring;
-    options.faults.events.push_back(
-        {FaultKind::CorruptTransfer, -1, 0, /*transfer=*/1, 0.0});
-    const auto result_or = tryComputeDistMsm<Bn254>(
-        workload_.points, workload_.scalars, cluster_, options);
-    ASSERT_TRUE(result_or.isOk()) << result_or.status().toString();
-    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
-    EXPECT_EQ(result_or->stats, clean_.stats);
-    EXPECT_EQ(result_or->fault.corruptInjected, 1u);
-    EXPECT_EQ(result_or->fault.corruptDetected, 1u);
-    EXPECT_GE(result_or->fault.retries, 1u);
+    // healed by a retry of that hop alone — on the pipelined ring
+    // and on a sharded reduce-scatter round alike.
+    for (const auto policy :
+         {gpusim::CollectivePolicy::Ring,
+          gpusim::CollectivePolicy::ReduceScatter}) {
+        auto options = faultTestOptions();
+        options.collective = policy;
+        options.faults.events.push_back(
+            {FaultKind::CorruptTransfer, -1, 0, /*transfer=*/1, 0.0});
+        const auto result_or = tryComputeDistMsm<Bn254>(
+            workload_.points, workload_.scalars, cluster_, options);
+        ASSERT_TRUE(result_or.isOk())
+            << gpusim::collectivePolicyName(policy) << ": "
+            << result_or.status().toString();
+        EXPECT_TRUE(bitEqual(result_or->value, clean_.value))
+            << gpusim::collectivePolicyName(policy);
+        EXPECT_EQ(result_or->stats, clean_.stats);
+        EXPECT_EQ(result_or->fault.corruptInjected, 1u);
+        EXPECT_EQ(result_or->fault.corruptDetected, 1u);
+        EXPECT_GE(result_or->fault.retries, 1u);
+    }
 }
 
 TEST_F(TopologyFaultTest, PersistentCorruptionMidCollectiveIsTyped)

@@ -214,7 +214,7 @@ TEST(CollectiveEstimator, SingleGpuDegeneratesToHostHop)
 
 TEST(CollectiveEstimator, RingKat)
 {
-    // 1 node x 4 over a 2us/600GBs NVLink: 2p-3 = 5 pipelined slots
+    // 1 node x 4 over a 2us/300GBs NVLink: 2p-3 = 5 pipelined slots
     // plus the root's host hop.
     const DeviceSpec dev = DeviceSpec::a100();
     const Topology topo = Topology::dgx(1, 4);
@@ -241,7 +241,7 @@ TEST(CollectiveEstimator, DgxPresetMergeTimeKat)
     // hierarchical timeline stable.
     const DeviceSpec dev = DeviceSpec::a100();
     const Topology topo = Topology::dgx(4, 8);
-    EXPECT_DOUBLE_EQ(topo.intraLink.bandwidthGBs, 600.0);
+    EXPECT_DOUBLE_EQ(topo.intraLink.bandwidthGBs, 300.0);
     EXPECT_DOUBLE_EQ(topo.intraLink.latencyUs, 2.0);
     EXPECT_DOUBLE_EQ(topo.interLink.bandwidthGBs, 25.0);
     EXPECT_DOUBLE_EQ(topo.interLink.latencyUs, 10.0);
@@ -251,20 +251,105 @@ TEST(CollectiveEstimator, DgxPresetMergeTimeKat)
                                                      << 10);
     EXPECT_DOUBLE_EQ(small.gatherNs, 240983.03999999998);
     EXPECT_DOUBLE_EQ(small.ringNs, 622553.17333333322);
-    EXPECT_DOUBLE_EQ(small.treeNs, 37049.599999999999);
+    EXPECT_DOUBLE_EQ(small.treeNs, 37061.546666666669);
+    EXPECT_DOUBLE_EQ(small.reduceScatterNs, 45240.746666666666);
 
     const auto large = est.costs(topo.numGpus(), std::uint64_t{1}
                                                      << 20);
     EXPECT_DOUBLE_EQ(large.gatherNs, 1246632.96);
     EXPECT_DOUBLE_EQ(large.ringNs, 3234449.4933333332);
-    EXPECT_DOUBLE_EQ(large.treeNs, 1110790.3999999999);
+    EXPECT_DOUBLE_EQ(large.treeNs, 1123023.7866666666);
+    EXPECT_DOUBLE_EQ(large.reduceScatterNs, 1314524.5866666667);
 
     // The tree's log-depth latency advantage at small messages and
     // its bandwidth discipline at large ones are exactly what the
     // published NCCL ring-vs-tree crossover shows on multi-node
-    // A100 fabrics: tree wins both here.
+    // A100 fabrics: tree wins both here. Reduce-scatter's parallel
+    // shard rounds only pay off once the node count grows (see
+    // ReduceScatterBeatsTreeAt256Devices) — at 4 nodes its allgather
+    // fan-in wave still costs more than the tree's two extra rounds.
     EXPECT_EQ(small.best(), CollectiveAlgo::Tree);
     EXPECT_EQ(large.best(), CollectiveAlgo::Tree);
+}
+
+TEST(CollectiveEstimator, PresetConstantsKat)
+{
+    // Locks the calibrated alpha/beta presets themselves (topology.h
+    // documents the published sources): a recalibration must show up
+    // here, in DgxPresetMergeTimeKat, and in the header comment
+    // together.
+    EXPECT_DOUBLE_EQ(gpusim::kNvlink3NvSwitch.bandwidthGBs, 300.0);
+    EXPECT_DOUBLE_EQ(gpusim::kNvlink3NvSwitch.latencyUs, 2.0);
+    EXPECT_DOUBLE_EQ(gpusim::kInfinibandHdrNic.bandwidthGBs, 25.0);
+    EXPECT_DOUBLE_EQ(gpusim::kInfinibandHdrNic.latencyUs, 10.0);
+    // The presets are what dgx()/parse() actually install.
+    const Topology topo = Topology::dgx(2, 8);
+    EXPECT_DOUBLE_EQ(topo.intraLink.bandwidthGBs,
+                     gpusim::kNvlink3NvSwitch.bandwidthGBs);
+    EXPECT_DOUBLE_EQ(topo.interLink.bandwidthGBs,
+                     gpusim::kInfinibandHdrNic.bandwidthGBs);
+}
+
+TEST(CollectiveEstimator, CongestionMonotonicityKat)
+{
+    // The concurrent-transfer primitive: one synchronized wave of
+    // transfers over a shared link pays the latency once and
+    // serializes bandwidth proportionally to occupancy. More
+    // concurrent transfers can never get cheaper; more lanes can
+    // never get dearer; and a single transfer on a single lane is
+    // exactly the plain link time.
+    const gpusim::LinkSpec link{25.0, 10.0};
+    const double bytes = 1 << 20;
+    EXPECT_DOUBLE_EQ(
+        gpusim::concurrentTransferNs(link, 1, 1, bytes),
+        link.ns(1 << 20));
+    double prev = 0.0;
+    for (int transfers = 1; transfers <= 64; transfers *= 2) {
+        const double t =
+            gpusim::concurrentTransferNs(link, 4, transfers, bytes);
+        EXPECT_GE(t, prev) << transfers << " transfers";
+        prev = t;
+    }
+    prev = 1e18;
+    for (int lanes = 1; lanes <= 16; lanes *= 2) {
+        const double t =
+            gpusim::concurrentTransferNs(link, lanes, 8, bytes);
+        EXPECT_LE(t, prev) << lanes << " lanes";
+        prev = t;
+    }
+    // reduceScatterNs inherits the monotonicity in payload size.
+    const DeviceSpec dev = DeviceSpec::a100();
+    const CollectiveTimeEstimator est(Topology::dgx(4, 8), dev);
+    prev = 0.0;
+    for (std::uint64_t b = 1024; b <= (1ull << 24); b *= 4) {
+        const double t = est.reduceScatterNs(32, b);
+        EXPECT_GT(t, prev) << b << " bytes";
+        prev = t;
+    }
+}
+
+TEST(CollectiveEstimator, ReduceScatterBeatsTreeAt256Devices)
+{
+    // The tentpole's win condition: at the paper-scale 32x8 cluster
+    // the hierarchical reduce-scatter + allgather merge — whose
+    // intra-node rounds run all nodes' NVLink rings concurrently and
+    // whose inter-node exchange stripes every NIC — prices below the
+    // serialized tree for small and large merges alike, and Auto
+    // picks it.
+    const DeviceSpec dev = DeviceSpec::a100();
+    const Topology topo = Topology::dgx(32, 8);
+    const CollectiveTimeEstimator est(topo, dev);
+    for (std::uint64_t bytes : {4096ull, 81920ull, 1ull << 20}) {
+        const auto c = est.costs(topo.numGpus(), bytes);
+        EXPECT_LT(c.reduceScatterNs, c.treeNs) << bytes << " B";
+        EXPECT_LT(c.reduceScatterNs, c.gatherNs) << bytes << " B";
+        EXPECT_EQ(c.best(), CollectiveAlgo::ReduceScatter)
+            << bytes << " B";
+        EXPECT_EQ(est.pick(CollectivePolicy::Auto, topo.numGpus(),
+                           bytes),
+                  CollectiveAlgo::ReduceScatter)
+            << bytes << " B";
+    }
 }
 
 TEST(CollectiveEstimator, TuningIsDeterministic)
@@ -280,7 +365,8 @@ TEST(CollectiveEstimator, TuningIsDeterministic)
         const auto costs = est.costs(64, bytes);
         EXPECT_LE(costs.ns(a),
                   std::min({costs.gatherNs, costs.ringNs,
-                            costs.treeNs}));
+                            costs.treeNs,
+                            costs.reduceScatterNs}));
     }
     // Forced policies map straight through.
     EXPECT_EQ(est.pick(CollectivePolicy::Ring, 64, 4096),
@@ -289,11 +375,20 @@ TEST(CollectiveEstimator, TuningIsDeterministic)
               CollectiveAlgo::Tree);
     EXPECT_EQ(est.pick(CollectivePolicy::Gather, 64, 4096),
               CollectiveAlgo::Gather);
+    EXPECT_EQ(est.pick(CollectivePolicy::ReduceScatter, 64, 4096),
+              CollectiveAlgo::ReduceScatter);
 }
 
 // --- Schedules -------------------------------------------------------
 
-/** Replay @p sched over per-member key sets; returns the root set. */
+/**
+ * Replay @p sched over per-member key sets; returns the root set.
+ * Sharded steps (reduce-scatter rounds) move only the keys whose
+ * k % shardCount matches, exactly like the engine; whole-payload
+ * steps in an unsharded schedule must never fire from a drained
+ * member (a reduce-scatter allgather step legitimately may — an
+ * empty shard still ships for the deterministic transfer stream).
+ */
 std::set<int>
 replaySchedule(const CollectiveSchedule &sched,
                const std::vector<int> &members)
@@ -305,9 +400,24 @@ replaySchedule(const CollectiveSchedule &sched,
     for (const auto &step : sched.steps) {
         auto &src = own[static_cast<std::size_t>(step.src)];
         auto &dst = own[static_cast<std::size_t>(step.dst)];
-        EXPECT_FALSE(src.empty())
-            << "step " << step.src << "->" << step.dst
-            << " sends from a drained member";
+        if (step.shard >= 0) {
+            std::set<int> stay;
+            for (int k : src) {
+                if (k % sched.shardCount == step.shard) {
+                    EXPECT_TRUE(dst.insert(k).second)
+                        << "key " << k << " delivered twice";
+                } else {
+                    stay.insert(k);
+                }
+            }
+            src = stay;
+            continue;
+        }
+        if (sched.shardCount == 0) {
+            EXPECT_FALSE(src.empty())
+                << "step " << step.src << "->" << step.dst
+                << " sends from a drained member";
+        }
         for (int k : src) {
             EXPECT_TRUE(dst.insert(k).second)
                 << "key " << k << " delivered twice";
@@ -353,6 +463,35 @@ TEST(CollectiveSchedule, TreeReducesNodesThenLeaders)
               std::set<int>(members.begin(), members.end()));
 }
 
+TEST(CollectiveSchedule, ReduceScatterShardsThenGathers)
+{
+    // p members: p-1 rounds of p concurrent shard rotations, then
+    // p-1 allgather hops into the root. After the scatter rounds
+    // member index s must hold exactly shard s — the replay checks
+    // delivery; here we pin the schedule's shape.
+    const Topology topo = Topology::dgx(2, 4);
+    const std::vector<int> members = {0, 2, 3, 5, 6};
+    const int p = static_cast<int>(members.size());
+    const auto sched = gpusim::buildCollectiveSchedule(
+        CollectiveAlgo::ReduceScatter, topo, members);
+    EXPECT_EQ(sched.root, 0);
+    EXPECT_EQ(sched.shardCount, p);
+    ASSERT_EQ(sched.steps.size(),
+              static_cast<std::size_t>(p * (p - 1) + (p - 1)));
+    // Scatter rounds ring-forward with a shard tag; allgather hops
+    // carry the whole payload (shard -1) into the root.
+    for (int i = 0; i < p * (p - 1); ++i) {
+        EXPECT_GE(sched.steps[static_cast<std::size_t>(i)].shard, 0);
+        EXPECT_LT(sched.steps[static_cast<std::size_t>(i)].shard, p);
+    }
+    for (int i = p * (p - 1); i < p * (p - 1) + (p - 1); ++i) {
+        EXPECT_EQ(sched.steps[static_cast<std::size_t>(i)].shard, -1);
+        EXPECT_EQ(sched.steps[static_cast<std::size_t>(i)].dst, 0);
+    }
+    EXPECT_EQ(replaySchedule(sched, members),
+              std::set<int>(members.begin(), members.end()));
+}
+
 TEST(CollectiveSchedule, EveryShapeDeliversEachKeyOnce)
 {
     // Ragged membership (mid-merge device loss shapes) on ragged
@@ -364,7 +503,8 @@ TEST(CollectiveSchedule, EveryShapeDeliversEachKeyOnce)
     };
     for (const auto &members : member_sets) {
         for (CollectiveAlgo algo :
-             {CollectiveAlgo::Ring, CollectiveAlgo::Tree}) {
+             {CollectiveAlgo::Ring, CollectiveAlgo::Tree,
+              CollectiveAlgo::ReduceScatter}) {
             const auto sched = gpusim::buildCollectiveSchedule(
                 algo, ragged, members);
             EXPECT_EQ(sched.root, members.front());
@@ -421,7 +561,8 @@ runDifferential(std::uint64_t seed)
         EXPECT_TRUE(base_or->value == expect) << tc.name;
 
         for (CollectivePolicy policy :
-             {CollectivePolicy::Ring, CollectivePolicy::Tree}) {
+             {CollectivePolicy::Ring, CollectivePolicy::Tree,
+              CollectivePolicy::ReduceScatter}) {
             for (int host_threads : {1, 3}) {
                 auto options = topoTestOptions();
                 options.collective = policy;
@@ -504,7 +645,8 @@ TEST(CollectiveDifferential, PrecomputeCombinedPathMatchesGather)
         << "planner declined the table; the combined path is not "
            "exercised";
     for (CollectivePolicy policy :
-         {CollectivePolicy::Ring, CollectivePolicy::Tree}) {
+         {CollectivePolicy::Ring, CollectivePolicy::Tree,
+          CollectivePolicy::ReduceScatter}) {
         auto opt = options;
         opt.collective = policy;
         const auto got_or = tryComputeDistMsm<Bn254>(points, scalars,
@@ -546,7 +688,8 @@ TEST(CollectiveTuner, PickMatchesMeasuredBestOnContrastingTopologies)
         bool first = true;
         for (CollectivePolicy policy :
              {CollectivePolicy::Gather, CollectivePolicy::Ring,
-              CollectivePolicy::Tree}) {
+              CollectivePolicy::Tree,
+              CollectivePolicy::ReduceScatter}) {
             auto forced = options;
             forced.collective = policy;
             const MsmTimeline t =
@@ -570,7 +713,8 @@ TEST(CollectiveTuner, PickMatchesMeasuredBestOnContrastingTopologies)
         EXPECT_LE(t.mergeCosts.ns(t.collective),
                   std::min({t.mergeCosts.gatherNs,
                             t.mergeCosts.ringNs,
-                            t.mergeCosts.treeNs}))
+                            t.mergeCosts.treeNs,
+                            t.mergeCosts.reduceScatterNs}))
             << c.name;
     }
 }

@@ -140,12 +140,14 @@ DISTMSM_TRACE="${trace_nock_json}" "${build_dir}/examples/msm_cli" \
 
 # Multi-GPU scaling rows (analytic, instant): the bucket/window merge
 # on hierarchical 8-GPU-per-node topologies from 8 to 256 simulated
-# devices, priced with the all-to-host gather baseline and with the
-# tuner-picked collective. The python stage gates tuned < gather at
-# 256 devices.
+# devices, priced with the all-to-host gather baseline, the forced
+# tree and reduce-scatter schedules, and the tuner-picked collective.
+# The python stage gates tuned < gather AND reduce-scatter <= tree at
+# 256 devices (the congestion-priced hierarchical RS+AG merge must
+# beat the serialized tree at scale).
 scale_devices="8 32 64 128 256"
 for d in ${scale_devices}; do
-    for c in gather auto; do
+    for c in gather tree reduce-scatter auto; do
         DISTMSM_TRACE="${build_dir}/scale_${d}_${c}.json" \
             "${build_dir}/examples/msm_cli" bn254 24 \
             --topology="nodes=$((d / 8)),gpus=8" \
@@ -399,18 +401,22 @@ if overhead_pct >= 3.0:
 
 # Multi-GPU collective scaling rows (analytic timelines from
 # msm_cli --topology): merge traffic priced with the all-to-host
-# gather vs the tuner's pick. The acceptance gate: at 256 devices
-# the tuned merge must be measurably below gather.
-ALGO_NAMES = {0: "gather", 1: "ring", 2: "tree"}
+# gather, the forced tree, the forced reduce-scatter, and the
+# tuner's pick. Acceptance gates at 256 devices: the tuned merge
+# must be measurably below gather, and the congestion-priced
+# reduce-scatter + allgather merge must not price above the tree.
+ALGO_NAMES = {0: "gather", 1: "ring", 2: "tree", 3: "reduce-scatter"}
+SCALE_PREFIX = {"gather": "gather", "tree": "tree",
+                "reduce-scatter": "reduce_scatter", "auto": "tuned"}
 scaling = []
 for d in os.environ["SCALE_DEVICES"].split():
     row = {"devices": int(d), "nodes": int(d) // 8, "gpus_per_node": 8}
-    for mode in ("gather", "auto"):
+    for mode in ("gather", "tree", "reduce-scatter", "auto"):
         path = os.path.join(os.environ["BUILD_DIR"],
                             f"scale_{d}_{mode}.metrics.json")
         with open(path) as f:
             m = json.load(f)
-        prefix = "tuned" if mode == "auto" else "gather"
+        prefix = SCALE_PREFIX[mode]
         row[f"{prefix}_merge_ms"] = m["timeline/transfer_ns"] / 1e6
         row[f"{prefix}_total_ms"] = m["timeline/total_ns"] / 1e6
         if mode == "auto":
@@ -420,10 +426,15 @@ for d in os.environ["SCALE_DEVICES"].split():
                 "gather": m["timeline/merge_gather_ns"] / 1e6,
                 "ring": m["timeline/merge_ring_ns"] / 1e6,
                 "tree": m["timeline/merge_tree_ns"] / 1e6,
+                "reduce_scatter":
+                    m["timeline/merge_reduce_scatter_ns"] / 1e6,
             }
     row["merge_speedup_tuned_vs_gather"] = round(
         row["gather_merge_ms"] / row["tuned_merge_ms"], 3) \
         if row["tuned_merge_ms"] else None
+    row["merge_speedup_rs_vs_tree"] = round(
+        row["tree_merge_ms"] / row["reduce_scatter_merge_ms"], 3) \
+        if row["reduce_scatter_merge_ms"] else None
     scaling.append(row)
 head = scaling[-1]
 if head["devices"] == 256 and \
@@ -432,6 +443,14 @@ if head["devices"] == 256 and \
           f"({head['tuned_merge_ms']:.3f} ms, "
           f"{head['tuned_collective']}) is not below the gather "
           f"baseline ({head['gather_merge_ms']:.3f} ms).",
+          file=sys.stderr)
+    sys.exit(1)
+if head["devices"] == 256 and \
+        head["reduce_scatter_merge_ms"] > head["tree_merge_ms"]:
+    print(f"error: at 256 devices the reduce-scatter merge "
+          f"({head['reduce_scatter_merge_ms']:.3f} ms) prices above "
+          f"the tree ({head['tree_merge_ms']:.3f} ms) — the "
+          "hierarchical RS+AG schedule lost its congestion win.",
           file=sys.stderr)
     sys.exit(1)
 
@@ -594,7 +613,8 @@ doc = {
     "rows": rows,
     "collective_scaling": {
         "curve": "BN254", "log2_n": 24,
-        "gate": "tuned merge < gather merge at 256 devices",
+        "gate": "tuned merge < gather merge and reduce-scatter "
+                "merge <= tree merge at 256 devices",
         "rows": scaling,
     },
     "tc_ablation": {
@@ -652,7 +672,8 @@ for row in scaling:
     print(f"  {row['devices']} devices: merge gather "
           f"{row['gather_merge_ms']:.3f} ms vs tuned "
           f"({row['tuned_collective']}) {row['tuned_merge_ms']:.3f} "
-          f"ms = {row['merge_speedup_tuned_vs_gather']}x")
+          f"ms = {row['merge_speedup_tuned_vs_gather']}x; "
+          f"rs vs tree = {row['merge_speedup_rs_vs_tree']}x")
 for row in tc_rows:
     print(f"  {row['curve']} n=2^{row['log2_n']}: bucket sum "
           f"tc vs cuda = {row['bucket_sum_speedup_tc_vs_cuda']}x, "

@@ -17,6 +17,7 @@
  *            --pipeline-depth=<d> --partitions=<k>
  *            --window=<s> --functional=<log2 n>
  *            --faults=<spec> --max-retries=<n> --no-checksums
+ *            --no-watchdog --watchdog-slack=<f> --health
  *            --fault-report --help
  *
  * Prints the plan, the simulated timeline breakdown at the requested
@@ -142,10 +143,28 @@ printHelp()
         "                         corrupt:dev=K       corrupt every "
         "transfer\n"
         "                                             from device K\n"
-        "                         delay:dev=K,ns=X    delay device "
-        "K's first\n"
+        "                         delay:dev=K,ns=X[@attempt=A]\n"
+        "                                             delay device "
+        "K's A-th\n"
         "                                             transfer "
         "attempt by X ns\n"
+        "                                             (default "
+        "attempt 0)\n"
+        "                         degrade:dev=K,factor=F[@win=J]\n"
+        "                                             device K runs "
+        "F x slower\n"
+        "                                             from its J-th "
+        "window on\n"
+        "                         flaky:dev=K,p=P     corrupt each "
+        "transfer from\n"
+        "                                             device K with "
+        "probability P\n"
+        "                                             (seeded, "
+        "deterministic)\n"
+        "                         hang:dev=K[@win=J]  device K stops "
+        "responding\n"
+        "                                             at its J-th "
+        "window\n"
         "                         seed:S              seed the "
         "corruption PRNG\n"
         "                       example: "
@@ -154,6 +173,17 @@ printHelp()
         "  --no-checksums       disable RLC transfer checksums "
         "(corruption\n"
         "                       goes undetected; faster)\n"
+        "  --no-watchdog        disable straggler speculation; a "
+        "degrade\n"
+        "                       stalls the run, a hang fails it\n"
+        "  --watchdog-slack=<f> blow the per-window deadline at f x "
+        "the\n"
+        "                       calibrated estimate (default 2.0)\n"
+        "  --health             attach a device-health tracker "
+        "(probation /\n"
+        "                       quarantine ladder) to the "
+        "functional run\n"
+        "                       and print its summary\n"
         "  --fault-report       print the fault/recovery counters "
         "after a\n"
         "                       functional run\n");
@@ -165,27 +195,60 @@ printFaultReport(const gpusim::FaultReport &r)
     std::printf(
         "\nfault report:\n"
         "  injected: %llu total (%llu corruptions, %llu timeouts, "
-        "%llu devices lost)\n"
+        "%llu devices lost, %llu hangs)\n"
         "  detected: %llu corruptions, %llu retries, %llu windows "
-        "resharded\n"
+        "resharded, %llu transfer failovers\n"
+        "  watchdog: %llu stragglers detected, %llu respawns "
+        "(%llu speculative wins, %llu losses)\n"
+        "  waits:    %.0f ns backoff, %.0f ns straggler wait "
+        "(vs %.0f ns un-watched stall)\n"
         "  verify:   %llu transfers, %llu points checksummed, %llu "
         "EC ops (off the determinism books)\n",
         static_cast<unsigned long long>(r.faultsInjected),
         static_cast<unsigned long long>(r.corruptInjected),
         static_cast<unsigned long long>(r.timeouts),
         static_cast<unsigned long long>(r.devicesLost),
+        static_cast<unsigned long long>(r.hangs),
         static_cast<unsigned long long>(r.corruptDetected),
         static_cast<unsigned long long>(r.retries),
         static_cast<unsigned long long>(r.windowsResharded),
+        static_cast<unsigned long long>(r.transferFailovers),
+        static_cast<unsigned long long>(r.stragglersDetected),
+        static_cast<unsigned long long>(r.stragglerRespawns),
+        static_cast<unsigned long long>(r.speculativeWins),
+        static_cast<unsigned long long>(r.speculativeLosses),
+        r.backoffNs, r.stragglerWaitNs, r.stragglerStallNs,
         static_cast<unsigned long long>(r.transfers),
         static_cast<unsigned long long>(r.checksummed),
         static_cast<unsigned long long>(r.verifyEcOps));
 }
 
+void
+printHealthSummary(const gpusim::HealthTracker &tracker)
+{
+    std::printf("\ndevice health (generation %llu):\n",
+                static_cast<unsigned long long>(
+                    tracker.generation()));
+    for (int d = 0; d < tracker.numDevices(); ++d) {
+        const auto &h = tracker.device(d);
+        std::printf(
+            "  dev%d: %-11s score %d, %llu clean window(s), "
+            "%llu timeout(s), %llu checksum failure(s), "
+            "%llu straggler(s), %llu hang(s)\n",
+            d, gpusim::healthStateName(h.state), h.faultScore,
+            static_cast<unsigned long long>(h.cleanWindows),
+            static_cast<unsigned long long>(h.timeouts),
+            static_cast<unsigned long long>(h.checksumFailures),
+            static_cast<unsigned long long>(h.stragglerEvents),
+            static_cast<unsigned long long>(h.hangs));
+    }
+}
+
 template <typename Curve>
 int
 functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
-                msm::MsmOptions options, bool fault_report)
+                msm::MsmOptions options, bool fault_report,
+                bool track_health)
 {
     Prng prng(0xC11);
     const std::size_t n = std::size_t{1} << log_n;
@@ -195,6 +258,9 @@ functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
     const auto scalars = msm::generateScalars<Curve>(n, prng);
     if (options.windowBitsOverride == 0)
         options.windowBitsOverride = 8;
+    gpusim::HealthTracker tracker(cluster.numGpus());
+    if (track_health)
+        options.health = &tracker;
     const auto result_or = msm::tryComputeDistMsm<Curve>(
         points, scalars, cluster, options);
     if (!result_or.isOk()) {
@@ -217,6 +283,8 @@ functionalCheck(unsigned log_n, const gpusim::Cluster &cluster,
                 static_cast<unsigned long long>(result.hostOps));
     if (fault_report)
         printFaultReport(result.fault);
+    if (track_health)
+        printHealthSummary(tracker);
     return 0;
 }
 
@@ -230,6 +298,7 @@ main(int argc, char **argv)
     int gpus = 8;
     unsigned functional = 0;
     bool fault_report = false;
+    bool track_health = false;
     bool have_topology = false;
     gpusim::Topology topology;
     msm::MsmOptions options;
@@ -277,6 +346,19 @@ main(int argc, char **argv)
             }
         } else if (arg == "--no-checksums") {
             options.verifyChecksums = false;
+        } else if (arg == "--no-watchdog") {
+            options.watchdog = false;
+        } else if (arg.rfind("--watchdog-slack=", 0) == 0) {
+            options.watchdogSlack = std::atof(arg.c_str() + 17);
+            if (options.watchdogSlack <= 1.0) {
+                std::fprintf(stderr,
+                             "bad --watchdog-slack '%s' (want a "
+                             "factor > 1)\n",
+                             arg.c_str() + 17);
+                return 2;
+            }
+        } else if (arg == "--health") {
+            track_health = true;
         } else if (arg == "--fault-report") {
             fault_report = true;
         } else if (arg.rfind("--faults=", 0) == 0) {
@@ -327,6 +409,18 @@ main(int argc, char **argv)
             ++positional;
         } else {
             gpus = std::atoi(arg.c_str());
+        }
+    }
+
+    // A malformed DISTMSM_FAULT_SPEC is a typed parse error, not a
+    // crash: surface it up front, before any work runs against a
+    // plan the user didn't ask for.
+    {
+        const auto env_or = gpusim::globalFaultPlanFromEnv();
+        if (!env_or.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         env_or.status().toString().c_str());
+            return 2;
         }
     }
 
@@ -414,18 +508,22 @@ main(int argc, char **argv)
     if (functional != 0) {
         if (curve_name == "bls377") {
             return functionalCheck<distmsm::Bls377>(
-                functional, cluster, options, fault_report);
+                functional, cluster, options, fault_report,
+                track_health);
         }
         if (curve_name == "bls381") {
             return functionalCheck<distmsm::Bls381>(
-                functional, cluster, options, fault_report);
+                functional, cluster, options, fault_report,
+                track_health);
         }
         if (curve_name == "mnt4753") {
             return functionalCheck<distmsm::Mnt4753>(
-                functional, cluster, options, fault_report);
+                functional, cluster, options, fault_report,
+                track_health);
         }
-        return functionalCheck<distmsm::Bn254>(functional, cluster,
-                                               options, fault_report);
+        return functionalCheck<distmsm::Bn254>(
+            functional, cluster, options, fault_report,
+            track_health);
     }
     return 0;
 }

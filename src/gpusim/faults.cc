@@ -1,5 +1,6 @@
 #include "src/gpusim/faults.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <memory>
@@ -75,6 +76,8 @@ parseU64(const std::string &s, std::uint64_t &out)
     return true;
 }
 
+/** Non-negative finite double: NaN, inf and negatives are parse
+ *  errors (a NaN delay would otherwise slip past `v < 0`). */
 bool
 parseDouble(const std::string &s, double &out)
 {
@@ -82,7 +85,8 @@ parseDouble(const std::string &s, double &out)
         return false;
     char *end = nullptr;
     const double v = std::strtod(s.c_str(), &end);
-    if (end == nullptr || *end != '\0' || v < 0.0)
+    if (end == nullptr || *end != '\0' || !std::isfinite(v) ||
+        v < 0.0)
         return false;
     out = v;
     return true;
@@ -113,6 +117,7 @@ FaultPlan::parse(const std::string &spec)
 
         FaultEvent ev;
         bool have_dev = false, have_xfer = false, have_ns = false;
+        bool have_factor = false, have_p = false;
         for (const auto &[key, value] : fields) {
             if (key == "dev") {
                 std::uint64_t d;
@@ -133,11 +138,33 @@ FaultPlan::parse(const std::string &spec)
                 have_xfer = true;
             } else if (key == "ns") {
                 if (!parseDouble(value, ev.delayNs))
-                    return malformed(clause, "bad ns value");
+                    return malformed(
+                        clause,
+                        "bad ns value (wants finite, >= 0)");
                 have_ns = true;
+            } else if (key == "attempt") {
+                std::uint64_t a;
+                if (!parseU64(value, a) ||
+                    a > std::numeric_limits<int>::max())
+                    return malformed(clause, "bad attempt ordinal");
+                ev.attempt = static_cast<int>(a);
+            } else if (key == "factor") {
+                if (!parseDouble(value, ev.factor) ||
+                    ev.factor < 1.0)
+                    return malformed(
+                        clause,
+                        "bad factor (wants finite, >= 1)");
+                have_factor = true;
+            } else if (key == "p") {
+                if (!parseDouble(value, ev.probability) ||
+                    ev.probability > 1.0)
+                    return malformed(
+                        clause, "bad p (wants a value in [0, 1])");
+                have_p = true;
             } else {
                 return malformed(clause,
-                                 "unknown field (dev/win/xfer/ns)");
+                                 "unknown field (dev/win/xfer/ns/"
+                                 "attempt/factor/p)");
             }
         }
 
@@ -155,9 +182,23 @@ FaultPlan::parse(const std::string &spec)
             if (!have_dev || !have_ns)
                 return malformed(clause, "delay wants dev=K,ns=X");
             ev.kind = FaultKind::DelayTransfer;
+        } else if (kind == "degrade") {
+            if (!have_dev || !have_factor)
+                return malformed(clause,
+                                 "degrade wants dev=K,factor=F");
+            ev.kind = FaultKind::DegradeDevice;
+        } else if (kind == "flaky") {
+            if (!have_dev || !have_p)
+                return malformed(clause, "flaky wants dev=K,p=P");
+            ev.kind = FaultKind::FlakyTransfers;
+        } else if (kind == "hang") {
+            if (!have_dev)
+                return malformed(clause, "hang wants dev=K");
+            ev.kind = FaultKind::HangDevice;
         } else {
             return malformed(clause,
-                             "unknown kind (kill/corrupt/delay/seed)");
+                             "unknown kind (kill/corrupt/delay/"
+                             "degrade/flaky/hang/seed)");
         }
         plan.events.push_back(ev);
     }
@@ -177,30 +218,107 @@ FaultPlan::killWindow(int device) const
     return win;
 }
 
+int
+FaultPlan::hangWindow(int device) const
+{
+    int win = -1;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind != FaultKind::HangDevice || ev.device != device)
+            continue;
+        if (win < 0 || ev.window < win)
+            win = ev.window;
+    }
+    return win;
+}
+
+double
+FaultPlan::degradeFactor(int device, int window_ordinal) const
+{
+    double factor = 1.0;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::DegradeDevice &&
+            ev.device == device && ev.window <= window_ordinal)
+            factor *= ev.factor;
+    }
+    return factor;
+}
+
 bool
-FaultPlan::corruptsTransfer(std::uint64_t transfer_index,
-                            int device) const
+FaultPlan::degraded(int device) const
+{
+    for (const FaultEvent &ev : events)
+        if (ev.kind == FaultKind::DegradeDevice &&
+            ev.device == device)
+            return true;
+    return false;
+}
+
+double
+FaultPlan::flakyProbability(int device) const
+{
+    double p = 0.0;
+    for (const FaultEvent &ev : events) {
+        if (ev.kind == FaultKind::FlakyTransfers &&
+            ev.device == device && ev.probability > p)
+            p = ev.probability;
+    }
+    return p;
+}
+
+bool
+FaultPlan::hasStragglerFaults() const
+{
+    for (const FaultEvent &ev : events)
+        if (ev.kind == FaultKind::DegradeDevice ||
+            ev.kind == FaultKind::HangDevice)
+            return true;
+    return false;
+}
+
+TransferFault
+FaultPlan::transferFault(std::uint64_t transfer_index,
+                         int device) const
 {
     for (const FaultEvent &ev : events) {
         if (ev.kind == FaultKind::CorruptTransfer &&
             ev.transfer == transfer_index)
-            return true;
+            return TransferFault::Corrupt;
         if (ev.kind == FaultKind::CorruptDeviceTransfers &&
             ev.device == device)
-            return true;
+            return TransferFault::Corrupt;
     }
-    return false;
+    const double p = flakyProbability(device);
+    if (p > 0.0) {
+        // The coin is a pure function of (seed, transfer index):
+        // the engine's sequential transfer counter makes the same
+        // attempts flip at every hostThreads setting. A distinct
+        // mixing constant keeps the coin stream independent of the
+        // corruptBytes byte/mask stream.
+        Prng coin(seed ^ (transfer_index * 0xD1B54A32D192ED03ull) ^
+                  0xF1AC7);
+        const double draw =
+            static_cast<double>(coin() >> 11) * 0x1.0p-53;
+        if (draw < p)
+            return TransferFault::Flaky;
+    }
+    return TransferFault::None;
+}
+
+bool
+FaultPlan::corruptsTransfer(std::uint64_t transfer_index,
+                            int device) const
+{
+    return transferFault(transfer_index, device) !=
+           TransferFault::None;
 }
 
 double
 FaultPlan::transferDelayNs(int device, int attempt) const
 {
-    if (attempt != 0)
-        return 0.0;
     double delay = 0.0;
     for (const FaultEvent &ev : events) {
         if (ev.kind == FaultKind::DelayTransfer &&
-            ev.device == device)
+            ev.device == device && ev.attempt == attempt)
             delay += ev.delayNs;
     }
     return delay;
@@ -220,23 +338,32 @@ corruptBytes(std::vector<std::uint8_t> &bytes, std::uint64_t seed,
     bytes[idx] ^= mask;
 }
 
-const FaultPlan *
+StatusOr<const FaultPlan *>
 globalFaultPlanFromEnv()
 {
-    static const std::unique_ptr<FaultPlan> plan = [] {
+    struct EnvPlan
+    {
+        std::unique_ptr<FaultPlan> plan;
+        Status status;
+    };
+    static const EnvPlan env = [] {
+        EnvPlan e;
         const char *spec = std::getenv("DISTMSM_FAULT_SPEC");
         if (spec == nullptr || spec[0] == '\0')
-            return std::unique_ptr<FaultPlan>{};
+            return e;
         StatusOr<FaultPlan> parsed = FaultPlan::parse(spec);
         if (!parsed.isOk()) {
-            fatal(__FILE__, __LINE__,
-                  ("DISTMSM_FAULT_SPEC: " +
-                   parsed.status().toString())
-                      .c_str());
+            e.status = Status(
+                parsed.status().code(),
+                "DISTMSM_FAULT_SPEC: " + parsed.status().message());
+            return e;
         }
-        return std::make_unique<FaultPlan>(std::move(*parsed));
+        e.plan = std::make_unique<FaultPlan>(std::move(*parsed));
+        return e;
     }();
-    return plan.get();
+    if (!env.status.isOk())
+        return env.status;
+    return static_cast<const FaultPlan *>(env.plan.get());
 }
 
 } // namespace distmsm::gpusim

@@ -5,27 +5,44 @@
  * A FaultPlan is a static, seeded description of the faults one run
  * must experience: kill device i at its j-th window, flip bytes of
  * the N-th host<->device transfer (or of every transfer a device
- * makes), or delay a device's transfer past the engine's timeout.
- * Because the plan is data — not a callback racing with execution —
- * and because MsmEngine draws transfer indices from a sequential
- * host-side counter, the injected faults, the recovery path and the
- * final result are bit-identical for every hostThreads setting.
+ * makes), delay a device's transfer past the engine's timeout, slow
+ * a device down persistently (degrade), corrupt its transfers with a
+ * seeded probability (flaky), or stop it responding mid-window
+ * (hang). Because the plan is data — not a callback racing with
+ * execution — and because MsmEngine draws transfer indices from a
+ * sequential host-side counter, the injected faults, the recovery
+ * path and the final result are bit-identical for every hostThreads
+ * setting.
  *
  * Plans come from MsmOptions::faults or from the DISTMSM_FAULT_SPEC
  * environment variable. Spec grammar (clauses joined by ';'):
  *
- *   kill:dev=K[@win=J]   device K dies at its J-th assigned window
- *                        (J defaults to 0: before any work)
- *   corrupt:xfer=N       flip one byte of transfer attempt N
- *                        (one-shot; the retry sees clean bytes)
- *   corrupt:dev=K        flip one byte of EVERY transfer from
- *                        device K (persistent; exhausts retries)
- *   delay:dev=K,ns=X     delay device K's first transfer attempt by
- *                        X ns (times out when X exceeds
- *                        MsmOptions::transferTimeoutNs)
- *   seed:S               seed for the corruption byte/mask choice
+ *   kill:dev=K[@win=J]     device K dies at its J-th assigned window
+ *                          (J defaults to 0: before any work)
+ *   corrupt:xfer=N         flip one byte of transfer attempt N
+ *                          (one-shot; the retry sees clean bytes)
+ *   corrupt:dev=K          flip one byte of EVERY transfer from
+ *                          device K (persistent; exhausts retries)
+ *   delay:dev=K,ns=X[@attempt=A]
+ *                          delay device K's transfer attempt A
+ *                          (default 0: the first attempt) by X ns;
+ *                          times out when X exceeds
+ *                          MsmOptions::transferTimeoutNs
+ *   degrade:dev=K,factor=F[@win=J]
+ *                          device K computes F x slower from its
+ *                          J-th window on (persistent straggler;
+ *                          F >= 1, default onset J = 0)
+ *   flaky:dev=K,p=P        corrupt each transfer from device K with
+ *                          seeded probability P in [0, 1] (the coin
+ *                          derives from (seed, transfer index), so
+ *                          the same transfers flip on every run)
+ *   hang:dev=K[@win=J]     device K stops responding at its J-th
+ *                          window: the window never completes
+ *                          without the engine's watchdog
+ *   seed:S                 seed for the corruption byte/mask and the
+ *                          flaky coin
  *
- * Example: "kill:dev=2@win=1;corrupt:xfer=3;delay:dev=0,ns=5e8".
+ * Example: "kill:dev=2@win=1;degrade:dev=0,factor=4;flaky:dev=3,p=1".
  */
 
 #ifndef DISTMSM_GPUSIM_FAULTS_H
@@ -44,22 +61,35 @@ enum class FaultKind {
     KillDevice,            ///< device dies at a window boundary
     CorruptTransfer,       ///< one-shot byte flip of transfer N
     CorruptDeviceTransfers,///< persistent byte flips from device K
-    DelayTransfer,         ///< delay device K's first attempt
+    DelayTransfer,         ///< delay one attempt of device K
+    DegradeDevice,         ///< persistent compute slowdown (factor)
+    FlakyTransfers,        ///< seeded per-transfer corruption odds
+    HangDevice,            ///< device stops responding mid-window
 };
 
 struct FaultEvent
 {
     FaultKind kind = FaultKind::KillDevice;
-    int device = -1;           ///< target device (kill/corrupt/delay)
-    int window = 0;            ///< kill: ordinal of the fatal window
+    int device = -1;           ///< target device (all kinds but xfer)
+    int window = 0;            ///< kill/hang/degrade onset ordinal
     std::uint64_t transfer = 0;///< corrupt:xfer=N target index
     double delayNs = 0.0;      ///< delay amount
+    int attempt = 0;           ///< delay: the attempt it hits
+    double factor = 1.0;       ///< degrade slowdown (>= 1)
+    double probability = 0.0;  ///< flaky corruption odds in [0, 1]
+};
+
+/** How the fault plan treats one transfer attempt. */
+enum class TransferFault {
+    None,    ///< clean wire
+    Corrupt, ///< a corrupt:xfer / corrupt:dev clause names it
+    Flaky,   ///< the flaky coin came up corrupted
 };
 
 /** A static, seeded set of faults for one run. */
 struct FaultPlan
 {
-    /** Seeds the corruption byte/mask choice (see corruptBytes). */
+    /** Seeds the corruption byte/mask and the flaky coin. */
     std::uint64_t seed = 0xFA177;
     std::vector<FaultEvent> events;
 
@@ -76,16 +106,49 @@ struct FaultPlan
     int killWindow(int device) const;
 
     /**
-     * True when transfer attempt @p transfer_index (the engine's
-     * sequential counter) from @p device must be corrupted — either
-     * a one-shot corrupt:xfer clause naming this index, or a
-     * persistent corrupt:dev clause naming this device.
+     * Ordinal of the window at which @p device hangs (stops
+     * responding), or -1 when it never does. Multiple hang clauses
+     * take the earliest window.
      */
+    int hangWindow(int device) const;
+
+    /**
+     * Compute slowdown of @p device at its @p window_ordinal -th
+     * window: the product of the factors of every degrade clause
+     * whose onset ordinal is <= @p window_ordinal. 1.0 when healthy.
+     */
+    double degradeFactor(int device, int window_ordinal) const;
+
+    /** True when any degrade clause targets @p device. */
+    bool degraded(int device) const;
+
+    /** Largest flaky corruption probability targeting @p device
+     *  (0.0 when none do). */
+    double flakyProbability(int device) const;
+
+    /** True when the plan contains degrade or hang clauses — the
+     *  faults only the engine's watchdog pass can observe. */
+    bool hasStragglerFaults() const;
+
+    /**
+     * How transfer attempt @p transfer_index (the engine's
+     * sequential counter) from @p device fares: Corrupt when a
+     * one-shot corrupt:xfer clause names the index or a persistent
+     * corrupt:dev clause names the device, Flaky when a flaky
+     * clause's seeded coin (keyed by seed and transfer index, so the
+     * outcome is identical at every hostThreads setting) comes up
+     * corrupted, None otherwise.
+     */
+    TransferFault transferFault(std::uint64_t transfer_index,
+                                int device) const;
+
+    /** transferFault(...) != None (legacy predicate). */
     bool corruptsTransfer(std::uint64_t transfer_index,
                           int device) const;
 
     /** Injected delay (ns) for @p device 's attempt @p attempt
-     *  (delay clauses hit only the first attempt). */
+     *  (each delay clause hits the attempt its @attempt names,
+     *  default 0: the first). */
     double transferDelayNs(int device, int attempt) const;
 };
 
@@ -100,10 +163,12 @@ void corruptBytes(std::vector<std::uint8_t> &bytes,
 
 /**
  * Process-wide plan from DISTMSM_FAULT_SPEC, parsed once. Returns
- * nullptr when the variable is unset or empty; exits with a message
- * on a malformed spec (caller error, not a bug).
+ * nullptr when the variable is unset or empty, and the typed
+ * InvalidArgument Status when the spec is malformed — the caller
+ * decides whether that is fatal (msm_cli exits non-zero; the engine
+ * propagates it out of tryCompute).
  */
-const FaultPlan *globalFaultPlanFromEnv();
+support::StatusOr<const FaultPlan *> globalFaultPlanFromEnv();
 
 /**
  * What the fault layer saw and did during one MSM: injected faults,
@@ -111,6 +176,12 @@ const FaultPlan *globalFaultPlanFromEnv();
  * Deliberately separate from KernelStats so a zero-fault run's
  * simulator statistics stay bit-identical to a build without the
  * fault layer.
+ *
+ * Every field is an 8-byte counter (u64 or double ns) and merge()
+ * must fold each one; kFieldCount and the static_assert below pin
+ * the layout so a newly added field fails compilation until both
+ * the count and merge() (checked by the round-trip KAT in
+ * test_health.cc) are updated.
  */
 struct FaultReport
 {
@@ -130,6 +201,29 @@ struct FaultReport
     std::uint64_t checksummed = 0;      ///< payloads digest-verified
     std::uint64_t verifyEcOps = 0;      ///< EC ops spent on digests
     double delayNs = 0.0;               ///< injected transfer delay
+    /** Windows whose deadline the watchdog saw blown (degrade beyond
+     *  the slack factor, or a hang). */
+    std::uint64_t stragglersDetected = 0;
+    /** Speculative re-dispatches the watchdog launched. */
+    std::uint64_t stragglerRespawns = 0;
+    /** Respawns whose speculative copy was adopted. */
+    std::uint64_t speculativeWins = 0;
+    /** Respawns the original outran (wasted speculation). */
+    std::uint64_t speculativeLosses = 0;
+    std::uint64_t hangs = 0;            ///< hang faults observed
+    /** Payloads re-shipped through a healthy survivor after the
+     *  origin device exhausted its transfer retries. */
+    std::uint64_t transferFailovers = 0;
+    /** Exponential-backoff wait priced before retries. */
+    double backoffNs = 0.0;
+    /** Priced straggler penalty of this run (watchdog engaged). */
+    double stragglerWaitNs = 0.0;
+    /** Counterfactual stall had no watchdog respawned the windows. */
+    double stragglerStallNs = 0.0;
+
+    /** 8-byte fields above; bump when adding one, then extend both
+     *  merge() and the test_health.cc round-trip KAT. */
+    static constexpr std::size_t kFieldCount = 22;
 
     void
     merge(const FaultReport &other)
@@ -147,8 +241,22 @@ struct FaultReport
         checksummed += other.checksummed;
         verifyEcOps += other.verifyEcOps;
         delayNs += other.delayNs;
+        stragglersDetected += other.stragglersDetected;
+        stragglerRespawns += other.stragglerRespawns;
+        speculativeWins += other.speculativeWins;
+        speculativeLosses += other.speculativeLosses;
+        hangs += other.hangs;
+        transferFailovers += other.transferFailovers;
+        backoffNs += other.backoffNs;
+        stragglerWaitNs += other.stragglerWaitNs;
+        stragglerStallNs += other.stragglerStallNs;
     }
 };
+
+static_assert(sizeof(FaultReport) ==
+                  FaultReport::kFieldCount * sizeof(std::uint64_t),
+              "FaultReport gained a field: bump kFieldCount and "
+              "extend merge() plus the test_health.cc KAT");
 
 } // namespace distmsm::gpusim
 

@@ -720,8 +720,14 @@ recordMetrics(const MsmOptions &base, const AutoPlanResult &r,
 
 AutoPlanResult
 autoplanMsm(const CurveProfile &curve, std::uint64_t n,
-            const gpusim::Cluster &cluster, const MsmOptions &base)
+            const gpusim::Cluster &full_cluster, const MsmOptions &base)
 {
+    // Quarantined devices shrink the planning fleet before anything
+    // is keyed or scored: the cache key covers the topology, so a
+    // shrunken fleet gets its own entry (idempotent when planMsm
+    // already shrank).
+    const gpusim::Cluster cluster =
+        planningCluster(full_cluster, base.health);
     const std::uint64_t evals_before =
         gpusim::CostModel::evaluations();
     const bool cached_mode = base.planner == PlannerMode::Cached;

@@ -38,6 +38,7 @@
 #include "src/field/backend.h"
 #include "src/field/batch_inverse.h"
 #include "src/gpusim/faults.h"
+#include "src/gpusim/health.h"
 #include "src/msm/autoplan.h"
 #include "src/msm/batch_affine.h"
 #include "src/msm/bucket_reduce.h"
@@ -48,6 +49,7 @@
 #include "src/msm/scatter.h"
 #include "src/msm/signed_digits.h"
 #include "src/support/check.h"
+#include "src/support/prng.h"
 #include "src/support/status.h"
 #include "src/support/thread_pool.h"
 #include "src/support/trace.h"
@@ -147,6 +149,10 @@ class MsmEngine
         const bool user_forced_tc =
             options_.fieldBackend ==
             gpusim::FieldBackend::TensorCore;
+        // The autoscheduler's realized options carry
+        // planner=Heuristic; remember the caller's mode so a health
+        // re-plan can re-enter the search over the shrunken fleet.
+        original_planner_ = options_.planner;
         if (options_.planner != PlannerMode::Heuristic) {
             // The autoscheduler returns the argmin plan *and* the
             // winning candidate's realized options (signed digits,
@@ -190,6 +196,9 @@ class MsmEngine
         // have declined (device memory budget) or grown the window.
         if (plan_.precompute)
             acquireTable(host_threads);
+        if (options_.health != nullptr)
+            planned_generation_ = options_.health->generation();
+        refreshWindowEstimate();
     }
 
     const MsmPlan &plan() const { return plan_; }
@@ -239,6 +248,16 @@ class MsmEngine
             return support::Status(
                 support::StatusCode::InvalidArgument,
                 "points/scalars size mismatch");
+        // A stale health generation (a quarantine, parole or
+        // reintegration since planning) invalidates the plan:
+        // re-plan — through the caller's original planner mode, so
+        // Search/Cached re-search — over the changed schedulable
+        // fleet before reading any plan field. Not thread-safe
+        // against concurrent tryCompute calls on one engine; health
+        // tracking is a sequential-coordinator feature.
+        if (options_.health != nullptr &&
+            options_.health->generation() != planned_generation_)
+            replanForHealth();
         using Xyzz = XYZZPoint<Curve>;
         MsmResult<Curve> result;
         result.plan = plan_;
@@ -322,7 +341,11 @@ class MsmEngine
         const std::string trace_prefix =
             "msm" + std::to_string(msm_idx) + "/";
 
-        const gpusim::FaultPlan &fplan = activeFaultPlan();
+        const support::StatusOr<const gpusim::FaultPlan *> fplan_or =
+            activeFaultPlan();
+        if (!fplan_or.isOk())
+            return fplan_or.status();
+        const gpusim::FaultPlan &fplan = **fplan_or;
         support::TraceRecorder *const trace = options_.trace;
         /** Injections/detections in their deterministic order, for
          *  the fault trace track. */
@@ -534,27 +557,194 @@ class MsmEngine
         const bool collective_merge =
             plan_.collective != gpusim::CollectiveAlgo::Gather;
         const int num_gpus = cluster_.numGpus();
+        gpusim::HealthTracker *const health = options_.health;
+
+        // Windows round-robin over the *schedulable* devices:
+        // quarantined ones sit out entirely. Without a tracker that
+        // is every device, reproducing the legacy w % numGpus
+        // layout bit-for-bit.
+        std::vector<int> sched_devs;
+        for (int d = 0; d < num_gpus; ++d)
+            if (health == nullptr || d >= health->numDevices() ||
+                health->schedulable(d))
+                sched_devs.push_back(d);
+        if (sched_devs.empty())
+            return support::Status(
+                support::StatusCode::DeviceLost,
+                "all " + std::to_string(num_gpus) +
+                    " devices quarantined; nothing schedulable");
+        const int n_sched = static_cast<int>(sched_devs.size());
+        std::vector<std::uint8_t> dev_sched(
+            static_cast<std::size_t>(num_gpus), 0);
+        for (const int d : sched_devs)
+            dev_sched[static_cast<std::size_t>(d)] = 1;
+
         std::vector<int> exec_dev(plan_.numWindows);
         std::vector<std::uint8_t> lost_window(plan_.numWindows, 0);
+        /** Devices that showed any fault this run — the complement
+         *  earns clean windows on the health ladder. */
+        std::vector<std::uint8_t> dev_faulted(
+            static_cast<std::size_t>(num_gpus), 0);
         std::vector<int> survivors;
         for (unsigned w = 0; w < plan_.numWindows; ++w)
-            exec_dev[w] = static_cast<int>(w) % num_gpus;
+            exec_dev[w] =
+                sched_devs[static_cast<int>(w) % n_sched];
+        // Ordinal of window w on its device under the round-robin
+        // layout — the operand the fault grammar's win= names.
+        const auto window_ordinal = [n_sched](unsigned w) {
+            return static_cast<int>(w) / n_sched;
+        };
         for (int d = 0; d < num_gpus; ++d) {
             const int kw = fplan.killWindow(d);
             if (kw < 0) {
-                survivors.push_back(d);
+                // Hung devices cannot receive resharded windows
+                // either; with the watchdog off a hang is rejected
+                // below before any reshard happens.
+                if (dev_sched[d] && fplan.hangWindow(d) < 0)
+                    survivors.push_back(d);
                 continue;
             }
             ++result.fault.devicesLost;
             ++result.fault.faultsInjected;
+            dev_faulted[d] = 1;
             fault_log.push_back("kill/dev" + std::to_string(d) +
                                 "@win" + std::to_string(kw));
-            for (unsigned w = static_cast<unsigned>(d);
-                 w < plan_.numWindows;
-                 w += static_cast<unsigned>(num_gpus)) {
-                if (collective_merge ||
-                    static_cast<int>(w - d) / num_gpus >= kw)
-                    lost_window[w] = 1;
+        }
+        for (unsigned w = 0; w < plan_.numWindows; ++w) {
+            const int kw = fplan.killWindow(exec_dev[w]);
+            if (kw >= 0 &&
+                (collective_merge || window_ordinal(w) >= kw))
+                lost_window[w] = 1;
+        }
+
+        // --- Watchdog: stragglers and hangs (fault plan) ---
+        // Sequential pre-pass, windows ascending, so detection,
+        // health escalation and target choice are identical at every
+        // hostThreads setting. A window whose projected completion
+        // blows its deadline — watchdogSlack x the calibrated
+        // per-window estimate — is speculatively re-dispatched onto
+        // the fastest healthy candidate. The adopted copy is the one
+        // with the earlier *priced* completion, the original
+        // canonical on ties; both copies execute the same
+        // deterministic window function, so the adopted point is
+        // bit-identical either way (the dual-execution pass below
+        // asserts it).
+        std::vector<std::uint8_t> hang_window(plan_.numWindows, 0);
+        std::vector<std::uint8_t> spec_window(plan_.numWindows, 0);
+        if (fplan.hasStragglerFaults()) {
+            const double est = window_estimate_ns_;
+            const double slack =
+                std::max(1.0, options_.watchdogSlack);
+            for (int d = 0; d < num_gpus; ++d) {
+                if (fplan.degraded(d)) {
+                    ++result.fault.faultsInjected;
+                    dev_faulted[d] = 1;
+                    fault_log.push_back("degrade/dev" +
+                                        std::to_string(d));
+                }
+                const int hw = fplan.hangWindow(d);
+                if (hw >= 0) {
+                    ++result.fault.hangs;
+                    ++result.fault.faultsInjected;
+                    dev_faulted[d] = 1;
+                    if (health != nullptr)
+                        health->recordHang(d);
+                    fault_log.push_back("hang/dev" +
+                                        std::to_string(d) + "@win" +
+                                        std::to_string(hw));
+                }
+            }
+            for (unsigned w = 0; w < plan_.numWindows; ++w) {
+                if (lost_window[w])
+                    continue;
+                const int d = exec_dev[w];
+                const int ord = window_ordinal(w);
+                const double f = fplan.degradeFactor(d, ord);
+                const int hw = fplan.hangWindow(d);
+                // A collective merge loses every window of a hung
+                // device (nothing streams out before the merge),
+                // exactly like the kill path.
+                const bool hang =
+                    hw >= 0 && (collective_merge || ord >= hw);
+                if (!hang && f <= slack) {
+                    // Within the deadline: the window stretches but
+                    // no respawn fires.
+                    result.fault.stragglerWaitNs += (f - 1.0) * est;
+                    result.fault.stragglerStallNs += (f - 1.0) * est;
+                    continue;
+                }
+                if (hang && !options_.watchdog)
+                    return support::Status(
+                        support::StatusCode::TransferTimeout,
+                        "device " + std::to_string(d) +
+                            " hung at window " + std::to_string(w) +
+                            " and the watchdog is off");
+                if (!options_.watchdog) {
+                    // Degrade past the slack, watchdog off: the
+                    // merge stalls the full factor behind the
+                    // straggler.
+                    result.fault.stragglerWaitNs += (f - 1.0) * est;
+                    result.fault.stragglerStallNs += (f - 1.0) * est;
+                    continue;
+                }
+                ++result.fault.stragglersDetected;
+                if (health != nullptr && !hang)
+                    health->recordStraggler(d);
+                // Fastest healthy candidate: schedulable, alive, not
+                // hung, not the straggler itself; the lowest index
+                // breaks factor ties (deterministic).
+                int target = -1;
+                double target_f =
+                    std::numeric_limits<double>::infinity();
+                for (const int c : sched_devs) {
+                    if (c == d || fplan.killWindow(c) >= 0 ||
+                        fplan.hangWindow(c) >= 0)
+                        continue;
+                    const double cf = fplan.degradeFactor(c, 0);
+                    if (cf < target_f) {
+                        target_f = cf;
+                        target = c;
+                    }
+                }
+                if (target < 0) {
+                    if (hang)
+                        return support::Status(
+                            support::StatusCode::DeviceLost,
+                            "device " + std::to_string(d) +
+                                " hung and no healthy candidate "
+                                "remains to respawn onto");
+                    result.fault.stragglerWaitNs += (f - 1.0) * est;
+                    result.fault.stragglerStallNs += (f - 1.0) * est;
+                    continue;
+                }
+                ++result.fault.stragglerRespawns;
+                spec_window[w] = 1;
+                fault_log.push_back(
+                    "respawn/w" + std::to_string(w) + "/dev" +
+                    std::to_string(d) + "->dev" +
+                    std::to_string(target));
+                // Priced completions: the straggling original runs
+                // f x the estimate (a hang never completes); the
+                // speculative copy starts when the deadline fires
+                // and runs at the target's speed.
+                const double orig_ns =
+                    hang ? std::numeric_limits<double>::infinity()
+                         : f * est;
+                const double spec_ns = slack * est + target_f * est;
+                const bool adopt = spec_ns < orig_ns;
+                if (hang)
+                    hang_window[w] = 1;
+                if (adopt) {
+                    ++result.fault.speculativeWins;
+                    exec_dev[w] = target;
+                } else {
+                    ++result.fault.speculativeLosses;
+                }
+                result.fault.stragglerWaitNs +=
+                    std::min(orig_ns, spec_ns) - est;
+                result.fault.stragglerStallNs +=
+                    hang ? options_.transferTimeoutNs
+                         : (f - 1.0) * est;
             }
         }
 
@@ -562,7 +752,7 @@ class MsmEngine
         pool.parallelFor(
             0, plan_.numWindows,
             [&](std::size_t w) {
-                if (!lost_window[w])
+                if (!lost_window[w] && !hang_window[w])
                     run_window(static_cast<unsigned>(w),
                                partials[w]);
             },
@@ -582,8 +772,7 @@ class MsmEngine
                         "onto");
             for (std::size_t i = 0; i < resharded.size(); ++i)
                 exec_dev[resharded[i]] = pickSurvivor(
-                    survivors,
-                    static_cast<int>(resharded[i]) % num_gpus, i,
+                    survivors, exec_dev[resharded[i]], i,
                     result.fault);
             pool.parallelFor(
                 0, resharded.size(),
@@ -594,6 +783,40 @@ class MsmEngine
                 host_threads);
             result.fault.windowsResharded += resharded.size();
         }
+
+        // --- Speculative execution (watchdog respawns) ---
+        // A hung original never completes, so only the respawned
+        // copy runs. A slow-but-alive original still finishes, so
+        // its respawn is a genuine dual execution: the scratch copy
+        // must agree bit-for-bit with the original, and its stats
+        // are discarded so KernelStats stay identical to the
+        // fault-free run.
+        std::vector<unsigned> hung_windows, dual_windows;
+        for (unsigned w = 0; w < plan_.numWindows; ++w) {
+            if (hang_window[w])
+                hung_windows.push_back(w);
+            else if (spec_window[w])
+                dual_windows.push_back(w);
+        }
+        if (!hung_windows.empty())
+            pool.parallelFor(
+                0, hung_windows.size(),
+                [&](std::size_t i) {
+                    run_window(hung_windows[i],
+                               partials[hung_windows[i]]);
+                },
+                host_threads);
+        if (!dual_windows.empty())
+            pool.parallelFor(
+                0, dual_windows.size(),
+                [&](std::size_t i) {
+                    WindowPartial scratch;
+                    run_window(dual_windows[i], scratch);
+                    DISTMSM_ASSERT(bitEqual(
+                        scratch.windowPoint,
+                        partials[dual_windows[i]].windowPoint));
+                },
+                host_threads);
 
         for (unsigned w = 0; w < plan_.numWindows; ++w)
             if (!partials[w].scatterOk)
@@ -629,9 +852,9 @@ class MsmEngine
                     keys.push_back(w);
                 }
                 std::vector<Xyzz> received;
-                const support::Status shipped = shipPayload(
+                const support::Status shipped = shipPayloadResilient(
                     d, payload, keys, fplan, xfer_counter,
-                    result.fault, fault_log, received);
+                    result.fault, fault_log, dev_faulted, received);
                 if (!shipped.isOk())
                     return shipped;
                 for (std::size_t i = 0; i < wins.size(); ++i)
@@ -650,8 +873,8 @@ class MsmEngine
             std::vector<std::uint64_t> merged_keys;
             const support::Status shipped = mergeViaCollective(
                 dev_payload, dev_keys, fplan, xfer_counter,
-                result.fault, fault_log, trace_prefix, merged,
-                merged_keys);
+                result.fault, fault_log, dev_faulted, trace_prefix,
+                merged, merged_keys);
             if (!shipped.isOk())
                 return shipped;
             for (std::size_t i = 0; i < merged.size(); ++i)
@@ -680,6 +903,16 @@ class MsmEngine
             result.hostOps += wp.reduceStats.padds + 1;
         }
 
+        // Clean windows feed the ladder: every window whose
+        // executing device showed no fault this run counts toward
+        // probation reintegration (sequential, windows ascending —
+        // deterministic streak growth).
+        if (health != nullptr)
+            for (unsigned w = 0; w < plan_.numWindows; ++w)
+                if (!dev_faulted[static_cast<std::size_t>(
+                        exec_dev[w])])
+                    health->recordCleanWindow(exec_dev[w]);
+
         result.value = total;
         if (trace != nullptr) {
             emitFieldBackendMetrics(*trace, result.stats);
@@ -696,7 +929,7 @@ class MsmEngine
      * the same proving key pays the build once.
      */
     void
-    acquireTable(int host_threads)
+    acquireTable(int host_threads) const
     {
         TableCacheKey key;
         // The phi images are derived deterministically from the
@@ -854,24 +1087,69 @@ class MsmEngine
 
         // Device loss: the combined pass has no window boundaries,
         // so a kill clause (at any ordinal) takes the device's whole
-        // bucket slice with it. Survivors recompute the dead slices
-        // afterwards — the slices are disjoint bucket ranges, so the
-        // recomputation is bit-identical — and the survivor that
-        // recomputed a slice also ships it.
+        // bucket slice with it — and so do a hang (with the watchdog
+        // on: the slice is speculatively respawned on a survivor, a
+        // guaranteed win because the original never finishes) and a
+        // quarantine (the tracker excluded the device up front).
+        // Survivors recompute the dead slices afterwards — the
+        // slices are disjoint bucket ranges, so the recomputation is
+        // bit-identical — and the survivor that recomputed a slice
+        // also ships it. A degrade clause only slows its device; at
+        // slice granularity there is no per-window deadline to blow,
+        // so it is logged and priced (timeline stragglerNs) but
+        // never respawned here.
+        gpusim::HealthTracker *const health = options_.health;
+        std::vector<std::uint8_t> dev_faulted(
+            static_cast<std::size_t>(groups), 0);
         std::vector<int> survivors, dead;
         std::vector<int> ship_dev(groups);
         for (int g = 0; g < groups; ++g) {
             ship_dev[g] = g;
-            if (fplan.killWindow(g) >= 0)
+            const bool quarantined =
+                health != nullptr && g < health->numDevices() &&
+                !health->schedulable(g);
+            const bool hung = fplan.hangWindow(g) >= 0;
+            if (hung && !options_.watchdog)
+                return support::Status(
+                    support::StatusCode::TransferTimeout,
+                    "device " + std::to_string(g) +
+                        " hung in the combined pass and the "
+                        "watchdog is off");
+            if (fplan.killWindow(g) >= 0) {
                 dead.push_back(g);
-            else
+                dev_faulted[static_cast<std::size_t>(g)] = 1;
+                result.fault.devicesLost += 1;
+                result.fault.faultsInjected += 1;
+                fault_log.push_back("kill/dev" + std::to_string(g));
+            } else if (hung) {
+                dead.push_back(g);
+                dev_faulted[static_cast<std::size_t>(g)] = 1;
+                result.fault.hangs += 1;
+                result.fault.faultsInjected += 1;
+                result.fault.stragglersDetected += 1;
+                result.fault.stragglerRespawns += 1;
+                result.fault.speculativeWins += 1;
+                fault_log.push_back("hang/dev" + std::to_string(g));
+                if (health != nullptr)
+                    health->recordHang(g);
+            } else if (quarantined) {
+                // Not a new fault — the tracker already counted
+                // whatever quarantined it; the slice just needs a
+                // healthy recompute-and-ship owner.
+                dead.push_back(g);
+                dev_faulted[static_cast<std::size_t>(g)] = 1;
+            } else {
                 survivors.push_back(g);
+                const double f = fplan.degradeFactor(g, 0);
+                if (f > 1.0) {
+                    result.fault.faultsInjected += 1;
+                    dev_faulted[static_cast<std::size_t>(g)] = 1;
+                    fault_log.push_back("degrade/dev" +
+                                        std::to_string(g));
+                }
+            }
         }
         if (!dead.empty()) {
-            result.fault.devicesLost += dead.size();
-            result.fault.faultsInjected += dead.size();
-            for (const int g : dead)
-                fault_log.push_back("kill/dev" + std::to_string(g));
             if (survivors.empty())
                 return support::Status(
                     support::StatusCode::DeviceLost,
@@ -883,10 +1161,14 @@ class MsmEngine
                     survivors, dead[i], i, result.fault);
         }
 
+        std::vector<std::uint8_t> is_dead(
+            static_cast<std::size_t>(groups), 0);
+        for (const int g : dead)
+            is_dead[static_cast<std::size_t>(g)] = 1;
         cluster_.forEachDevice(
             groups,
             [&](int g) {
-                if (fplan.killWindow(g) < 0)
+                if (!is_dead[static_cast<std::size_t>(g)])
                     sum_slice(g);
             },
             options_.hostThreads);
@@ -929,9 +1211,9 @@ class MsmEngine
                 for (std::size_t b = lo; b < hi; ++b)
                     keys[b - lo] = b;
                 std::vector<Xyzz> received;
-                const support::Status shipped = shipPayload(
+                const support::Status shipped = shipPayloadResilient(
                     ship_dev[g], payload, keys, fplan, xfer_counter,
-                    result.fault, fault_log, received);
+                    result.fault, fault_log, dev_faulted, received);
                 if (!shipped.isOk())
                     return shipped;
                 std::copy(received.begin(), received.end(),
@@ -957,14 +1239,23 @@ class MsmEngine
             std::vector<std::uint64_t> merged_keys;
             const support::Status shipped = mergeViaCollective(
                 dev_payload, dev_keys, fplan, xfer_counter,
-                result.fault, fault_log, trace_prefix, merged,
-                merged_keys);
+                result.fault, fault_log, dev_faulted, trace_prefix,
+                merged, merged_keys);
             if (!shipped.isOk())
                 return shipped;
             for (std::size_t i = 0; i < merged.size(); ++i)
                 bucket_sums[static_cast<std::size_t>(
                     merged_keys[i])] = merged[i];
         }
+
+        // Every slice owner that saw no fault end-to-end earns a
+        // clean window toward probation reintegration.
+        if (health != nullptr)
+            for (int g = 0;
+                 g < std::min(groups, health->numDevices()); ++g)
+                if (!dev_faulted[static_cast<std::size_t>(g)] &&
+                    health->schedulable(g))
+                    health->recordCleanWindow(g);
 
         ReduceStats reduce_stats;
         result.value =
@@ -1028,20 +1319,164 @@ class MsmEngine
     /**
      * Resolve the active fault plan: an explicit MsmOptions::faults
      * wins, then the DISTMSM_FAULT_SPEC environment variable, then
-     * no faults.
+     * no faults. A malformed environment spec surfaces as the typed
+     * parse Status — tryCompute propagates it instead of exiting.
      */
-    const gpusim::FaultPlan &
+    support::StatusOr<const gpusim::FaultPlan *>
     activeFaultPlan() const
     {
-        if (!options_.faults.empty())
-            return options_.faults;
-        const gpusim::FaultPlan *env =
-            gpusim::globalFaultPlanFromEnv();
-        if (env != nullptr)
-            return *env;
         static const gpusim::FaultPlan kNoFaults;
-        return kNoFaults;
+        if (!options_.faults.empty())
+            return &options_.faults;
+        support::StatusOr<const gpusim::FaultPlan *> env =
+            gpusim::globalFaultPlanFromEnv();
+        if (!env.isOk())
+            return env;
+        if (*env != nullptr)
+            return *env;
+        return &kNoFaults;
     }
+
+    /**
+     * Re-plan after a health-generation change: route through the
+     * caller's original planner mode (Search/Cached re-search — over
+     * the quarantine-shrunken cluster via planningCluster) and
+     * re-stage whatever the new plan needs. Only called from
+     * tryCompute when MsmOptions::health is set; mutates the
+     * mutable planning state, so concurrent tryCompute calls on one
+     * engine are not supported with a tracker attached.
+     */
+    void
+    replanForHealth() const
+    {
+        MsmOptions replan_opts = options_;
+        replan_opts.planner = original_planner_;
+        if (original_planner_ != PlannerMode::Heuristic) {
+            AutoPlanResult searched = autoplanMsm(
+                curve_profile_, points_.size(), cluster_,
+                replan_opts);
+            options_ = searched.options;
+            plan_ = searched.plan;
+        } else {
+            plan_ = planMsm(curve_profile_, points_.size(), cluster_,
+                            replan_opts);
+        }
+        eff_kernel_ = gpusim::applyFieldBackend(options_.kernel,
+                                                plan_.fieldBackend);
+        const int host_threads =
+            support::resolveHostThreads(options_.hostThreads);
+        if (plan_.glv && phi_points_.empty()) {
+            phi_points_.resize(points_.size());
+            support::ThreadPool::global().parallelFor(
+                0, points_.size(),
+                [&](std::size_t i) {
+                    phi_points_[i] =
+                        glv::endomorphismIfSupported<Curve>(
+                            points_[i]);
+                },
+                host_threads);
+        }
+        if (plan_.precompute)
+            acquireTable(host_threads);
+        planned_generation_ = options_.health->generation();
+        refreshWindowEstimate();
+    }
+
+    /**
+     * Calibrated fault-free per-window GPU time — the base of the
+     * watchdog deadline (slack x this) and of the straggler
+     * pricing. Computed only when a tracker is attached or the
+     * fault plan contains degrade/hang clauses, so fault-free
+     * engines skip the cost-model call entirely (zero overhead).
+     */
+    void
+    refreshWindowEstimate() const
+    {
+        window_estimate_ns_ = 0.0;
+        bool need = options_.health != nullptr;
+        if (!need) {
+            if (!options_.faults.empty()) {
+                need = options_.faults.hasStragglerFaults();
+            } else {
+                const support::StatusOr<const gpusim::FaultPlan *>
+                    env = gpusim::globalFaultPlanFromEnv();
+                need = env.isOk() && *env != nullptr &&
+                       (*env)->hasStragglerFaults();
+            }
+        }
+        if (!need)
+            return;
+        MsmOptions est_opts = options_;
+        // The estimate prices the *healthy* window (the deadline
+        // base), silently: no trace spans, no fault penalties.
+        est_opts.trace = nullptr;
+        est_opts.faults = gpusim::FaultPlan{};
+        const MsmTimeline t = estimateDistMsmWithPlan(
+            curve_profile_, points_.size(), cluster_, est_opts,
+            plan_);
+        const double wpg =
+            std::max(1.0, static_cast<double>(plan_.numWindows) /
+                              cluster_.numGpus());
+        window_estimate_ns_ = (t.scatterNs + t.bucketSumNs) / wpg;
+    }
+
+  public:
+    /**
+     * Probe each quarantined device with one out-of-band verified
+     * transfer (a single attempt through the same serialize /
+     * inject / digest path, at a transfer index far above any real
+     * counter so it cannot collide with corrupt:xfer clauses). A
+     * clean probe paroles the device to Probation
+     * (HealthTracker::recordCleanProbe); a corrupted one records
+     * another checksum failure. Returns the number paroled. No-op
+     * without a tracker.
+     */
+    int
+    probeQuarantinedDevices() const
+    {
+        gpusim::HealthTracker *const health = options_.health;
+        if (health == nullptr)
+            return 0;
+        const support::StatusOr<const gpusim::FaultPlan *> fp =
+            activeFaultPlan();
+        if (!fp.isOk())
+            return 0;
+        const gpusim::FaultPlan &fplan = **fp;
+        using Xyzz = XYZZPoint<Curve>;
+        int paroled = 0;
+        const int n_dev =
+            std::min(cluster_.numGpus(), health->numDevices());
+        for (int d = 0; d < n_dev; ++d) {
+            if (health->schedulable(d))
+                continue;
+            const std::uint64_t xfer =
+                kProbeXferBase + probe_counter_++;
+            const std::vector<Xyzz> pts(1, Xyzz::identity());
+            const std::vector<std::uint64_t> keys(1, 0);
+            std::vector<Xyzz> wire = pts;
+            wire.push_back(rlcKeyedDigest(pts, keys, nullptr));
+            std::vector<std::uint8_t> bytes =
+                serializePoints<Curve>(wire);
+            if (fplan.transferFault(xfer, d) !=
+                gpusim::TransferFault::None)
+                gpusim::corruptBytes(bytes, fplan.seed, xfer);
+            std::vector<Xyzz> got =
+                deserializePoints<Curve>(bytes);
+            const Xyzz device_digest = got.back();
+            got.pop_back();
+            const Xyzz host_digest =
+                rlcKeyedDigest(got, keys, nullptr);
+            if (bitEqual(host_digest, device_digest)) {
+                health->recordCleanProbe(d);
+                ++paroled;
+            } else {
+                health->recordChecksumFailure(d);
+            }
+        }
+        return paroled;
+    }
+
+  private:
 
     /**
      * RLC digest with explicit coefficient keys: transfer payloads
@@ -1078,10 +1513,16 @@ class MsmEngine
      * injected delay or byte corruption, deserialize, re-derive the
      * digest host-side and compare limb-for-limb — retrying (with a
      * fresh canonical attempt index) up to MsmOptions::maxRetries
-     * times. On success @p received holds the accepted points,
-     * bit-identical to @p points whenever nothing corrupted the
-     * wire. On exhaustion, returns the typed Status of the final
-     * failed attempt.
+     * times. Every retry waits out an exponential backoff
+     * (backoffBaseNs doubling per attempt, capped at backoffMaxNs)
+     * plus a deterministic seeded jitter — simulated time, priced
+     * into FaultReport::backoffNs, never wall clock. On success
+     * @p received holds the accepted points, bit-identical to
+     * @p points whenever nothing corrupted the wire. On exhaustion,
+     * returns the typed Status of the final failed attempt. Each
+     * observed fault marks the device in @p dev_faulted (it forfeits
+     * its clean window) and feeds the health tracker when one is
+     * attached.
      */
     support::Status
     shipPayload(int device,
@@ -1091,17 +1532,46 @@ class MsmEngine
                 std::uint64_t &xfer_counter,
                 gpusim::FaultReport &report,
                 std::vector<std::string> &fault_log,
+                std::vector<std::uint8_t> &dev_faulted,
                 std::vector<XYZZPoint<Curve>> &received) const
     {
         using Xyzz = XYZZPoint<Curve>;
+        gpusim::HealthTracker *const health =
+            (options_.health != nullptr &&
+             device < options_.health->numDevices())
+                ? options_.health
+                : nullptr;
+        const auto mark_faulted = [&] {
+            if (static_cast<std::size_t>(device) <
+                dev_faulted.size())
+                dev_faulted[static_cast<std::size_t>(device)] = 1;
+        };
         support::Status last(support::StatusCode::TransferTimeout,
                              "transfer never attempted");
         for (int attempt = 0; attempt <= options_.maxRetries;
              ++attempt) {
             const std::uint64_t xfer = xfer_counter++;
             ++report.transfers;
-            if (attempt > 0)
+            if (attempt > 0) {
                 ++report.retries;
+                // Exponential backoff with seeded jitter: dead wire
+                // time in the simulated timeline. The jitter PRNG is
+                // keyed by (plan seed, attempt's transfer index), so
+                // the wait is bit-identical at every hostThreads.
+                const double backoff = std::min(
+                    options_.backoffMaxNs,
+                    options_.backoffBaseNs *
+                        static_cast<double>(
+                            1ull << (attempt - 1)));
+                Prng jitter_rng(fplan.seed ^
+                                (xfer * 0x9E3779B97F4A7C15ull) ^
+                                0xBACC0FFull);
+                const double jitter =
+                    backoff * 0.25 *
+                    (static_cast<double>(jitter_rng() >> 11) *
+                     0x1.0p-53);
+                report.backoffNs += backoff + jitter;
+            }
             const double delay =
                 fplan.transferDelayNs(device, attempt);
             if (delay > 0.0) {
@@ -1112,6 +1582,9 @@ class MsmEngine
                                     "/xfer" + std::to_string(xfer));
                 if (delay > options_.transferTimeoutNs) {
                     ++report.timeouts;
+                    mark_faulted();
+                    if (health != nullptr)
+                        health->recordTimeout(device);
                     last = support::Status(
                         support::StatusCode::TransferTimeout,
                         "device " + std::to_string(device) +
@@ -1127,13 +1600,19 @@ class MsmEngine
                     rlcKeyedDigest(points, rho_keys, &report));
             std::vector<std::uint8_t> bytes =
                 serializePoints<Curve>(wire);
-            if (fplan.corruptsTransfer(xfer, device)) {
+            const gpusim::TransferFault tf =
+                fplan.transferFault(xfer, device);
+            if (tf != gpusim::TransferFault::None) {
                 gpusim::corruptBytes(bytes, fplan.seed, xfer);
                 ++report.corruptInjected;
                 ++report.faultsInjected;
-                fault_log.push_back("corrupt/dev" +
-                                    std::to_string(device) +
-                                    "/xfer" + std::to_string(xfer));
+                mark_faulted();
+                fault_log.push_back(
+                    (tf == gpusim::TransferFault::Flaky
+                         ? "flaky/dev"
+                         : "corrupt/dev") +
+                    std::to_string(device) + "/xfer" +
+                    std::to_string(xfer));
             }
             std::vector<Xyzz> got =
                 deserializePoints<Curve>(bytes);
@@ -1149,6 +1628,8 @@ class MsmEngine
                     rlcKeyedDigest(got, rho_keys, &report);
                 if (!bitEqual(host_digest, device_digest)) {
                     ++report.corruptDetected;
+                    if (health != nullptr)
+                        health->recordChecksumFailure(device);
                     fault_log.push_back(
                         "detect/dev" + std::to_string(device) +
                         "/xfer" + std::to_string(xfer));
@@ -1164,6 +1645,64 @@ class MsmEngine
             return support::Status::ok();
         }
         return last;
+    }
+
+    /**
+     * shipPayload with one health-gated failover: when every retry
+     * from @p device fails AND a health tracker is attached, the
+     * payload is re-shipped once from the healthiest-preferred
+     * survivor (same node first, ascending — the pickSurvivor
+     * ordering, round-robined by the failover ordinal). In the
+     * simulation the payload bytes live host-side either way, so
+     * the redirect is purely a routing decision; the RLC digests are
+     * keyed by global index, so the new sender must match the same
+     * digest. Without a tracker this is exactly shipPayload — the
+     * persistent-corruption error paths are untouched.
+     */
+    support::Status
+    shipPayloadResilient(
+        int device, const std::vector<XYZZPoint<Curve>> &points,
+        const std::vector<std::uint64_t> &rho_keys,
+        const gpusim::FaultPlan &fplan,
+        std::uint64_t &xfer_counter, gpusim::FaultReport &report,
+        std::vector<std::string> &fault_log,
+        std::vector<std::uint8_t> &dev_faulted,
+        std::vector<XYZZPoint<Curve>> &received) const
+    {
+        const support::Status first =
+            shipPayload(device, points, rho_keys, fplan,
+                        xfer_counter, report, fault_log, dev_faulted,
+                        received);
+        gpusim::HealthTracker *const health = options_.health;
+        if (first.isOk() || health == nullptr)
+            return first;
+        if (first.code() != support::StatusCode::TransferCorrupt &&
+            first.code() != support::StatusCode::TransferTimeout)
+            return first;
+        const gpusim::Topology &topo = cluster_.topology();
+        std::vector<int> pref;
+        for (const int pass : {0, 1})
+            for (int c = 0; c < cluster_.numGpus(); ++c) {
+                if (c == device || fplan.killWindow(c) >= 0 ||
+                    fplan.hangWindow(c) >= 0)
+                    continue;
+                if (c < health->numDevices() &&
+                    !health->schedulable(c))
+                    continue;
+                if (topo.sameNode(c, device) == (pass == 0))
+                    pref.push_back(c);
+            }
+        if (pref.empty())
+            return first;
+        const int target = pref[static_cast<std::size_t>(
+            report.transferFailovers % pref.size())];
+        ++report.transferFailovers;
+        fault_log.push_back("failover/dev" +
+                            std::to_string(device) + "->dev" +
+                            std::to_string(target));
+        return shipPayload(target, points, rho_keys, fplan,
+                           xfer_counter, report, fault_log,
+                           dev_faulted, received);
     }
 
     /**
@@ -1230,6 +1769,7 @@ class MsmEngine
         const gpusim::FaultPlan &fplan,
         std::uint64_t &xfer_counter, gpusim::FaultReport &report,
         std::vector<std::string> &fault_log,
+        std::vector<std::uint8_t> &dev_faulted,
         const std::string &trace_prefix,
         std::vector<XYZZPoint<Curve>> &out_points,
         std::vector<std::uint64_t> &out_keys) const
@@ -1276,9 +1816,9 @@ class MsmEngine
                     payloads[static_cast<std::size_t>(m)];
                 auto &m_keys = keys[static_cast<std::size_t>(m)];
                 std::vector<Xyzz> received;
-                const support::Status shipped = shipPayload(
+                const support::Status shipped = shipPayloadResilient(
                     m, m_pts, m_keys, fplan, xfer_counter, report,
-                    fault_log, received);
+                    fault_log, dev_faulted, received);
                 if (!shipped.isOk())
                     return shipped;
                 out_points.insert(out_points.end(),
@@ -1327,9 +1867,9 @@ class MsmEngine
                 src_keys = std::move(stay_keys);
             }
             std::vector<Xyzz> received;
-            const support::Status shipped = shipPayload(
+            const support::Status shipped = shipPayloadResilient(
                 step.src, ship_pts, ship_keys, fplan, xfer_counter,
-                report, fault_log, received);
+                report, fault_log, dev_faulted, received);
             if (!shipped.isOk())
                 return shipped;
             const std::uint64_t wire_bytes =
@@ -1372,9 +1912,9 @@ class MsmEngine
         auto &root_keys = keys[
             static_cast<std::size_t>(sched.root)];
         std::vector<Xyzz> received;
-        const support::Status shipped = shipPayload(
+        const support::Status shipped = shipPayloadResilient(
             sched.root, root_pts, root_keys, fplan, xfer_counter,
-            report, fault_log, received);
+            report, fault_log, dev_faulted, received);
         if (!shipped.isOk())
             return shipped;
         out_points = std::move(received);
@@ -1440,6 +1980,26 @@ class MsmEngine
         metrics.add("fault/verify_ec_ops",
                     static_cast<double>(report.verifyEcOps));
         metrics.add("fault/delay_ns", report.delayNs);
+        metrics.add("fault/stragglers_detected",
+                    static_cast<double>(report.stragglersDetected));
+        metrics.add("fault/straggler_respawns",
+                    static_cast<double>(report.stragglerRespawns));
+        metrics.add("fault/speculative_wins",
+                    static_cast<double>(report.speculativeWins));
+        metrics.add("fault/speculative_losses",
+                    static_cast<double>(report.speculativeLosses));
+        metrics.add("fault/hangs",
+                    static_cast<double>(report.hangs));
+        metrics.add("fault/transfer_failovers",
+                    static_cast<double>(report.transferFailovers));
+        metrics.add("fault/backoff_ns",
+                    static_cast<double>(report.backoffNs));
+        metrics.add("fault/straggler_wait_ns",
+                    static_cast<double>(report.stragglerWaitNs));
+        metrics.add("fault/straggler_stall_ns",
+                    static_cast<double>(report.stragglerStallNs));
+        if (options_.health != nullptr)
+            options_.health->recordMetrics(trace.metrics());
     }
 
     /** Simulated threads executing one scatter launch. */
@@ -1544,25 +2104,53 @@ class MsmEngine
     static constexpr int kPrecomputeTid = 2;
     /** Engine-host track carrying fault injection/detection events. */
     static constexpr int kFaultTid = 3;
+    /**
+     * Quarantine probes draw transfer indices from here upward — far
+     * above any real transfer counter, so a probe can never collide
+     * with a corrupt:xfer=N clause aimed at the compute path.
+     */
+    static constexpr std::uint64_t kProbeXferBase = 1ull << 62;
 
     std::vector<AffinePoint<Curve>> points_;
+    // The planning state below is mutable: a health-generation
+    // change re-plans from inside the const tryCompute (see
+    // replanForHealth). Engines with a tracker attached must not
+    // run concurrent tryCompute calls; without one, nothing here
+    // ever changes after construction.
     /** phi(P_i) images when the plan enabled GLV (else empty). */
-    std::vector<AffinePoint<Curve>> phi_points_;
+    mutable std::vector<AffinePoint<Curve>> phi_points_;
     gpusim::Cluster cluster_;
-    MsmOptions options_;
+    mutable MsmOptions options_;
     gpusim::CurveProfile curve_profile_;
-    MsmPlan plan_;
+    mutable MsmPlan plan_;
     /**
      * options_.kernel with the plan's resolved field backend applied
      * (gpusim::applyFieldBackend) — the variant every cost-model
      * query in the engine prices against.
      */
-    gpusim::EcKernelVariant eff_kernel_;
+    mutable gpusim::EcKernelVariant eff_kernel_;
     /** Forced-TensorCore runs execute the tcmul differential path. */
     bool tc_exec_ = false;
     /** Shared precompute table (plan_.precompute; else null). */
-    std::shared_ptr<const PrecomputeTable<Curve>> table_;
-    bool table_cache_hit_ = false;
+    mutable std::shared_ptr<const PrecomputeTable<Curve>> table_;
+    mutable bool table_cache_hit_ = false;
+    /**
+     * The caller's requested planner mode, captured before the
+     * constructor folded an autoplan result into options_ — the mode
+     * replanForHealth re-searches with after a quarantine shrinks
+     * the fleet.
+     */
+    PlannerMode original_planner_ = PlannerMode::Heuristic;
+    /** Health generation plan_ was computed against. */
+    mutable std::uint64_t planned_generation_ = 0;
+    /**
+     * Calibrated fault-free per-window GPU time (ns): the watchdog
+     * deadline base. Zero when neither a tracker nor straggler
+     * clauses are present.
+     */
+    mutable double window_estimate_ns_ = 0.0;
+    /** Monotone probe ordinal (offsets kProbeXferBase). */
+    mutable std::uint64_t probe_counter_ = 0;
     /** Orders trace labels of successive compute() calls. */
     mutable std::atomic<std::uint64_t> msm_counter_{0};
 };

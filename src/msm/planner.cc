@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/gpusim/health.h"
 #include "src/msm/autoplan.h"
 #include "src/msm/checksum.h"
 #include "src/msm/precompute.h"
@@ -67,9 +68,29 @@ MsmPlan
 planMsm(const CurveProfile &curve, std::uint64_t n,
         const gpusim::Cluster &cluster, const MsmOptions &options)
 {
+    const gpusim::Cluster planning =
+        planningCluster(cluster, options.health);
     if (options.planner != PlannerMode::Heuristic)
-        return autoplanMsm(curve, n, cluster, options).plan;
-    return planMsmHeuristic(curve, n, cluster, options);
+        return autoplanMsm(curve, n, planning, options).plan;
+    return planMsmHeuristic(curve, n, planning, options);
+}
+
+gpusim::Cluster
+planningCluster(const gpusim::Cluster &cluster,
+                const gpusim::HealthTracker *health)
+{
+    if (health == nullptr)
+        return cluster;
+    int schedulable = 0;
+    for (int d = 0; d < cluster.numGpus(); ++d)
+        if (d >= health->numDevices() || health->schedulable(d))
+            ++schedulable;
+    if (schedulable == cluster.numGpus() || schedulable == 0)
+        return cluster;
+    gpusim::Topology topo = cluster.topology();
+    topo.totalGpus = schedulable;
+    return gpusim::Cluster(cluster.device(), topo, cluster.host(),
+                           cluster.model().params());
 }
 
 MsmPlan
@@ -539,6 +560,66 @@ estimateDistMsmWithPlan(const CurveProfile &curve, std::uint64_t n,
         // visible at small N).
         t.windowReduceNs +=
             8.0 * model.params().kernelLaunchUs * 1e3;
+    }
+
+    // --- Straggler + backoff pricing (fault layer) ---
+    // Degrade/hang clauses stall the lockstep merge behind the
+    // slowest device. With the watchdog on, a window that blows its
+    // slack x estimate deadline respawns on the fastest healthy
+    // survivor, so the exposed penalty per device is
+    // gpu_side x (min(F, slack + best) - 1) — the straggling
+    // original (factor F) raced against waiting out the deadline
+    // plus the survivor's copy (slack + best). Without the watchdog
+    // the full (F - 1) stall lands on the critical path, and a hang
+    // costs the transfer timeout. Backoff prices the expected
+    // dead-wire wait of flaky / persistently corrupt devices'
+    // retries. Fault-free plans leave both fields zero, so every
+    // pre-existing timeline is unchanged.
+    if (!options.faults.empty()) {
+        const gpusim::FaultPlan &fplan = options.faults;
+        double best = std::numeric_limits<double>::infinity();
+        for (int d = 0; d < cluster.numGpus(); ++d)
+            if (fplan.hangWindow(d) < 0)
+                best = std::min(best, fplan.degradeFactor(d, 0));
+        if (!std::isfinite(best))
+            best = 1.0;
+        double worst = 0.0;
+        for (int d = 0; d < cluster.numGpus(); ++d) {
+            const double f = fplan.degradeFactor(d, 0);
+            const bool hang = fplan.hangWindow(d) >= 0;
+            double pen;
+            if (!options.watchdog) {
+                pen = hang ? options.transferTimeoutNs
+                           : (f - 1.0) * gpu_side_ns;
+            } else {
+                const double eff =
+                    hang ? options.watchdogSlack + best
+                         : std::min(f, options.watchdogSlack + best);
+                pen = (eff - 1.0) * gpu_side_ns;
+            }
+            worst = std::max(worst, pen);
+        }
+        t.stragglerNs = worst;
+
+        for (int d = 0; d < cluster.numGpus(); ++d) {
+            double p = fplan.flakyProbability(d);
+            for (const gpusim::FaultEvent &ev : fplan.events)
+                if (ev.kind ==
+                        gpusim::FaultKind::CorruptDeviceTransfers &&
+                    ev.device == d)
+                    p = 1.0;
+            if (p <= 0.0)
+                continue;
+            double odds = 1.0;
+            for (int a = 1; a <= options.maxRetries; ++a) {
+                odds *= p;
+                t.backoffNs +=
+                    odds * std::min(options.backoffMaxNs,
+                                    options.backoffBaseNs *
+                                        static_cast<double>(1ull
+                                                            << (a - 1)));
+            }
+        }
     }
 
     if (options.trace != nullptr)

@@ -30,6 +30,10 @@ namespace distmsm::support {
 class TraceRecorder;
 }
 
+namespace distmsm::gpusim {
+class HealthTracker;
+}
+
 namespace distmsm::msm {
 
 /**
@@ -160,6 +164,40 @@ struct MsmOptions
     bool verifyChecksums = true;
     /** Transfer attempts slower than this (injected delay) time out. */
     double transferTimeoutNs = 1e8;
+    /**
+     * Cost-model-derived straggler watchdog. Every window gets a
+     * deadline of watchdogSlack x the calibrated per-window
+     * estimate; a window that blows it (degrade beyond the slack, or
+     * a hang) is speculatively re-dispatched onto the fastest
+     * healthy survivor. The adopted copy is chosen by priced
+     * completion with a fixed canonical tie-break (the original
+     * wins ties), so results stay bit-identical at every
+     * hostThreads setting. Off: a hang is a typed error and a
+     * degrade merely stalls the merge.
+     */
+    bool watchdog = true;
+    /** Deadline multiplier over the per-window estimate (>= 1). */
+    double watchdogSlack = 2.0;
+    /**
+     * Transfer retries back off exponentially instead of retrying
+     * immediately: attempt a waits backoffBaseNs x 2^(a-1) plus
+     * deterministic seeded jitter, capped at backoffMaxNs. Priced
+     * into FaultReport::backoffNs and MsmTimeline::backoffNs; the
+     * retry *count* and results are unchanged.
+     */
+    double backoffBaseNs = 2e5;
+    double backoffMaxNs = 5e6;
+    /**
+     * Optional per-device health ladder (gpusim/health.h). When set,
+     * the engine records timeouts / checksum failures / stragglers /
+     * hangs into it, excludes quarantined devices from scheduling
+     * and resharding, fails transfers over to healthy survivors
+     * after retry exhaustion, and re-plans when the tracker's
+     * generation changes. Null (the default) keeps the legacy
+     * fail-fast behavior. Borrowed, not owned; must outlive the
+     * engine.
+     */
+    gpusim::HealthTracker *health = nullptr;
     /** Seeds the RLC coefficients (device and host must agree). */
     std::uint64_t checksumSeed = 0xC0FFEEull;
     /**
@@ -259,6 +297,19 @@ MsmPlan planMsmHeuristic(const gpusim::CurveProfile &curve,
                          std::uint64_t n,
                          const gpusim::Cluster &cluster,
                          const MsmOptions &options);
+
+/**
+ * The cluster the planner should plan against once quarantined
+ * devices are removed: @p cluster itself when @p health is null or
+ * nothing is quarantined (or everything is — an empty cluster cannot
+ * be planned; the engine reports the error instead), otherwise a
+ * copy whose topology holds only the schedulable device count. Both
+ * planMsm and autoplanMsm route through this, so the plan-cache key
+ * (which covers the topology) distinguishes shrunken fleets
+ * automatically.
+ */
+gpusim::Cluster planningCluster(const gpusim::Cluster &cluster,
+                                const gpusim::HealthTracker *health);
 
 /**
  * Analytically synthesized scatter statistics for @p elements

@@ -38,6 +38,22 @@ struct MsmTimeline
      * field, surfaced separately in traces and benchmarks.
      */
     double tableBuildNs = 0.0;
+    /**
+     * Straggler penalty on the critical path (gpusim/faults.h
+     * degrade/hang clauses): with the watchdog on, the worst
+     * device's wait until its window's speculative copy (or the
+     * straggling original, whichever is priced earlier) completes;
+     * with it off, the full stall behind the slowest device — for a
+     * hang, the transfer timeout. Zero on fault-free runs, so every
+     * pre-existing timeline is unchanged.
+     */
+    double stragglerNs = 0.0;
+    /**
+     * Expected exponential-backoff wait ahead of transfer retries
+     * (flaky / persistently corrupt devices). Zero without such
+     * faults.
+     */
+    double backoffNs = 0.0;
     /** True when bucket-reduce runs on the host CPU. */
     bool cpuReduce = false;
     /**
@@ -122,7 +138,12 @@ struct MsmTimeline
         } else {
             host += overlappable;
         }
-        return gpuStageNs() + host;
+        // Straggler and backoff penalties serialize: the merge
+        // cannot finish before the slowest window's adopted copy,
+        // and backoff is dead wire time. They live outside
+        // gpuStageNs() so the fault-free pipeline equality
+        // (1-task pipelinedNs == totalNs) is untouched.
+        return gpuStageNs() + host + stragglerNs + backoffNs;
     }
 
     double totalMs() const { return totalNs() / 1e6; }

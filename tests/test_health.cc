@@ -1,0 +1,747 @@
+/**
+ * @file
+ * Straggler-aware degradation tests: the fault grammar's
+ * degrade/flaky/hang clauses, the FaultReport and DeviceHealth
+ * merge-completeness KATs, the HealthTracker escalation ladder, the
+ * engine's watchdog speculation, quarantine-driven re-planning, and
+ * the chaos-soak differential sweep.
+ *
+ * The contract (DESIGN.md Sections 6 and 11): every recovery path —
+ * speculation, transfer failover, quarantine resharding — returns a
+ * value bit-identical to the fault-free run at every hostThreads
+ * setting, and the watchdog's priced wait is strictly below the
+ * stall a watchdog-less run would suffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/ec/curves.h"
+#include "src/gpusim/health.h"
+#include "src/msm/distmsm.h"
+#include "src/msm/workload.h"
+#include "src/support/metrics.h"
+#include "src/support/prng.h"
+#include "src/support/trace.h"
+
+namespace distmsm::msm {
+namespace {
+
+using gpusim::Cluster;
+using gpusim::DeviceSpec;
+using gpusim::DeviceHealth;
+using gpusim::FaultKind;
+using gpusim::FaultPlan;
+using gpusim::FaultReport;
+using gpusim::HealthPolicy;
+using gpusim::HealthState;
+using gpusim::HealthTracker;
+using gpusim::TransferFault;
+using support::StatusCode;
+
+MsmOptions
+healthTestOptions(unsigned s = 8)
+{
+    MsmOptions o;
+    o.windowBitsOverride = s;
+    o.scatter.blockDim = 64;
+    o.scatter.gridDim = 4;
+    o.scatter.sharedBytesPerBlock = 128 * 1024;
+    return o;
+}
+
+template <typename Curve>
+struct Workload
+{
+    std::vector<AffinePoint<Curve>> points;
+    std::vector<BigInt<Curve::Fr::kLimbs>> scalars;
+};
+
+template <typename Curve>
+Workload<Curve>
+makeWorkload(std::size_t n, std::uint64_t seed)
+{
+    Prng prng(seed);
+    Workload<Curve> w;
+    w.points = generatePoints<Curve>(n, prng);
+    w.scalars = generateScalars<Curve>(n, prng);
+    return w;
+}
+
+// --- Fault grammar: degrade / flaky / hang / @attempt ----------------
+
+TEST(StragglerGrammar, AcceptsDegradeFlakyHang)
+{
+    const auto plan_or = FaultPlan::parse(
+        "degrade:dev=0,factor=4@win=1;flaky:dev=3,p=0.5;"
+        "hang:dev=2@win=2;delay:dev=1,ns=5e8@attempt=1");
+    ASSERT_TRUE(plan_or.isOk()) << plan_or.status().toString();
+    const FaultPlan &plan = *plan_or;
+    ASSERT_EQ(plan.events.size(), 4u);
+
+    EXPECT_TRUE(plan.hasStragglerFaults());
+    EXPECT_TRUE(plan.degraded(0));
+    EXPECT_FALSE(plan.degraded(3));
+    // Onset ordinal: healthy before win=1, 4x slower from it on.
+    EXPECT_DOUBLE_EQ(plan.degradeFactor(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(plan.degradeFactor(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(plan.degradeFactor(0, 7), 4.0);
+    EXPECT_DOUBLE_EQ(plan.degradeFactor(1, 7), 1.0);
+
+    EXPECT_DOUBLE_EQ(plan.flakyProbability(3), 0.5);
+    EXPECT_DOUBLE_EQ(plan.flakyProbability(0), 0.0);
+
+    EXPECT_EQ(plan.hangWindow(2), 2);
+    EXPECT_EQ(plan.hangWindow(0), -1);
+
+    // @attempt routes the delay to the named retry, not the first.
+    EXPECT_DOUBLE_EQ(plan.transferDelayNs(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(plan.transferDelayNs(1, 1), 5e8);
+    EXPECT_DOUBLE_EQ(plan.transferDelayNs(1, 2), 0.0);
+}
+
+TEST(StragglerGrammar, DegradeFactorsCompound)
+{
+    const auto plan_or = FaultPlan::parse(
+        "degrade:dev=1,factor=2;degrade:dev=1,factor=3@win=2");
+    ASSERT_TRUE(plan_or.isOk());
+    EXPECT_DOUBLE_EQ(plan_or->degradeFactor(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(plan_or->degradeFactor(1, 1), 2.0);
+    EXPECT_DOUBLE_EQ(plan_or->degradeFactor(1, 2), 6.0);
+}
+
+TEST(StragglerGrammar, RejectsMalformedClauses)
+{
+    const char *bad[] = {
+        "degrade:dev=0",              // degrade without factor
+        "degrade:factor=2",           // degrade without dev
+        "degrade:dev=0,factor=0.5",   // slowdown below 1
+        "degrade:dev=0,factor=nan",   // non-finite factor
+        "flaky:dev=0",                // flaky without p
+        "flaky:p=0.5",                // flaky without dev
+        "flaky:dev=0,p=1.5",          // probability above 1
+        "flaky:dev=0,p=-0.1",         // negative probability
+        "hang:win=1",                 // hang without dev
+        "delay:dev=0,ns=-5",          // negative delay
+        "delay:dev=0,ns=nan",         // non-finite delay
+        "delay:dev=0,ns=inf",         // non-finite delay
+    };
+    for (const char *spec : bad) {
+        const auto plan_or = FaultPlan::parse(spec);
+        EXPECT_FALSE(plan_or.isOk()) << spec;
+        if (!plan_or.isOk()) {
+            EXPECT_EQ(plan_or.status().code(),
+                      StatusCode::InvalidArgument)
+                << spec;
+        }
+    }
+}
+
+TEST(StragglerGrammar, FlakyCoinIsSeededAndDeterministic)
+{
+    const auto plan_or = FaultPlan::parse("flaky:dev=1,p=0.5;seed:9");
+    ASSERT_TRUE(plan_or.isOk());
+    const FaultPlan &plan = *plan_or;
+    // Same (seed, transfer index) -> same outcome, every time.
+    int corrupted = 0;
+    for (std::uint64_t x = 0; x < 256; ++x) {
+        const TransferFault first = plan.transferFault(x, 1);
+        EXPECT_EQ(first, plan.transferFault(x, 1));
+        EXPECT_EQ(plan.transferFault(x, 0), TransferFault::None);
+        if (first == TransferFault::Flaky)
+            ++corrupted;
+    }
+    // A fair seeded coin at p=0.5 lands well inside [64, 192].
+    EXPECT_GT(corrupted, 64);
+    EXPECT_LT(corrupted, 192);
+
+    // p=1 corrupts every transfer; p=0 none.
+    const auto always = FaultPlan::parse("flaky:dev=1,p=1");
+    ASSERT_TRUE(always.isOk());
+    const auto never = FaultPlan::parse("flaky:dev=1,p=0");
+    ASSERT_TRUE(never.isOk());
+    for (std::uint64_t x = 0; x < 64; ++x) {
+        EXPECT_EQ(always->transferFault(x, 1), TransferFault::Flaky);
+        EXPECT_EQ(never->transferFault(x, 1), TransferFault::None);
+    }
+}
+
+// --- Merge-completeness KATs -----------------------------------------
+
+TEST(MergeKat, FaultReportMergeFoldsEveryField)
+{
+    // Layout pin: 22 8-byte fields, no padding.
+    static_assert(sizeof(FaultReport) ==
+                  FaultReport::kFieldCount * sizeof(std::uint64_t));
+
+    // Give every field a distinct non-zero value, in declaration
+    // order. A field added to the struct without extending this KAT
+    // trips the kFieldCount static_assert first.
+    FaultReport src;
+    std::uint64_t v = 1;
+    src.faultsInjected = v++;
+    src.corruptInjected = v++;
+    src.corruptDetected = v++;
+    src.timeouts = v++;
+    src.retries = v++;
+    src.windowsResharded = v++;
+    src.reshardsIntraNode = v++;
+    src.reshardsCrossNode = v++;
+    src.devicesLost = v++;
+    src.transfers = v++;
+    src.checksummed = v++;
+    src.verifyEcOps = v++;
+    src.delayNs = static_cast<double>(v++);
+    src.stragglersDetected = v++;
+    src.stragglerRespawns = v++;
+    src.speculativeWins = v++;
+    src.speculativeLosses = v++;
+    src.hangs = v++;
+    src.transferFailovers = v++;
+    src.backoffNs = static_cast<double>(v++);
+    src.stragglerWaitNs = static_cast<double>(v++);
+    src.stragglerStallNs = static_cast<double>(v++);
+    ASSERT_EQ(v, FaultReport::kFieldCount + 1);
+
+    // Round trip: merging into a zeroed report must reproduce the
+    // source byte-for-byte — any field merge() forgot stays zero and
+    // fails the memcmp.
+    FaultReport dst;
+    dst.merge(src);
+    EXPECT_EQ(0, std::memcmp(&dst, &src, sizeof(FaultReport)));
+
+    dst.merge(src);
+    EXPECT_EQ(dst.faultsInjected, 2 * src.faultsInjected);
+    EXPECT_EQ(dst.transferFailovers, 2 * src.transferFailovers);
+    EXPECT_DOUBLE_EQ(dst.backoffNs, 2 * src.backoffNs);
+    EXPECT_DOUBLE_EQ(dst.stragglerStallNs,
+                     2 * src.stragglerStallNs);
+}
+
+TEST(MergeKat, DeviceHealthMergeFoldsEveryField)
+{
+    static_assert(sizeof(DeviceHealth) ==
+                  DeviceHealth::kSlotCount * sizeof(std::uint64_t));
+
+    DeviceHealth src;
+    src.timeouts = 1;
+    src.checksumFailures = 2;
+    src.stragglerEvents = 3;
+    src.hangs = 4;
+    src.cleanWindows = 5;
+    src.probes = 6;
+    src.faultScore = 7;
+    src.cleanStreak = 8;
+    src.state = HealthState::Probation;
+
+    DeviceHealth dst;
+    dst.state = HealthState::Quarantined;
+    dst.cleanStreak = 2;
+    dst.merge(src);
+    EXPECT_EQ(dst.timeouts, 1u);
+    EXPECT_EQ(dst.checksumFailures, 2u);
+    EXPECT_EQ(dst.stragglerEvents, 3u);
+    EXPECT_EQ(dst.hangs, 4u);
+    EXPECT_EQ(dst.cleanWindows, 5u);
+    EXPECT_EQ(dst.probes, 6u);
+    EXPECT_EQ(dst.faultScore, 7);
+    // Streak takes the pessimistic minimum, state the worse rung.
+    EXPECT_EQ(dst.cleanStreak, 2);
+    EXPECT_EQ(dst.state, HealthState::Quarantined);
+}
+
+// --- HealthTracker ladder --------------------------------------------
+
+TEST(HealthLadder, EscalatesThroughProbationToQuarantine)
+{
+    HealthTracker t(4);
+    EXPECT_EQ(t.numDevices(), 4);
+    EXPECT_EQ(t.state(1), HealthState::Healthy);
+    const std::uint64_t g0 = t.generation();
+
+    t.recordChecksumFailure(1);
+    EXPECT_EQ(t.state(1), HealthState::Probation);
+    EXPECT_TRUE(t.schedulable(1));
+    EXPECT_GT(t.generation(), g0);
+
+    t.recordTimeout(1);
+    EXPECT_EQ(t.state(1), HealthState::Probation);
+    t.recordStraggler(1);
+    EXPECT_EQ(t.state(1), HealthState::Quarantined);
+    EXPECT_FALSE(t.schedulable(1));
+    EXPECT_EQ(t.numQuarantined(), 1);
+    EXPECT_EQ(t.schedulableDevices(),
+              (std::vector<int>{0, 2, 3}));
+    EXPECT_EQ(t.device(1).checksumFailures, 1u);
+    EXPECT_EQ(t.device(1).timeouts, 1u);
+    EXPECT_EQ(t.device(1).stragglerEvents, 1u);
+}
+
+TEST(HealthLadder, HangQuarantinesImmediately)
+{
+    HealthTracker t(2);
+    t.recordHang(0);
+    EXPECT_EQ(t.state(0), HealthState::Quarantined);
+    EXPECT_EQ(t.device(0).hangs, 1u);
+    EXPECT_EQ(t.schedulableDevices(), (std::vector<int>{1}));
+}
+
+TEST(HealthLadder, CleanWindowsReintegrateProbation)
+{
+    HealthTracker t(2);
+    t.recordChecksumFailure(0);
+    ASSERT_EQ(t.state(0), HealthState::Probation);
+    const std::uint64_t g = t.generation();
+
+    const int need = t.policy().reintegrateCleanWindows;
+    for (int i = 0; i < need - 1; ++i)
+        t.recordCleanWindow(0);
+    EXPECT_EQ(t.state(0), HealthState::Probation);
+    // A fault resets the streak: reintegration starts over.
+    t.recordTimeout(0);
+    for (int i = 0; i < need - 1; ++i)
+        t.recordCleanWindow(0);
+    EXPECT_EQ(t.state(0), HealthState::Probation);
+    t.recordCleanWindow(0);
+    EXPECT_EQ(t.state(0), HealthState::Healthy);
+    EXPECT_EQ(t.device(0).faultScore, 0);
+    EXPECT_GT(t.generation(), g);
+}
+
+TEST(HealthLadder, CleanProbeParolesQuarantineToProbation)
+{
+    HealthTracker t(2);
+    t.recordHang(1);
+    ASSERT_EQ(t.state(1), HealthState::Quarantined);
+    // Clean windows do NOT redeem a quarantined device...
+    for (int i = 0; i < 8; ++i)
+        t.recordCleanWindow(1);
+    EXPECT_EQ(t.state(1), HealthState::Quarantined);
+    // ...only a clean probe does, and only back to Probation.
+    t.recordCleanProbe(1);
+    EXPECT_EQ(t.state(1), HealthState::Probation);
+    EXPECT_EQ(t.device(1).probes, 1u);
+    EXPECT_EQ(t.device(1).cleanStreak, 0);
+    const int need = t.policy().reintegrateCleanWindows;
+    for (int i = 0; i < need; ++i)
+        t.recordCleanWindow(1);
+    EXPECT_EQ(t.state(1), HealthState::Healthy);
+}
+
+TEST(HealthLadder, RecordMetricsExportsGauges)
+{
+    HealthTracker t(3);
+    t.recordHang(2);
+    t.recordChecksumFailure(0);
+    support::MetricsRegistry metrics;
+    t.recordMetrics(metrics);
+    EXPECT_DOUBLE_EQ(metrics.value("health/devices"), 3.0);
+    EXPECT_DOUBLE_EQ(metrics.value("health/quarantined_devices"),
+                     1.0);
+    EXPECT_DOUBLE_EQ(metrics.value("health/probation_devices"), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.value("health/hangs"), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.value("health/checksum_failures"), 1.0);
+    EXPECT_GE(metrics.value("health/generation"), 2.0);
+}
+
+// --- Watchdog speculation (engine) -----------------------------------
+
+class WatchdogTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kN = std::size_t{1} << 12;
+
+    void
+    SetUp() override
+    {
+        workload_ = makeWorkload<Bn254>(kN, 0x4EA1);
+        const auto clean_or = tryComputeDistMsm<Bn254>(
+            workload_.points, workload_.scalars, cluster_,
+            healthTestOptions());
+        ASSERT_TRUE(clean_or.isOk());
+        clean_ = *clean_or;
+    }
+
+    Cluster cluster_{DeviceSpec::a100(), 8};
+    Workload<Bn254> workload_;
+    MsmResult<Bn254> clean_;
+};
+
+TEST_F(WatchdogTest, DegradedDeviceSpeculatesBitIdentically)
+{
+    // The acceptance gate: degrade:dev=0,factor=4 on 8 devices
+    // completes with speculative re-execution and the result is
+    // bit-identical to the fault-free run at every hostThreads.
+    for (const int threads : {1, 4, 8}) {
+        auto options = healthTestOptions();
+        options.hostThreads = threads;
+        const auto plan_or =
+            FaultPlan::parse("degrade:dev=0,factor=4");
+        ASSERT_TRUE(plan_or.isOk());
+        options.faults = *plan_or;
+        const auto result_or = tryComputeDistMsm<Bn254>(
+            workload_.points, workload_.scalars, cluster_, options);
+        ASSERT_TRUE(result_or.isOk())
+            << result_or.status().toString();
+        const auto &r = *result_or;
+        EXPECT_TRUE(bitEqual(r.value, clean_.value))
+            << "hostThreads=" << threads;
+        EXPECT_EQ(r.stats, clean_.stats);
+        EXPECT_EQ(r.hostOps, clean_.hostOps);
+        EXPECT_GE(r.fault.stragglersDetected, 1u);
+        EXPECT_GE(r.fault.stragglerRespawns, 1u);
+        EXPECT_EQ(r.fault.stragglerRespawns,
+                  r.fault.speculativeWins +
+                      r.fault.speculativeLosses);
+        // The watchdog's priced wait beats the un-watched stall.
+        EXPECT_GT(r.fault.stragglerStallNs, 0.0);
+        EXPECT_LT(r.fault.stragglerWaitNs,
+                  r.fault.stragglerStallNs);
+    }
+}
+
+TEST_F(WatchdogTest, MildDegradeStretchesWithoutRespawn)
+{
+    // factor below the slack: the deadline never fires.
+    auto options = healthTestOptions();
+    const auto plan_or =
+        FaultPlan::parse("degrade:dev=3,factor=1.5");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_TRUE(result_or.isOk());
+    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
+    EXPECT_EQ(result_or->fault.stragglerRespawns, 0u);
+    EXPECT_GT(result_or->fault.stragglerWaitNs, 0.0);
+}
+
+TEST_F(WatchdogTest, HangRecoversWithWatchdogFailsWithout)
+{
+    auto options = healthTestOptions();
+    const auto plan_or = FaultPlan::parse("hang:dev=2@win=1");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_TRUE(result_or.isOk())
+        << result_or.status().toString();
+    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
+    EXPECT_EQ(result_or->fault.hangs, 1u);
+    EXPECT_GE(result_or->fault.speculativeWins, 1u);
+    EXPECT_EQ(result_or->stats, clean_.stats);
+    EXPECT_EQ(result_or->hostOps, clean_.hostOps);
+
+    auto no_watchdog = options;
+    no_watchdog.watchdog = false;
+    const auto fail_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, no_watchdog);
+    ASSERT_FALSE(fail_or.isOk());
+    EXPECT_EQ(fail_or.status().code(), StatusCode::TransferTimeout);
+}
+
+TEST_F(WatchdogTest, FlakyWithoutTrackerExhaustsRetries)
+{
+    // flaky:p=1 is a persistently corrupt link; without a health
+    // tracker there is no failover and the typed error surfaces.
+    auto options = healthTestOptions();
+    const auto plan_or = FaultPlan::parse("flaky:dev=0,p=1");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_FALSE(result_or.isOk());
+    EXPECT_EQ(result_or.status().code(),
+              StatusCode::TransferCorrupt);
+}
+
+TEST_F(WatchdogTest, DelayOnRetryBacksOffAndRecovers)
+{
+    // @attempt=1 hits the first retry (forced by a one-shot
+    // corruption): the backoff price lands in the report and the
+    // run still recovers bit-identically.
+    auto options = healthTestOptions();
+    const auto plan_or =
+        FaultPlan::parse("corrupt:xfer=0;delay:dev=0,ns=1@attempt=1");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        workload_.points, workload_.scalars, cluster_, options);
+    ASSERT_TRUE(result_or.isOk())
+        << result_or.status().toString();
+    EXPECT_TRUE(bitEqual(result_or->value, clean_.value));
+    EXPECT_GE(result_or->fault.retries, 1u);
+    EXPECT_GT(result_or->fault.backoffNs, 0.0);
+    EXPECT_GT(result_or->fault.delayNs, 0.0);
+}
+
+// --- Timeline pricing -------------------------------------------------
+
+TEST(WatchdogTimeline, SpeculationBeatsTheStall)
+{
+    // Acceptance gate: with the watchdog, the priced makespan under
+    // degrade:dev=0,factor=4 is strictly below the no-watchdog
+    // stall behind the straggler.
+    const auto curve = gpusim::CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    auto options = healthTestOptions();
+    const auto plan_or = FaultPlan::parse("degrade:dev=0,factor=4");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+
+    const auto watched =
+        estimateDistMsm(curve, 1ull << 18, cluster, options);
+    auto off = options;
+    off.watchdog = false;
+    const auto stalled =
+        estimateDistMsm(curve, 1ull << 18, cluster, off);
+    EXPECT_GT(watched.stragglerNs, 0.0);
+    EXPECT_LT(watched.stragglerNs, stalled.stragglerNs);
+    EXPECT_LT(watched.totalNs(), stalled.totalNs());
+
+    // Fault-free pricing is untouched by the watchdog knobs.
+    auto clean = healthTestOptions();
+    const auto base =
+        estimateDistMsm(curve, 1ull << 18, cluster, clean);
+    clean.watchdog = false;
+    const auto base_off =
+        estimateDistMsm(curve, 1ull << 18, cluster, clean);
+    EXPECT_DOUBLE_EQ(base.totalNs(), base_off.totalNs());
+    EXPECT_DOUBLE_EQ(base.stragglerNs, 0.0);
+    EXPECT_DOUBLE_EQ(base.backoffNs, 0.0);
+    EXPECT_LT(base.totalNs(), watched.totalNs());
+}
+
+TEST(WatchdogTimeline, FlakyLinksPriceTheirBackoff)
+{
+    const auto curve = gpusim::CurveProfile::bn254();
+    const Cluster cluster(DeviceSpec::a100(), 4);
+    auto options = healthTestOptions();
+    const auto plan_or = FaultPlan::parse("flaky:dev=1,p=0.5");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    const auto t =
+        estimateDistMsm(curve, 1ull << 16, cluster, options);
+    EXPECT_GT(t.backoffNs, 0.0);
+    EXPECT_DOUBLE_EQ(t.stragglerNs, 0.0);
+    EXPECT_GT(t.totalNs(), t.gpuStageNs());
+}
+
+// --- Quarantine, re-planning and probes ------------------------------
+
+TEST(Quarantine, PlanningClusterExcludesQuarantinedDevices)
+{
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    HealthTracker tracker(8);
+    EXPECT_EQ(planningCluster(cluster, &tracker).numGpus(), 8);
+    EXPECT_EQ(planningCluster(cluster, nullptr).numGpus(), 8);
+    tracker.recordHang(5);
+    const Cluster shrunk = planningCluster(cluster, &tracker);
+    EXPECT_EQ(shrunk.numGpus(), 7);
+
+    // The planner sees the shrunken fleet: the same plan as an
+    // explicitly 7-GPU cluster carries.
+    const auto curve = gpusim::CurveProfile::bn254();
+    auto options = healthTestOptions();
+    options.health = &tracker;
+    const auto with_health =
+        planMsm(curve, 1ull << 16, cluster, options);
+    options.health = nullptr;
+    const auto over_seven =
+        planMsm(curve, 1ull << 16, shrunk, options);
+    EXPECT_EQ(with_health.windowsPerGpu, over_seven.windowsPerGpu);
+    EXPECT_EQ(with_health.numWindows, over_seven.numWindows);
+}
+
+TEST(Quarantine, FlakyDeviceQuarantinesThenReplansWithoutIt)
+{
+    // The second acceptance gate: flaky:dev=2,p=1 under a tracker
+    // fails over (result still bit-identical), drives device 2 to
+    // Quarantined, and the next compute re-plans over the 7
+    // survivors — no transfer from device 2 ever happens again, so
+    // no corruption is even injected.
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const auto w = makeWorkload<Bn254>(1 << 12, 0x9A11);
+
+    auto clean_options = healthTestOptions();
+    const auto clean_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, clean_options);
+    ASSERT_TRUE(clean_or.isOk());
+
+    HealthTracker tracker(8);
+    auto options = healthTestOptions();
+    const auto plan_or = FaultPlan::parse("flaky:dev=2,p=1");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    options.health = &tracker;
+    MsmEngine<Bn254> engine(w.points, cluster, options);
+
+    const auto first_or = engine.tryCompute(w.scalars);
+    ASSERT_TRUE(first_or.isOk()) << first_or.status().toString();
+    EXPECT_TRUE(bitEqual(first_or->value, clean_or->value));
+    EXPECT_EQ(first_or->stats, clean_or->stats);
+    EXPECT_GE(first_or->fault.transferFailovers, 1u);
+    EXPECT_GE(first_or->fault.corruptDetected, 3u);
+    EXPECT_EQ(tracker.state(2), HealthState::Quarantined);
+    EXPECT_GE(tracker.device(2).checksumFailures, 3u);
+
+    // Second run: stale generation -> re-plan over the survivors;
+    // device 2 is never scheduled, so the flaky link goes silent.
+    support::TraceRecorder trace;
+    // (tracker state persists; the trace captures the health gauges)
+    const auto second_or = engine.tryCompute(w.scalars);
+    ASSERT_TRUE(second_or.isOk()) << second_or.status().toString();
+    EXPECT_TRUE(bitEqual(second_or->value, clean_or->value));
+    EXPECT_EQ(second_or->fault.corruptInjected, 0u);
+    EXPECT_EQ(second_or->fault.corruptDetected, 0u);
+    EXPECT_EQ(second_or->fault.transferFailovers, 0u);
+    EXPECT_EQ(second_or->plan.windowsPerGpu,
+              planMsm(gpusim::CurveProfile::bn254(), w.points.size(),
+                      planningCluster(cluster, &tracker),
+                      clean_options)
+                  .windowsPerGpu);
+
+    // The probe rides the same flaky link (p=1 corrupts it too):
+    // no parole, one more checksum failure on the books.
+    const auto probes_before = tracker.device(2).checksumFailures;
+    EXPECT_EQ(engine.probeQuarantinedDevices(), 0);
+    EXPECT_EQ(tracker.state(2), HealthState::Quarantined);
+    EXPECT_EQ(tracker.device(2).checksumFailures,
+              probes_before + 1);
+}
+
+TEST(Quarantine, CleanProbeParolesAndCleanWindowsReintegrate)
+{
+    // A device quarantined for a past hang, probed over a now-clean
+    // link: parole to Probation, re-plan brings it back into the
+    // rotation, and its clean windows walk it home to Healthy.
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const auto w = makeWorkload<Bn254>(1 << 12, 0x9A12);
+
+    HealthTracker tracker(8);
+    tracker.recordHang(1);
+    ASSERT_EQ(tracker.state(1), HealthState::Quarantined);
+
+    auto options = healthTestOptions();
+    options.health = &tracker;
+    MsmEngine<Bn254> engine(w.points, cluster, options);
+    // Planned post-quarantine: 7 schedulable devices.
+    const auto first_or = engine.tryCompute(w.scalars);
+    ASSERT_TRUE(first_or.isOk());
+
+    ASSERT_EQ(engine.probeQuarantinedDevices(), 1);
+    EXPECT_EQ(tracker.state(1), HealthState::Probation);
+    EXPECT_EQ(tracker.device(1).probes, 1u);
+
+    // The parole bumped the generation: the next compute re-plans
+    // over all 8 and device 1's fault-free windows reintegrate it.
+    const auto second_or = engine.tryCompute(w.scalars);
+    ASSERT_TRUE(second_or.isOk());
+    EXPECT_TRUE(bitEqual(second_or->value, first_or->value));
+    EXPECT_EQ(tracker.state(1), HealthState::Healthy);
+    EXPECT_EQ(tracker.device(1).faultScore, 0);
+    EXPECT_GE(tracker.device(1).cleanWindows,
+              static_cast<std::uint64_t>(
+                  tracker.policy().reintegrateCleanWindows));
+}
+
+TEST(Quarantine, MetricsSurfaceHealthAndStragglerCounters)
+{
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const auto w = makeWorkload<Bn254>(1 << 12, 0x9A13);
+    HealthTracker tracker(8);
+    support::TraceRecorder trace;
+    auto options = healthTestOptions();
+    const auto plan_or =
+        FaultPlan::parse("degrade:dev=0,factor=4;flaky:dev=2,p=1");
+    ASSERT_TRUE(plan_or.isOk());
+    options.faults = *plan_or;
+    options.health = &tracker;
+    options.trace = &trace;
+    const auto result_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, options);
+    ASSERT_TRUE(result_or.isOk()) << result_or.status().toString();
+
+    const auto &metrics = trace.metrics();
+    EXPECT_GE(metrics.value("fault/stragglers_detected"), 1.0);
+    EXPECT_GE(metrics.value("fault/straggler_respawns"), 1.0);
+    EXPECT_DOUBLE_EQ(
+        metrics.value("fault/straggler_respawns"),
+        metrics.value("fault/speculative_wins") +
+            metrics.value("fault/speculative_losses"));
+    EXPECT_GE(metrics.value("fault/transfer_failovers"), 1.0);
+    EXPECT_GT(metrics.value("fault/backoff_ns"), 0.0);
+    EXPECT_GT(metrics.value("fault/straggler_stall_ns"),
+              metrics.value("fault/straggler_wait_ns"));
+    EXPECT_DOUBLE_EQ(metrics.value("health/devices"), 8.0);
+    // Both offenders end up quarantined: the flaky link after three
+    // checksum failures, and the persistent 4x straggler after
+    // blowing three window deadlines.
+    EXPECT_DOUBLE_EQ(metrics.value("health/quarantined_devices"),
+                     2.0);
+    EXPECT_GE(metrics.value("health/straggler_events"), 1.0);
+}
+
+// --- Chaos soak -------------------------------------------------------
+
+TEST(ChaosSoak, MixedFaultSweepStaysBitIdentical)
+{
+    // Differential soak: degrade + hang + kill + one-shot corruption
+    // + a flaky link (failover via the tracker), across seeds and
+    // hostThreads — every run must match the fault-free value,
+    // stats and hostOps exactly, and the fault pipeline itself must
+    // not drift across thread counts.
+    const Cluster cluster(DeviceSpec::a100(), 8);
+    const auto w = makeWorkload<Bn254>(1 << 11, 0xC4A0);
+
+    const auto clean_or = tryComputeDistMsm<Bn254>(
+        w.points, w.scalars, cluster, healthTestOptions());
+    ASSERT_TRUE(clean_or.isOk());
+
+    for (const std::uint64_t seed : {11ull, 77ull, 3030ull}) {
+        gpusim::FaultReport reference;
+        bool have_reference = false;
+        for (const int threads : {1, 4}) {
+            HealthTracker tracker(8);
+            auto options = healthTestOptions();
+            options.hostThreads = threads;
+            options.health = &tracker;
+            const auto plan_or = FaultPlan::parse(
+                "degrade:dev=1,factor=3;hang:dev=2@win=1;"
+                "kill:dev=3;corrupt:xfer=5;flaky:dev=4,p=0.3;"
+                "seed:" + std::to_string(seed));
+            ASSERT_TRUE(plan_or.isOk());
+            options.faults = *plan_or;
+            const auto result_or = tryComputeDistMsm<Bn254>(
+                w.points, w.scalars, cluster, options);
+            ASSERT_TRUE(result_or.isOk())
+                << "seed=" << seed << " threads=" << threads
+                << ": " << result_or.status().toString();
+            const auto &r = *result_or;
+            EXPECT_TRUE(bitEqual(r.value, clean_or->value))
+                << "seed=" << seed << " threads=" << threads;
+            EXPECT_EQ(r.stats, clean_or->stats);
+            EXPECT_EQ(r.hostOps, clean_or->hostOps);
+            EXPECT_EQ(r.fault.devicesLost, 1u);
+            EXPECT_EQ(r.fault.hangs, 1u);
+            EXPECT_GE(r.fault.stragglerRespawns, 1u);
+            if (!have_reference) {
+                reference = r.fault;
+                have_reference = true;
+            } else {
+                // The whole report — injection, recovery, pricing —
+                // is deterministic across hostThreads.
+                EXPECT_EQ(0, std::memcmp(&r.fault, &reference,
+                                         sizeof reference))
+                    << "seed=" << seed;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace distmsm::msm

@@ -13,7 +13,8 @@
 # precompute row is not faster than the cold one, or if enabling the
 # fault layer's transfer checksums moves the simulated end-to-end
 # total at the trace geometry by 3% or more (the verify work must
-# stay hidden under the GPU stage). The simulated one-knob ablation
+# stay hidden under the GPU stage), or if attaching the straggler
+# watchdog + health tracker moves a fault-free run by 1% or more. The simulated one-knob ablation
 # table (bench/bench_ablation_msm.cc) rides along verbatim for
 # context, and a planner_ablation table (heuristic vs cost-model
 # search vs persisted plan cache, gated: search never loses, a warm
@@ -137,6 +138,22 @@ DISTMSM_TRACE="${trace_nock_json}" "${build_dir}/examples/msm_cli" \
     > /dev/null
 "${repo_root}/tools/trace_summary.py" "${trace_nock_json}" --check \
     --json > "${build_dir}/trace_summary_nochecksum.json"
+# Watchdog + health overhead gate: the same fault-free geometry with
+# the straggler watchdog and the health tracker attached vs both
+# off. A fault-free run detects no stragglers, so the layer's cost
+# is pure bookkeeping (one cost-model estimate + clean-window
+# accounting) — it must move the simulated total by < 1%.
+trace_wd_on_json="${build_dir}/trace_msm_watchdog_on.json"
+DISTMSM_TRACE="${trace_wd_on_json}" "${build_dir}/examples/msm_cli" \
+    bn254 "${log_n}" 8 --signed --window=13 --health > /dev/null
+"${repo_root}/tools/trace_summary.py" "${trace_wd_on_json}" --check \
+    --json > "${build_dir}/trace_summary_watchdog_on.json"
+trace_wd_off_json="${build_dir}/trace_msm_watchdog_off.json"
+DISTMSM_TRACE="${trace_wd_off_json}" "${build_dir}/examples/msm_cli" \
+    bn254 "${log_n}" 8 --signed --window=13 --no-watchdog \
+    > /dev/null
+"${repo_root}/tools/trace_summary.py" "${trace_wd_off_json}" --check \
+    --json > "${build_dir}/trace_summary_watchdog_off.json"
 
 # Multi-GPU scaling rows (analytic, instant): the bucket/window merge
 # on hierarchical 8-GPU-per-node topologies from 8 to 256 simulated
@@ -206,6 +223,8 @@ SMOKE="${smoke}" MICRO_JSON="${micro_json}" \
     TRACE_SUMMARY="${build_dir}/trace_summary.json" \
     TRACE_SUMMARY_PRE="${build_dir}/trace_summary_precompute.json" \
     TRACE_SUMMARY_NOCK="${build_dir}/trace_summary_nochecksum.json" \
+    TRACE_SUMMARY_WD_ON="${build_dir}/trace_summary_watchdog_on.json" \
+    TRACE_SUMMARY_WD_OFF="${build_dir}/trace_summary_watchdog_off.json" \
     TRACE_LOG_N="${log_n}" \
     BUILD_TYPE="${build_type}" \
     BUILD_DIR="${build_dir}" \
@@ -228,6 +247,10 @@ with open(os.environ["TRACE_SUMMARY_PRE"]) as f:
     trace_summary_pre = json.load(f)
 with open(os.environ["TRACE_SUMMARY_NOCK"]) as f:
     trace_summary_nock = json.load(f)
+with open(os.environ["TRACE_SUMMARY_WD_ON"]) as f:
+    trace_summary_wd_on = json.load(f)
+with open(os.environ["TRACE_SUMMARY_WD_OFF"]) as f:
+    trace_summary_wd_off = json.load(f)
 
 # Release guard. The build tree's CMAKE_BUILD_TYPE governs how the
 # distmsm library under test was compiled — refuse anything but
@@ -397,6 +420,24 @@ if overhead_pct >= 3.0:
     print(f"error: checksum overhead {overhead_ms:.3f} ms "
           f"({overhead_pct:.2f}%) of the {total_off_ms:.3f} ms "
           "baseline exceeds the 3% acceptance gate.", file=sys.stderr)
+    sys.exit(1)
+
+# Watchdog + health overhead gate: a fault-free run with the
+# straggler watchdog and the health tracker attached must price
+# within 1% of the same run with both off. No stragglers means no
+# speculation, no backoff and no quarantine — the only cost is the
+# deadline estimate and the clean-window bookkeeping, neither of
+# which may leak into the simulated timeline.
+wd_on_ms = timeline_total_ms(trace_summary_wd_on)
+wd_off_ms = timeline_total_ms(trace_summary_wd_off)
+wd_overhead_ms = wd_on_ms - wd_off_ms
+wd_overhead_pct = 100.0 * wd_overhead_ms / wd_off_ms if wd_off_ms \
+    else 0.0
+if wd_overhead_pct >= 1.0:
+    print(f"error: watchdog+health overhead {wd_overhead_ms:.3f} ms "
+          f"({wd_overhead_pct:.2f}%) of the {wd_off_ms:.3f} ms "
+          "baseline exceeds the 1% acceptance gate on a fault-free "
+          "run.", file=sys.stderr)
     sys.exit(1)
 
 # Multi-GPU collective scaling rows (analytic timelines from
@@ -650,6 +691,14 @@ doc = {
         "overhead_pct": round(overhead_pct, 4),
         "gate_pct": 3.0,
     },
+    "watchdog_overhead": {
+        "n": 1 << int(os.environ["TRACE_LOG_N"]),
+        "total_with_watchdog_health_ms": wd_on_ms,
+        "total_without_ms": wd_off_ms,
+        "overhead_ms": round(wd_overhead_ms, 6),
+        "overhead_pct": round(wd_overhead_pct, 4),
+        "gate_pct": 1.0,
+    },
 }
 if non_release:
     doc["non_release_build"] = True
@@ -668,6 +717,8 @@ print(f"  n=16384: warm vs cold = "
       f"{ablation_cache['speedup_warm_vs_cold']}x")
 print(f"  checksum overhead at n=2^{os.environ['TRACE_LOG_N']}: "
       f"{overhead_pct:.2f}% (gate 3%)")
+print(f"  watchdog+health overhead at n=2^{os.environ['TRACE_LOG_N']}"
+      f": {wd_overhead_pct:.2f}% (gate 1%)")
 for row in scaling:
     print(f"  {row['devices']} devices: merge gather "
           f"{row['gather_merge_ms']:.3f} ms vs tuned "

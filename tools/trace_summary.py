@@ -33,7 +33,13 @@ The metrics file is located automatically next to the trace
     MsmTimeline::totalNs());
   * the fault contract: fault/corrupt_injected must not exceed
     fault/corrupt_detected (an undetected injected corruption means
-    the checksum layer silently passed a wrong payload).
+    the checksum layer silently passed a wrong payload);
+  * the watchdog contract: fault/straggler_respawns equals
+    fault/speculative_wins + fault/speculative_losses, and
+    fault/straggler_wait_ns never exceeds fault/straggler_stall_ns
+    (speculation must not lose to doing nothing);
+  * the health contract: health/quarantined_devices +
+    health/probation_devices never exceeds health/devices.
 """
 
 import argparse
@@ -188,22 +194,27 @@ def breakdown(metrics):
 
 def other_sections(metrics):
     """Non-timeline metric groups worth echoing (prover, pipeline,
-    fault-injection counters)."""
+    fault-injection and device-health counters)."""
     groups = {}
     for key, value in metrics.items():
         top = key.split("/", 1)[0]
-        if top in ("prover", "pipeline", "fault"):
+        if top in ("prover", "pipeline", "fault", "health"):
             groups.setdefault(top, {})[key] = value
     return groups
 
 
 def check_fault_contract(metrics):
-    """Every injected corruption must have been detected.
+    """Every injected corruption must have been detected, and the
+    watchdog / health books must balance.
 
     The engine only emits fault/* counters when the fault layer ran;
     an injected-but-undetected corruption means the checksum layer
     silently passed a wrong payload — exactly the failure --check
-    exists to catch.
+    exists to catch. The watchdog contract: every speculative
+    respawn was either adopted (a win) or outrun by its original (a
+    loss), and the priced watchdog wait never exceeds the stall a
+    watchdog-less run would have suffered. The health contract:
+    quarantined + probation devices never exceed the tracked fleet.
     """
     problems = []
     injected = metrics.get("fault/corrupt_injected", 0)
@@ -213,6 +224,28 @@ def check_fault_contract(metrics):
             f"fault contract: {injected:g} corrupted transfer(s) "
             f"injected but only {detected:g} detected "
             "(checksum verification missed a byte flip)")
+    respawns = metrics.get("fault/straggler_respawns", 0)
+    wins = metrics.get("fault/speculative_wins", 0)
+    losses = metrics.get("fault/speculative_losses", 0)
+    if respawns != wins + losses:
+        problems.append(
+            f"fault contract: {respawns:g} straggler respawn(s) but "
+            f"{wins:g} win(s) + {losses:g} loss(es) "
+            "(a speculative copy was never accounted for)")
+    wait = metrics.get("fault/straggler_wait_ns", 0)
+    stall = metrics.get("fault/straggler_stall_ns", 0)
+    if wait > stall:
+        problems.append(
+            f"fault contract: watchdog wait {wait:g} ns exceeds the "
+            f"counterfactual stall {stall:g} ns "
+            "(speculation made the run slower than doing nothing)")
+    devices = metrics.get("health/devices", 0)
+    unhealthy = (metrics.get("health/quarantined_devices", 0)
+                 + metrics.get("health/probation_devices", 0))
+    if devices and unhealthy > devices:
+        problems.append(
+            f"health contract: {unhealthy:g} quarantined+probation "
+            f"device(s) out of {devices:g} tracked")
     return problems
 
 
